@@ -1,0 +1,33 @@
+// Fig 6(e): overall discovery time vs number of single-hop objects, per
+// level. Paper anchors: 20 Level 1 objects ~0.25 s; 20 Level 2/3 objects
+// ~0.63 s; Level 2 and Level 3 curves overlap.
+#include <cstdio>
+
+#include "fleet.hpp"
+
+using namespace argus;
+using backend::Level;
+
+int main() {
+  std::printf("Fig 6(e) — single-hop discovery time vs object count\n");
+  std::printf("paper: L1 ~0.25 s @20, L2/L3 ~0.63 s @20 (curves overlap)\n\n");
+  std::printf("%7s | %10s %10s %10s\n", "objects", "Level 1", "Level 2",
+              "Level 3");
+  std::printf("--------+---------------------------------\n");
+  for (std::size_t n : {1u, 2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u, 18u, 20u}) {
+    double t[3] = {0, 0, 0};
+    int i = 0;
+    for (Level level : {Level::kL1, Level::kL2, Level::kL3}) {
+      const auto fleet = bench::make_fleet(n, level);
+      const auto report = core::run_discovery(fleet.scenario());
+      if (report.services.size() != n) {
+        std::fprintf(stderr, "discovery incomplete: %zu/%zu\n",
+                     report.services.size(), n);
+        return 1;
+      }
+      t[i++] = report.total_ms;
+    }
+    std::printf("%7zu | %8.0fms %8.0fms %8.0fms\n", n, t[0], t[1], t[2]);
+  }
+  return 0;
+}

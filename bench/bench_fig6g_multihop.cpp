@@ -1,0 +1,36 @@
+// Fig 6(g): multi-hop discovery time — 20 objects split 5/5/5/5 across
+// 1..4 hops. Paper anchors: Level 1 ~0.72 s, Level 2/3 ~1.15 s.
+#include <cstdio>
+
+#include "fleet.hpp"
+
+using namespace argus;
+using backend::Level;
+
+int main() {
+  std::printf("Fig 6(g) — multi-hop discovery time (20 objects, 5 per ring"
+              " at 1-4 hops)\n");
+  std::printf("paper: L1 ~0.72 s, L2/L3 ~1.15 s\n\n");
+  const auto ring = [](std::size_t i) {
+    return static_cast<unsigned>(1 + i / 5);
+  };
+  std::printf("%7s | %10s %10s %10s\n", "objects", "Level 1", "Level 2",
+              "Level 3");
+  std::printf("--------+---------------------------------\n");
+  for (std::size_t n : {5u, 10u, 15u, 20u}) {
+    double t[3] = {0, 0, 0};
+    int i = 0;
+    for (Level level : {Level::kL1, Level::kL2, Level::kL3}) {
+      const auto fleet = bench::make_fleet(n, level, ring);
+      const auto report = core::run_discovery(fleet.scenario());
+      if (report.services.size() != n) {
+        std::fprintf(stderr, "discovery incomplete: %zu/%zu\n",
+                     report.services.size(), n);
+        return 1;
+      }
+      t[i++] = report.total_ms;
+    }
+    std::printf("%7zu | %8.0fms %8.0fms %8.0fms\n", n, t[0], t[1], t[2]);
+  }
+  return 0;
+}

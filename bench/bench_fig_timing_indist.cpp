@@ -1,0 +1,51 @@
+// Ablation E12 (§VII Case 9 + §VI-B): indistinguishability measures under
+// adversarial measurement — size-distinguisher advantage with and without
+// RES2 padding, and the modeled timing gap with and without equalisation.
+#include <cstdio>
+
+#include "attacks/adversary.hpp"
+#include "backend/registry.hpp"
+
+using namespace argus;
+using backend::Level;
+
+int main() {
+  backend::Backend be(crypto::Strength::b128, 9);
+  const auto fellow = be.register_subject(
+      "fellow", backend::AttributeMap{{"position", "employee"}},
+      {"support"});
+  const auto plain = be.register_subject(
+      "plain", backend::AttributeMap{{"position", "employee"}});
+  const auto l2 = be.register_object(
+      "printer", {}, Level::kL2, {},
+      {{"position=='employee'", "staff", {"print"}}});
+  const auto l3 = be.register_object(
+      "kiosk", {}, Level::kL3, {},
+      {{"position=='employee'", "staff", {"browse"}}},
+      {{"support", "covert",
+        {"browse", "counseling resources", "financial aid directory",
+         "peer support meetup calendar", "emergency contact lines",
+         "accessibility services catalog",
+         "confidential appointment booking",
+         "campus policy guidance for students with disabilities"}}});
+
+  std::printf("E12 — indistinguishability under attack (40-trial games)\n\n");
+  for (const bool pad : {true, false}) {
+    const auto res = attacks::size_distinguisher(
+        fellow, plain, l3, be.admin_public_key(), be.now(), pad, 40, 1234);
+    std::printf("RES2 size distinguisher, padding %-3s : advantage %.2f\n",
+                pad ? "ON" : "OFF", res.advantage);
+  }
+  std::printf("\n");
+  for (const bool eq : {true, false}) {
+    const auto probe = attacks::timing_probe(
+        plain, l2, l3, be.admin_public_key(), be.now(), eq, 77);
+    std::printf("response-time gap (L3 - L2), equalisation %-3s : %.3f ms\n",
+                eq ? "ON" : "OFF", probe.gap_ms());
+  }
+  std::printf("\npaper: with the v3.0 measures, attackers cannot tell\n"
+              "Level 3 discovery is happening (advantage ~0, gap 0); the\n"
+              "raw gap without equalisation is ~0.08 ms on a Pi — buried\n"
+              "in OS/network noise.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared testbed builders for the discovery benchmarks: reconstruct the
+// paper's 1-subject / N-object fleets at given levels and hop layouts.
+#pragma once
+
+#include <memory>
+
+#include "argus/discovery.hpp"
+
+namespace argus::bench {
+
+struct Fleet {
+  std::unique_ptr<backend::Backend> be;
+  backend::SubjectCredentials subject;
+  std::vector<core::ScenarioObject> objects;
+
+  [[nodiscard]] core::DiscoveryScenario scenario() const {
+    core::DiscoveryScenario sc;
+    sc.subject = subject;
+    sc.admin_pub = be->admin_public_key();
+    sc.objects = objects;
+    sc.epoch = be->now();
+    return sc;
+  }
+};
+
+/// `n` objects of one level; hops(i) gives each object's ring.
+inline Fleet make_fleet(std::size_t n, backend::Level level,
+                        const std::function<unsigned(std::size_t)>& hops,
+                        std::uint64_t seed = 17) {
+  Fleet f;
+  f.be = std::make_unique<backend::Backend>(crypto::Strength::b128, seed);
+  f.subject = f.be->register_subject(
+      "alice", backend::AttributeMap{{"position", "employee"}}, {"support"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string id = "obj-" + std::to_string(i);
+    backend::ObjectCredentials creds;
+    switch (level) {
+      case backend::Level::kL1:
+        creds = f.be->register_object(
+            id, backend::AttributeMap{{"type", "sensor"}},
+            backend::Level::kL1, {"read"});
+        break;
+      case backend::Level::kL2:
+        creds = f.be->register_object(
+            id, backend::AttributeMap{{"type", "multimedia"}},
+            backend::Level::kL2, {},
+            {{"position=='employee'", "staff", {"use"}}});
+        break;
+      case backend::Level::kL3:
+        creds = f.be->register_object(
+            id, backend::AttributeMap{{"type", "kiosk"}},
+            backend::Level::kL3, {},
+            {{"position=='employee'", "staff", {"use"}}},
+            {{"support", "covert", {"use", "support"}}});
+        break;
+    }
+    f.objects.push_back(core::ScenarioObject{std::move(creds), hops(i)});
+  }
+  return f;
+}
+
+inline Fleet make_fleet(std::size_t n, backend::Level level,
+                        unsigned hops = 1, std::uint64_t seed = 17) {
+  return make_fleet(n, level, [hops](std::size_t) { return hops; }, seed);
+}
+
+inline const char* level_name(backend::Level level) {
+  switch (level) {
+    case backend::Level::kL1: return "Level 1";
+    case backend::Level::kL2: return "Level 2";
+    case backend::Level::kL3: return "Level 3";
+  }
+  return "?";
+}
+
+}  // namespace argus::bench

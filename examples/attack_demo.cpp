@@ -1,0 +1,106 @@
+// Security analysis demo: run the §VII attacks (eavesdropping,
+// impersonation, replay, distinguishing, timing) against live engines and
+// watch each one fail — plus the ablations showing what the v3.0
+// countermeasures actually buy.
+//
+//   $ ./build/examples/attack_demo
+#include <cstdio>
+
+#include "attacks/adversary.hpp"
+#include "backend/registry.hpp"
+
+using namespace argus;
+using backend::AttributeMap;
+using backend::Level;
+
+int main() {
+  backend::Backend be(crypto::Strength::b128, 99);
+  const auto fellow = be.register_subject(
+      "fellow", AttributeMap{{"position", "employee"}}, {"support"});
+  const auto plain = be.register_subject(
+      "plain", AttributeMap{{"position", "employee"}});
+  const auto printer = be.register_object(
+      "printer", {}, Level::kL2, {},
+      {{"position=='employee'", "staff", {"print"}}});
+  const auto kiosk = be.register_object(
+      "kiosk", {}, Level::kL3, {},
+      {{"position=='employee'", "staff", {"browse"}}},
+      {{"support", "covert",
+        {"browse", "counseling resources", "financial aid directory",
+         "peer support meetup calendar", "emergency contact lines",
+         "accessibility services catalog"}}});
+
+  const auto subject_engine = [&](const backend::SubjectCredentials& c) {
+    core::SubjectEngineConfig cfg;
+    cfg.creds = c;
+    cfg.admin_pub = be.admin_public_key();
+    cfg.seed = 1;
+    return core::SubjectEngine(std::move(cfg));
+  };
+  const auto object_engine = [&](const backend::ObjectCredentials& c) {
+    core::ObjectEngineConfig cfg;
+    cfg.creds = c;
+    cfg.admin_pub = be.admin_public_key();
+    cfg.seed = 2;
+    return core::ObjectEngine(std::move(cfg));
+  };
+
+  std::printf("== Case 1/3: eavesdropper vs service-information secrecy ==\n");
+  {
+    auto s = subject_engine(fellow);
+    auto o = object_engine(kiosk);
+    const auto trace = attacks::capture_exchange(s, o, be.now());
+    std::vector<Bytes> candidates{Bytes(32, 0), fellow.group_keys[0].key};
+    auto rng = crypto::make_rng(5, "guesses");
+    for (int i = 0; i < 100; ++i) candidates.push_back(rng.generate(32));
+    std::printf("  captured %zu-byte RES2; keys that opened it: %zu/102\n\n",
+                trace->res2.size(), attacks::try_open_res2(*trace, candidates));
+  }
+
+  std::printf("== Case 2: impostors without backend-issued keys ==\n");
+  {
+    auto o = object_engine(printer);
+    const bool s_ok = attacks::subject_impostor_succeeds(
+        o, be.admin_public_key(), "plain",
+        AttributeMap{{"position", "employee"}}, crypto::Strength::b128,
+        be.now(), 11);
+    auto victim = subject_engine(plain);
+    const bool o_ok = attacks::object_impostor_succeeds(
+        victim, "printer", crypto::Strength::b128, be.now(), 12);
+    std::printf("  subject impostor got service info: %s\n",
+                s_ok ? "YES (BROKEN)" : "no");
+    std::printf("  object impostor planted fake info:  %s\n\n",
+                o_ok ? "YES (BROKEN)" : "no");
+  }
+
+  std::printf("== Case 5: replay ==\n");
+  {
+    auto s = subject_engine(plain);
+    auto o = object_engine(printer);
+    const auto trace = attacks::capture_exchange(s, o, be.now());
+    std::printf("  replayed QUE1 answered: %s\n",
+                o.handle(trace->que1, be.now()) ? "YES (BROKEN)" : "no");
+    std::printf("  replayed QUE2 answered: %s\n\n",
+                attacks::replay_que2_succeeds(o, *trace, be.now())
+                    ? "YES (BROKEN)"
+                    : "no");
+  }
+
+  std::printf("== Case 7/8: distinguishing covert discovery (40 trials) ==\n");
+  for (const bool pad : {true, false}) {
+    const auto res = attacks::size_distinguisher(
+        fellow, plain, kiosk, be.admin_public_key(), be.now(), pad, 40, 77);
+    std::printf("  RES2-size adversary, padding %-3s: advantage %.2f%s\n",
+                pad ? "ON" : "OFF", res.advantage,
+                pad ? "" : "  <- ablation: padding is load-bearing");
+  }
+  std::printf("\n== Case 9: timing side channel ==\n");
+  for (const bool eq : {true, false}) {
+    const auto probe = attacks::timing_probe(
+        plain, printer, kiosk, be.admin_public_key(), be.now(), eq, 88);
+    std::printf("  L3-vs-L2 response-time gap, equalisation %-3s: %.3f ms\n",
+                eq ? "ON" : "OFF", probe.gap_ms());
+  }
+  std::printf("\nAll attacks fail against the full v3.0 protocol.\n");
+  return 0;
+}

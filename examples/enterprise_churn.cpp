@@ -1,0 +1,95 @@
+// Enterprise churn: subject joins, discovers services, gets revoked, and
+// can no longer discover — plus the updating-overhead comparison that
+// makes Argus scale to enterprises (§VIII / Table I).
+//
+//   $ ./build/examples/enterprise_churn
+#include <cstdio>
+
+#include "argus/object_engine.hpp"
+#include "argus/subject_engine.hpp"
+#include "baselines/updating.hpp"
+
+using namespace argus;
+using backend::AttributeMap;
+using backend::Level;
+
+namespace {
+
+bool can_discover(const backend::Backend& be,
+                  const backend::SubjectCredentials& subject,
+                  core::ObjectEngine& object, std::uint64_t seed) {
+  core::SubjectEngineConfig cfg;
+  cfg.creds = subject;
+  cfg.admin_pub = be.admin_public_key();
+  cfg.seed = seed;
+  core::SubjectEngine s(std::move(cfg));
+  const Bytes que1 = s.start_round();
+  const auto res1 = object.handle(que1, be.now());
+  if (!res1) return false;
+  const auto que2 = s.handle(*res1, be.now());
+  if (!que2) return false;
+  const auto res2 = object.handle(*que2, be.now());
+  if (!res2) return false;
+  (void)s.handle(*res2, be.now());
+  return !s.discovered().empty();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Part 1: revocation end-to-end ==\n\n");
+  backend::Backend be(crypto::Strength::b128, 3);
+  const auto mallory = be.register_subject(
+      "mallory", AttributeMap{{"position", "manager"}, {"department", "X"}});
+  be.add_policy("position=='manager'", "type=='door lock'",
+                {"open", "close"});
+  const auto lock = be.register_object(
+      "conf-door-lock", AttributeMap{{"type", "door lock"}}, Level::kL2, {},
+      {{"position=='manager'", "managers", {"open", "close"}}});
+
+  core::ObjectEngineConfig ocfg;
+  ocfg.creds = lock;
+  ocfg.admin_pub = be.admin_public_key();
+  core::ObjectEngine lock_engine(std::move(ocfg));
+
+  std::printf("mallory discovers the door lock: %s\n",
+              can_discover(be, mallory, lock_engine, 1) ? "YES" : "no");
+
+  // Mallory leaves the company. The backend enumerates the N objects she
+  // could access and notifies each to blacklist her ID.
+  const auto notice = be.revoke_subject("mallory");
+  std::printf("backend revokes mallory -> %zu object notification(s)\n",
+              notice.objects_to_notify.size());
+  for (const auto& oid : notice.objects_to_notify) {
+    if (oid == lock.id) lock_engine.revoke_subject("mallory");
+  }
+  std::printf("mallory discovers the door lock: %s\n\n",
+              can_discover(be, mallory, lock_engine, 2) ? "YES" : "no");
+
+  std::printf("== Part 2: updating overhead at enterprise scale ==\n\n");
+  baselines::EnterpriseSpec spec;
+  spec.departments = 3;
+  spec.subjects_per_department = 120;  // a department-sized category
+  spec.rooms_per_department = 8;
+  spec.objects_per_room = 6;           // N = 48 devices per member
+  baselines::SyntheticEnterprise enterprise(spec);
+  const std::string victim = "dept-1:subject-3";
+
+  const auto idacl = baselines::measure_idacl(enterprise, victim);
+  const auto abe = baselines::measure_abe(enterprise, victim);
+  const auto argus = baselines::measure_argus(enterprise, victim);
+  std::printf("%-14s %8s %8s\n", "scheme", "add", "remove");
+  std::printf("%-14s %8zu %8zu\n", "ID-based ACL", idacl.add_subject,
+              idacl.remove_subject);
+  std::printf("%-14s %8zu %8zu\n", "ABE", abe.add_subject,
+              abe.remove_subject);
+  std::printf("%-14s %8zu %8zu\n", "Argus", argus.add_subject,
+              argus.remove_subject);
+  std::printf(
+      "\nA newcomer costs Argus ONE backend interaction (vs %zu object\n"
+      "updates under ID-ACLs); removing a member costs Argus %zu\n"
+      "notifications while ABE's global attribute revocation touches %zu\n"
+      "entities.\n",
+      idacl.add_subject, argus.remove_subject, abe.remove_subject);
+  return 0;
+}

@@ -1,0 +1,189 @@
+#include "abe/cpabe.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace argus::abe {
+
+using crypto::MontCtx;
+
+std::set<std::string> AbeUserKey::attributes() const {
+  std::set<std::string> out;
+  for (const auto& [attr, comp] : components) out.insert(attr);
+  return out;
+}
+
+CpAbe::CpAbe(const PairingSystem& sys) : sys_(sys) {}
+
+CpAbe::SetupResult CpAbe::setup(HmacDrbg& rng) const {
+  const auto& curve = sys_.curve;
+  const UInt alpha = curve.random_scalar(rng);
+  const UInt beta = curve.random_scalar(rng);
+  SetupResult res;
+  res.pub.g = curve.generator();
+  res.pub.h = curve.scalar_mul(res.pub.g, beta);
+  res.pub.e_gg_alpha =
+      sys_.pairing.gt_pow(sys_.pairing.pair(res.pub.g, res.pub.g), alpha);
+  res.master.beta = beta;
+  res.master.g_alpha = curve.scalar_mul(res.pub.g, alpha);
+  return res;
+}
+
+AbeUserKey CpAbe::keygen(const AbePublicKey& pub, const AbeMasterKey& master,
+                         const std::set<std::string>& attributes,
+                         HmacDrbg& rng) const {
+  const auto& curve = sys_.curve;
+  const MontCtx& fr = curve.fr();
+  const UInt t = curve.random_scalar(rng);
+
+  AbeUserKey key;
+  // D = g^{(alpha + t) / beta}: recover alpha from g^alpha is impossible,
+  // so compute as (g^alpha * g^t)^{1/beta}.
+  const UInt beta_inv =
+      fr.from_mont(fr.inv(fr.to_mont(master.beta)));
+  const PPoint g_alpha_t =
+      curve.add(master.g_alpha, curve.scalar_mul(pub.g, t));
+  key.d = curve.scalar_mul(g_alpha_t, beta_inv);
+
+  for (const auto& attr : attributes) {
+    const UInt rj = curve.random_scalar(rng);
+    const PPoint h_attr = curve.hash_to_group(str_bytes(attr));
+    AbeUserKey::Component comp;
+    comp.d_j = curve.add(curve.scalar_mul(pub.g, t),
+                         curve.scalar_mul(h_attr, rj));
+    comp.d_j_prime = curve.scalar_mul(pub.g, rj);
+    key.components.emplace(attr, comp);
+  }
+  return key;
+}
+
+void CpAbe::share(const PolicyNode& node, const UInt& value, HmacDrbg& rng,
+                  std::vector<AbeCiphertext::LeafShare>& out) const {
+  const auto& curve = sys_.curve;
+  if (node.kind == PolicyNode::Kind::kLeaf) {
+    AbeCiphertext::LeafShare ls;
+    ls.attribute = node.attribute;
+    ls.c_y = curve.scalar_mul(curve.generator(), value);
+    ls.c_y_prime =
+        curve.scalar_mul(curve.hash_to_group(str_bytes(node.attribute)), value);
+    out.push_back(std::move(ls));
+    return;
+  }
+  // Random polynomial of degree k-1 with q(0) = value; child i gets q(i).
+  const MontCtx& fr = curve.fr();
+  std::vector<UInt> coeffs;  // a_1 .. a_{k-1}, Montgomery form
+  coeffs.reserve(node.k - 1);
+  for (std::size_t i = 1; i < node.k; ++i) {
+    coeffs.push_back(fr.to_mont(curve.random_scalar(rng)));
+  }
+  for (std::size_t child = 0; child < node.children.size(); ++child) {
+    const UInt x_m = fr.to_mont(UInt::from_u64(child + 1));
+    // Horner evaluation in Montgomery form.
+    UInt acc = UInt::zero();
+    for (std::size_t c = coeffs.size(); c-- > 0;) {
+      acc = fr.mul(fr.add(acc, coeffs[c]), x_m);
+    }
+    const UInt share_val = fr.add(fr.from_mont(acc), value);
+    this->share(node.children[child], share_val, rng, out);
+  }
+}
+
+AbeCiphertext CpAbe::encrypt(const AbePublicKey& pub, const Fp2& message,
+                             const PolicyNode& policy, HmacDrbg& rng) const {
+  if (!policy.valid()) {
+    throw std::invalid_argument("CpAbe::encrypt: invalid policy tree");
+  }
+  const auto& curve = sys_.curve;
+  const UInt s = curve.random_scalar(rng);
+
+  AbeCiphertext ct;
+  ct.policy = policy;
+  ct.c_tilde = sys_.pairing.fp2().mul(
+      message, sys_.pairing.gt_pow(pub.e_gg_alpha, s));
+  ct.c = curve.scalar_mul(pub.h, s);
+  share(policy, s, rng, ct.leaves);
+  return ct;
+}
+
+std::optional<Fp2> CpAbe::decrypt_node(
+    const PolicyNode& node, const AbeUserKey& key,
+    const std::vector<AbeCiphertext::LeafShare>& leaves,
+    std::size_t& cursor) const {
+  const auto& fp2 = sys_.pairing.fp2();
+  if (node.kind == PolicyNode::Kind::kLeaf) {
+    if (cursor >= leaves.size()) {
+      throw std::invalid_argument("CpAbe: ciphertext/policy shape mismatch");
+    }
+    const auto& leaf = leaves[cursor++];
+    const auto it = key.components.find(leaf.attribute);
+    if (it == key.components.end()) return std::nullopt;
+    // e(D_j, C_y) / e(D'_j, C'_y) = e(g,g)^{t * q_y(0)}
+    const Fp2 num = sys_.pairing.pair(it->second.d_j, leaf.c_y);
+    const Fp2 den = sys_.pairing.pair(it->second.d_j_prime, leaf.c_y_prime);
+    return fp2.mul(num, fp2.inv(den));
+  }
+
+  // Evaluate every child (the cursor must walk the whole subtree).
+  std::vector<std::pair<std::size_t, Fp2>> got;  // (1-based index, value)
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    auto v = decrypt_node(node.children[i], key, leaves, cursor);
+    if (v) got.emplace_back(i + 1, *v);
+  }
+  if (got.size() < node.k) return std::nullopt;
+  got.resize(node.k);
+
+  // Lagrange recombination at x = 0 over the chosen index set.
+  const MontCtx& fr = sys_.curve.fr();
+  const UInt& r = fr.modulus();
+  Fp2 acc = fp2.one();
+  for (const auto& [i, value] : got) {
+    UInt num = fr.one();  // Montgomery forms
+    UInt den = fr.one();
+    for (const auto& [j, unused] : got) {
+      if (i == j) continue;
+      // num *= -j ; den *= (i - j)   (mod r)
+      num = fr.mul(num, fr.to_mont(crypto::submod(
+                            UInt::zero(), UInt::from_u64(j), r)));
+      den = fr.mul(den, fr.to_mont(crypto::submod(
+                            UInt::from_u64(i), UInt::from_u64(j), r)));
+    }
+    const UInt lagrange = fr.from_mont(fr.mul(num, fr.inv(den)));
+    acc = fp2.mul(acc, fp2.pow(value, lagrange));
+  }
+  return acc;
+}
+
+std::optional<Fp2> CpAbe::decrypt(const AbePublicKey& pub,
+                                  const AbeUserKey& key,
+                                  const AbeCiphertext& ct) const {
+  std::size_t cursor = 0;
+  const auto a = decrypt_node(ct.policy, key, ct.leaves, cursor);
+  if (!a) return std::nullopt;
+  // m = C~ * A / e(C, D)  with A = e(g,g)^{t s}.
+  (void)pub;
+  const auto& fp2 = sys_.pairing.fp2();
+  const Fp2 ecd = sys_.pairing.pair(ct.c, key.d);
+  return fp2.mul(fp2.mul(ct.c_tilde, *a), fp2.inv(ecd));
+}
+
+CpAbe::Encapsulation CpAbe::encapsulate(const AbePublicKey& pub,
+                                        const PolicyNode& policy,
+                                        HmacDrbg& rng) const {
+  const UInt z = sys_.curve.random_scalar(rng);
+  const Fp2 m = sys_.pairing.gt_pow(pub.e_gg_alpha, z);
+  Encapsulation enc;
+  enc.ct = encrypt(pub, m, policy, rng);
+  enc.key = crypto::Sha256::hash(sys_.pairing.serialize_gt(m));
+  return enc;
+}
+
+std::optional<Bytes> CpAbe::decapsulate(const AbePublicKey& pub,
+                                        const AbeUserKey& key,
+                                        const AbeCiphertext& ct) const {
+  const auto m = decrypt(pub, key, ct);
+  if (!m) return std::nullopt;
+  return crypto::Sha256::hash(sys_.pairing.serialize_gt(*m));
+}
+
+}  // namespace argus::abe

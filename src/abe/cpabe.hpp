@@ -1,0 +1,111 @@
+// Ciphertext-Policy Attribute-Based Encryption — Bethencourt, Sahai,
+// Waters (S&P 2007), over the repository's symmetric Tate pairing.
+//
+// Implemented as the paper's ABE baseline for Level 2 discovery (§VIII):
+// the backend encrypts each PROF_O variant under its policy; a subject
+// decrypts iff her attribute key satisfies the policy. Decryption costs
+// two pairings per satisfied leaf plus Lagrange recombination, which is
+// what makes Fig 6(c) linear in the number of policy attributes.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "abe/policy.hpp"
+#include "pairing/system.hpp"
+
+namespace argus::abe {
+
+using pairing::Fp2;
+using pairing::PairingSystem;
+using pairing::PPoint;
+using crypto::HmacDrbg;
+using crypto::UInt;
+
+struct AbePublicKey {
+  PPoint g;         // group generator
+  PPoint h;         // g^beta
+  Fp2 e_gg_alpha;   // e(g, g)^alpha
+};
+
+struct AbeMasterKey {
+  UInt beta;
+  PPoint g_alpha;  // g^alpha
+};
+
+struct AbeUserKey {
+  struct Component {
+    PPoint d_j;        // g^t * H(j)^{r_j}
+    PPoint d_j_prime;  // g^{r_j}
+  };
+  PPoint d;  // g^{(alpha + t) / beta}
+  std::map<std::string, Component> components;
+
+  [[nodiscard]] std::set<std::string> attributes() const;
+};
+
+struct AbeCiphertext {
+  struct LeafShare {
+    std::string attribute;
+    PPoint c_y;        // g^{q_y(0)}
+    PPoint c_y_prime;  // H(att)^{q_y(0)}
+  };
+  PolicyNode policy;
+  Fp2 c_tilde;  // m * e(g,g)^{alpha s}
+  PPoint c;     // h^s
+  std::vector<LeafShare> leaves;  // pre-order over policy leaves
+};
+
+class CpAbe {
+ public:
+  explicit CpAbe(const PairingSystem& sys);
+
+  struct SetupResult {
+    AbePublicKey pub;
+    AbeMasterKey master;
+  };
+  /// Run by the backend once.
+  SetupResult setup(HmacDrbg& rng) const;
+
+  /// Issue a user key for an attribute set.
+  AbeUserKey keygen(const AbePublicKey& pub, const AbeMasterKey& master,
+                    const std::set<std::string>& attributes,
+                    HmacDrbg& rng) const;
+
+  /// Encrypt a G_T element under a policy tree (must be valid()).
+  AbeCiphertext encrypt(const AbePublicKey& pub, const Fp2& message,
+                        const PolicyNode& policy, HmacDrbg& rng) const;
+
+  /// Decrypt; nullopt if the key does not satisfy the policy.
+  std::optional<Fp2> decrypt(const AbePublicKey& pub, const AbeUserKey& key,
+                             const AbeCiphertext& ct) const;
+
+  /// KEM convenience: encapsulate a fresh random G_T element and return
+  /// a 32-byte symmetric key derived from it.
+  struct Encapsulation {
+    AbeCiphertext ct;
+    Bytes key;
+  };
+  Encapsulation encapsulate(const AbePublicKey& pub, const PolicyNode& policy,
+                            HmacDrbg& rng) const;
+  std::optional<Bytes> decapsulate(const AbePublicKey& pub,
+                                   const AbeUserKey& key,
+                                   const AbeCiphertext& ct) const;
+
+  [[nodiscard]] const PairingSystem& system() const { return sys_; }
+
+ private:
+  /// Recursive share distribution during encryption.
+  void share(const PolicyNode& node, const UInt& value, HmacDrbg& rng,
+             std::vector<AbeCiphertext::LeafShare>& out) const;
+  /// Recursive DecryptNode; nullopt when unsatisfied. `cursor` walks the
+  /// pre-order leaf array in step with the tree.
+  std::optional<Fp2> decrypt_node(const PolicyNode& node,
+                                  const AbeUserKey& key,
+                                  const std::vector<AbeCiphertext::LeafShare>& leaves,
+                                  std::size_t& cursor) const;
+
+  const PairingSystem& sys_;
+};
+
+}  // namespace argus::abe

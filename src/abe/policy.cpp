@@ -1,0 +1,73 @@
+#include "abe/policy.hpp"
+
+#include <algorithm>
+
+namespace argus::abe {
+
+PolicyNode PolicyNode::leaf(std::string attr) {
+  PolicyNode n;
+  n.kind = Kind::kLeaf;
+  n.attribute = std::move(attr);
+  return n;
+}
+
+PolicyNode PolicyNode::threshold(std::size_t k,
+                                 std::vector<PolicyNode> children) {
+  PolicyNode n;
+  n.kind = Kind::kThreshold;
+  n.k = k;
+  n.children = std::move(children);
+  return n;
+}
+
+PolicyNode PolicyNode::all_of(std::vector<PolicyNode> children) {
+  const std::size_t k = children.size();
+  return threshold(k, std::move(children));
+}
+
+PolicyNode PolicyNode::any_of(std::vector<PolicyNode> children) {
+  return threshold(1, std::move(children));
+}
+
+bool PolicyNode::satisfied_by(const std::set<std::string>& attrs) const {
+  if (kind == Kind::kLeaf) return attrs.contains(attribute);
+  std::size_t hits = 0;
+  for (const auto& c : children) {
+    if (c.satisfied_by(attrs)) ++hits;
+    if (hits >= k) return true;
+  }
+  return false;
+}
+
+std::size_t PolicyNode::leaf_count() const {
+  if (kind == Kind::kLeaf) return 1;
+  std::size_t n = 0;
+  for (const auto& c : children) n += c.leaf_count();
+  return n;
+}
+
+std::string PolicyNode::to_string() const {
+  if (kind == Kind::kLeaf) return attribute;
+  std::string out = "(" + std::to_string(k) + " of (";
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (i) out += ", ";
+    out += children[i].to_string();
+  }
+  return out + "))";
+}
+
+bool PolicyNode::valid() const {
+  if (kind == Kind::kLeaf) return !attribute.empty();
+  if (children.empty() || k == 0 || k > children.size()) return false;
+  return std::all_of(children.begin(), children.end(),
+                     [](const PolicyNode& c) { return c.valid(); });
+}
+
+PolicyNode and_of_attributes(const std::vector<std::string>& attrs) {
+  std::vector<PolicyNode> leaves;
+  leaves.reserve(attrs.size());
+  for (const auto& a : attrs) leaves.push_back(PolicyNode::leaf(a));
+  return PolicyNode::all_of(std::move(leaves));
+}
+
+}  // namespace argus::abe

@@ -1,0 +1,46 @@
+// Monotone access trees for ciphertext-policy ABE (BSW07 §4.2).
+//
+// Interior nodes are k-of-n thresholds (AND = n-of-n, OR = 1-of-n);
+// leaves name attributes. Secret shares flow down the tree during
+// encryption (polynomial of degree k-1 per node) and are recombined by
+// Lagrange interpolation during decryption.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace argus::abe {
+
+struct PolicyNode {
+  enum class Kind { kLeaf, kThreshold };
+
+  Kind kind = Kind::kLeaf;
+  std::string attribute;              // leaf only
+  std::size_t k = 1;                  // threshold only: required children
+  std::vector<PolicyNode> children;   // threshold only
+
+  static PolicyNode leaf(std::string attr);
+  static PolicyNode threshold(std::size_t k, std::vector<PolicyNode> children);
+  static PolicyNode all_of(std::vector<PolicyNode> children);   // AND
+  static PolicyNode any_of(std::vector<PolicyNode> children);   // OR
+
+  /// Would a key over `attrs` satisfy this policy?
+  [[nodiscard]] bool satisfied_by(const std::set<std::string>& attrs) const;
+
+  /// Number of leaves (== pairings needed to decrypt along a full path;
+  /// drives the paper's Fig 6(c) x-axis).
+  [[nodiscard]] std::size_t leaf_count() const;
+
+  /// Human-readable rendering, e.g. "(2 of (dept:X, role:mgr, site:HQ))".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Structural validity: thresholds have 1 <= k <= #children, children
+  /// valid, leaves have nonempty attribute names.
+  [[nodiscard]] bool valid() const;
+};
+
+/// Convenience: AND policy over a list of attribute names.
+PolicyNode and_of_attributes(const std::vector<std::string>& attrs);
+
+}  // namespace argus::abe

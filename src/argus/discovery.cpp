@@ -1,0 +1,150 @@
+#include "argus/discovery.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace argus::core {
+
+namespace {
+
+const char* wire_type_name(ByteSpan wire) {
+  if (wire.empty()) return "?";
+  switch (static_cast<MsgType>(wire[0])) {
+    case MsgType::kQue1: return "QUE1";
+    case MsgType::kRes1Level1: return "RES1-L1";
+    case MsgType::kRes1: return "RES1";
+    case MsgType::kQue2: return "QUE2";
+    case MsgType::kRes2: return "RES2";
+  }
+  return "?";
+}
+
+struct Shared {
+  DiscoveryReport* report = nullptr;
+  std::uint64_t epoch = 0;
+
+  void tally(ByteSpan wire) {
+    report->bytes_by_msg[wire_type_name(wire)] += wire.size();
+  }
+};
+
+class ObjectNode final : public net::SimNode {
+ public:
+  ObjectNode(ObjectEngineConfig cfg, Shared* shared)
+      : engine_(std::move(cfg)), shared_(shared) {}
+
+  void on_message(net::NodeId from, const Bytes& payload) override {
+    auto reply = engine_.handle(payload, shared_->epoch);
+    const double ms = engine_.take_consumed_ms();
+    net_->consume_compute(node_id(), ms);
+    shared_->report->object_compute_ms += ms;
+    if (reply) {
+      shared_->tally(*reply);
+      net_->unicast(node_id(), from, std::move(*reply));
+    }
+  }
+
+  ObjectEngine& engine() { return engine_; }
+
+ private:
+  ObjectEngine engine_;
+  Shared* shared_;
+};
+
+class SubjectNode final : public net::SimNode {
+ public:
+  SubjectNode(SubjectEngineConfig cfg, Shared* shared)
+      : engine_(std::move(cfg)), shared_(shared) {}
+
+  void begin_round(std::size_t group_idx) {
+    engine_.set_group_key_index(group_idx);
+    Bytes que1 = engine_.start_round();
+    (void)engine_.take_consumed_ms();
+    shared_->tally(que1);
+    net_->broadcast(node_id(), std::move(que1));
+  }
+
+  void on_message(net::NodeId from, const Bytes& payload) override {
+    const std::size_t before = engine_.discovered().size();
+    auto reply = engine_.handle(payload, shared_->epoch);
+    const double ms = engine_.take_consumed_ms();
+    net_->consume_compute(node_id(), ms);
+    shared_->report->subject_compute_ms += ms;
+    if (engine_.discovered().size() > before) {
+      const auto& svc = engine_.discovered().back();
+      shared_->report->timeline.push_back(DiscoveryEvent{
+          svc.object_id, svc.level, svc.variant_tag,
+          net_->node_free_at(node_id())});
+    }
+    if (reply) {
+      shared_->tally(*reply);
+      net_->unicast(node_id(), from, std::move(*reply));
+    }
+  }
+
+  SubjectEngine& engine() { return engine_; }
+
+ private:
+  SubjectEngine engine_;
+  Shared* shared_;
+};
+
+}  // namespace
+
+std::size_t DiscoveryReport::count_level(int level) const {
+  return static_cast<std::size_t>(
+      std::count_if(services.begin(), services.end(),
+                    [&](const DiscoveredService& s) { return s.level == level; }));
+}
+
+DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
+  net::Simulator sim;
+  net::Network net(sim, scenario.radio, scenario.seed);
+
+  DiscoveryReport report;
+  Shared shared{&report, scenario.epoch};
+
+  SubjectEngineConfig scfg;
+  scfg.version = scenario.version;
+  scfg.creds = scenario.subject;
+  scfg.admin_pub = scenario.admin_pub;
+  scfg.strength = scenario.strength;
+  scfg.seed = scenario.seed;
+  scfg.compute = scenario.subject_compute;
+  scfg.seek_level3 = scenario.seek_level3;
+  SubjectNode subject(std::move(scfg), &shared);
+  net.add_node(&subject, 0);
+
+  std::vector<std::unique_ptr<ObjectNode>> objects;
+  objects.reserve(scenario.objects.size());
+  for (std::size_t i = 0; i < scenario.objects.size(); ++i) {
+    ObjectEngineConfig ocfg;
+    ocfg.version = scenario.version;
+    ocfg.creds = scenario.objects[i].creds;
+    ocfg.admin_pub = scenario.admin_pub;
+    ocfg.strength = scenario.strength;
+    ocfg.seed = scenario.seed + 1000 + i;
+    ocfg.compute = scenario.object_compute;
+    ocfg.pad_res2 = scenario.pad_res2;
+    ocfg.equalize_timing = scenario.equalize_timing;
+    objects.push_back(std::make_unique<ObjectNode>(std::move(ocfg), &shared));
+    net.add_node(objects.back().get(), std::max(1u, scenario.objects[i].hops));
+  }
+
+  const std::size_t rounds =
+      std::min<std::size_t>(std::max<std::size_t>(1, scenario.rounds),
+                            subject.engine().group_key_count());
+  for (std::size_t round = 0; round < rounds; ++round) {
+    sim.schedule(0, [&subject, round] { subject.begin_round(round); });
+    sim.run();
+  }
+
+  report.services = subject.engine().discovered();
+  report.net_stats = net.stats();
+  for (const auto& ev : report.timeline) {
+    report.total_ms = std::max(report.total_ms, ev.at_ms);
+  }
+  return report;
+}
+
+}  // namespace argus::core

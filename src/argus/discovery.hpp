@@ -1,0 +1,59 @@
+// Discovery driver: runs the 3-in-1 protocol over the simulated ground
+// network and reports the timing/series the paper's Fig 6(e)-(h) plot.
+#pragma once
+
+#include <map>
+
+#include "argus/object_engine.hpp"
+#include "argus/subject_engine.hpp"
+#include "net/network.hpp"
+
+namespace argus::core {
+
+struct ScenarioObject {
+  backend::ObjectCredentials creds;
+  unsigned hops = 1;  // distance from the subject (paper: 1..4)
+};
+
+struct DiscoveryScenario {
+  ProtocolVersion version = ProtocolVersion::kV30;
+  crypto::Strength strength = crypto::Strength::b128;
+  net::RadioParams radio{};
+  net::ComputeModel subject_compute = net::ComputeModel::nexus6();
+  net::ComputeModel object_compute = net::ComputeModel::pi3();
+  backend::SubjectCredentials subject;
+  crypto::EcPoint admin_pub;
+  std::vector<ScenarioObject> objects;
+  /// Number of group keys to cycle through (multi-sensitive-attribute
+  /// discovery, §VI-C). Clamped to the subject's key count.
+  std::size_t rounds = 1;
+  std::uint64_t seed = 1;
+  std::uint64_t epoch = 1'000'000;  // wall-clock for cert validity
+  bool pad_res2 = true;
+  bool equalize_timing = true;
+  bool seek_level3 = true;  // v2.0 subject intent
+};
+
+struct DiscoveryEvent {
+  std::string object_id;
+  int level = 0;
+  std::string variant_tag;
+  double at_ms = 0;  // virtual time the subject completed this discovery
+};
+
+struct DiscoveryReport {
+  double total_ms = 0;  // completion time of the last discovery
+  std::vector<DiscoveredService> services;
+  std::vector<DiscoveryEvent> timeline;
+  net::Network::Stats net_stats;
+  double subject_compute_ms = 0;
+  double object_compute_ms = 0;
+  std::map<std::string, std::uint64_t> bytes_by_msg;  // per message type
+
+  [[nodiscard]] std::size_t count_level(int level) const;
+};
+
+/// Run one full discovery (possibly multi-round) to completion.
+DiscoveryReport run_discovery(const DiscoveryScenario& scenario);
+
+}  // namespace argus::core

@@ -1,0 +1,250 @@
+#include "argus/object_engine.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/aes.hpp"
+
+namespace argus::core {
+
+using backend::Level;
+using crypto::SealedBox;
+
+ObjectEngine::ObjectEngine(ObjectEngineConfig cfg)
+    : cfg_(std::move(cfg)),
+      group_(crypto::group_for(cfg_.strength)),
+      rng_(crypto::make_rng(cfg_.seed, "object:" + cfg_.creds.id)) {
+  // Constant RES2 length: every variant pads to the largest profile.
+  max_prof_wire_ = cfg_.creds.public_prof.serialize().size();
+  for (const auto& v : cfg_.creds.variants2) {
+    max_prof_wire_ = std::max(max_prof_wire_, v.prof.serialize().size());
+  }
+  for (const auto& v : cfg_.creds.variants3) {
+    max_prof_wire_ = std::max(max_prof_wire_, v.prof.serialize().size());
+  }
+}
+
+double ObjectEngine::take_consumed_ms() {
+  const double out = consumed_ms_;
+  consumed_ms_ = 0;
+  return out;
+}
+
+void ObjectEngine::revoke_subject(const std::string& subject_id) {
+  revoked_.insert(subject_id);
+}
+
+bool ObjectEngine::apply_signed_revocation(
+    const backend::SignedRevocation& rev) {
+  if (rev.seq <= last_revocation_seq_) return false;  // stale or replayed
+  charge(net::CryptoOp::kEcdsaVerify);
+  if (!backend::verify_revocation(group_, cfg_.admin_pub, rev)) return false;
+  last_revocation_seq_ = rev.seq;
+  revoked_.insert(rev.subject_id);
+  return true;
+}
+
+Bytes ObjectEngine::res2_plaintext(const backend::Profile& prof) const {
+  ByteWriter w;
+  w.bytes16(prof.serialize());
+  Bytes out = w.take();
+  if (cfg_.pad_res2) {
+    const std::size_t target = max_prof_wire_ + 2;
+    if (out.size() < target) out.insert(out.end(), target - out.size(), 0);
+  }
+  return out;
+}
+
+std::optional<Bytes> ObjectEngine::handle(ByteSpan wire, std::uint64_t now) {
+  const auto msg = decode(wire);
+  if (!msg) {
+    ++stats_.drops;
+    return std::nullopt;
+  }
+  if (const auto* que1 = std::get_if<Que1>(&*msg)) {
+    return handle_que1(*que1, Bytes(wire.begin(), wire.end()));
+  }
+  if (const auto* que2 = std::get_if<Que2>(&*msg)) {
+    return handle_que2(*que2, now);
+  }
+  ++stats_.drops;  // objects only consume queries
+  return std::nullopt;
+}
+
+std::optional<Bytes> ObjectEngine::handle_que1(const Que1& msg,
+                                               const Bytes& wire) {
+  // Freshness: duplicate R_S means a replayed or echoed query (§IV-B).
+  if (!seen_rs_.insert(msg.r_s).second) {
+    ++stats_.replays_detected;
+    return std::nullopt;
+  }
+  ++stats_.que1_handled;
+
+  if (cfg_.creds.level == Level::kL1) {
+    // Level 1: return the admin-signed profile in plaintext. No crypto.
+    ++stats_.replies_sent;
+    return encode(Res1Level1{cfg_.creds.public_prof.serialize()});
+  }
+
+  // Level 2/3: open a session — fresh R_O, ephemeral ECDH, signature over
+  // R_S || R_O || KEXM_O.
+  Session sess;
+  sess.r_s = msg.r_s;
+  sess.r_o = rng_.generate(kNonceSize);
+  sess.eph = crypto::ecdh_generate(group_, rng_);
+  charge(net::CryptoOp::kEcdhGenerate);
+
+  Res1 res;
+  res.r_s = sess.r_s;
+  res.r_o = sess.r_o;
+  res.cert = cfg_.creds.cert.serialize();
+  res.kexm = group_.encode_point(sess.eph.pub);
+  const Bytes signed_blob = concat({sess.r_s, sess.r_o, res.kexm});
+  res.sig =
+      crypto::ecdsa_sign(group_, cfg_.creds.keys.priv, signed_blob)
+          .to_bytes(group_);
+  charge(net::CryptoOp::kEcdsaSign);
+
+  const Bytes res_wire = encode(Message{res});
+  sess.transcript.absorb(wire);
+  sess.transcript.absorb(res_wire);
+  sessions_[sess.r_s] = std::move(sess);
+  ++stats_.replies_sent;
+  return res_wire;
+}
+
+std::optional<Bytes> ObjectEngine::handle_que2(const Que2& msg,
+                                               std::uint64_t now) {
+  const auto sit = sessions_.find(msg.r_s);
+  if (sit == sessions_.end()) {
+    ++stats_.drops;
+    return std::nullopt;
+  }
+  Session sess = std::move(sit->second);
+  sessions_.erase(sit);
+  ++stats_.que2_handled;
+
+  // 1. Subject certificate: admin-signed, within validity.
+  const auto cert = crypto::Certificate::parse(msg.cert);
+  charge(net::CryptoOp::kEcdsaVerify);
+  if (!cert || !crypto::verify_certificate(group_, cfg_.admin_pub, *cert, now)) {
+    ++stats_.drops;
+    return std::nullopt;
+  }
+  const auto subject_pub = group_.decode_point(cert->pubkey);
+  if (!subject_pub) {
+    ++stats_.drops;
+    return std::nullopt;
+  }
+
+  // 2. Transcript signature covers QUE1 || RES1 || PROF_S, CERT_S, KEXM_S.
+  sess.transcript.absorb(msg.prof);
+  sess.transcript.absorb(msg.cert);
+  sess.transcript.absorb(msg.kexm);
+  const Bytes sig_digest = sess.transcript.digest();
+  const auto sig = crypto::EcdsaSignature::from_bytes(group_, msg.sig);
+  charge(net::CryptoOp::kEcdsaVerify);
+  if (!sig || !crypto::ecdsa_verify(group_, *subject_pub, sig_digest, *sig)) {
+    ++stats_.drops;
+    return std::nullopt;
+  }
+  sess.transcript.absorb(msg.sig);
+
+  // 3. Subject profile: admin-signed; its attributes drive Level 2.
+  const auto prof = backend::Profile::parse(msg.prof);
+  charge(net::CryptoOp::kEcdsaVerify);
+  if (!prof || !verify_profile(group_, cfg_.admin_pub, *prof) ||
+      prof->entity_id != cert->subject_id) {
+    ++stats_.drops;
+    return std::nullopt;
+  }
+
+  // 4. Revocation check (attribute-based ACL + revoked-ID list, §VIII).
+  if (revoked_.contains(prof->entity_id)) {
+    ++stats_.drops;
+    return std::nullopt;
+  }
+
+  // 5. Key agreement.
+  const auto peer_kexm = group_.decode_point(msg.kexm);
+  if (!peer_kexm) {
+    ++stats_.drops;
+    return std::nullopt;
+  }
+  Bytes pre_k;
+  try {
+    pre_k = crypto::ecdh_shared_secret(group_, sess.eph.priv, *peer_kexm);
+  } catch (const std::invalid_argument&) {
+    ++stats_.drops;
+    return std::nullopt;
+  }
+  charge(net::CryptoOp::kEcdhCompute);
+  const Bytes k2 = derive_k2(pre_k, sess.r_s, sess.r_o);
+  charge(net::CryptoOp::kHmac);
+
+  const Bytes mac_digest = sess.transcript.digest();
+  charge(net::CryptoOp::kHmac);
+  if (!ct_equal(subject_mac(k2, mac_digest), msg.mac_s2)) {
+    ++stats_.drops;
+    return std::nullopt;
+  }
+
+  // 6. Level 3 fellow test: does MAC_{S,3} verify under any of our group
+  // keys? (v2.0+ only; a v1.0 engine ignores the field.)
+  const backend::ProfVariant3* fellow_variant = nullptr;
+  Bytes k3;
+  if (cfg_.version != ProtocolVersion::kV10 && !msg.mac_s3.empty()) {
+    for (const auto& v3 : cfg_.creds.variants3) {
+      const Bytes cand = derive_k3(k2, v3.group_key, sess.r_s, sess.r_o);
+      charge(net::CryptoOp::kHmac);
+      if (ct_equal(subject_mac(cand, mac_digest), msg.mac_s3)) {
+        fellow_variant = &v3;
+        k3 = cand;
+        break;
+      }
+    }
+  }
+
+  const backend::Profile* reply_prof = nullptr;
+  Bytes seal_key;
+  bool level3_reply = false;
+  if (fellow_variant != nullptr) {
+    reply_prof = &fellow_variant->prof;
+    seal_key = k3;
+    level3_reply = true;
+    ++stats_.fellows_confirmed;
+  } else {
+    // Level 2 role (also the Level 3 object's cover face, §VI-B): first
+    // predicate matching the subject's non-sensitive attributes wins.
+    for (const auto& v2 : cfg_.creds.variants2) {
+      if (v2.predicate.matches(prof->attributes)) {
+        reply_prof = &v2.prof;
+        break;
+      }
+    }
+    seal_key = k2;
+    // Timing equalisation: a pure Level 2 object burns the one-HMAC gap so
+    // its response time matches a Level 3 object's (§VI-B, Case 9).
+    if (cfg_.equalize_timing && cfg_.creds.level == Level::kL2 &&
+        cfg_.version == ProtocolVersion::kV30) {
+      consumed_ms_ += cfg_.compute.cost(net::CryptoOp::kHmac);
+    }
+  }
+  if (reply_prof == nullptr) {
+    // No authorized variant: stay silent — outsiders learn nothing.
+    ++stats_.drops;
+    return std::nullopt;
+  }
+
+  Res2 res;
+  res.r_o = sess.r_o;
+  res.sealed_prof =
+      SealedBox::seal(seal_key, rng_.generate(SealedBox::kIvSize),
+                      res2_plaintext(*reply_prof));
+  charge(net::CryptoOp::kAesBlockOp);
+  sess.transcript.absorb(res.sealed_prof);
+  res.mac_o = object_mac(level3_reply ? k3 : k2, sess.transcript.digest());
+  charge(net::CryptoOp::kHmac);
+  ++stats_.replies_sent;
+  return encode(Message{res});
+}
+
+}  // namespace argus::core

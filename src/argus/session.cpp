@@ -1,0 +1,24 @@
+#include "argus/session.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace argus::core {
+
+Bytes derive_k2(ByteSpan pre_k, ByteSpan r_s, ByteSpan r_o) {
+  return crypto::prf(pre_k, kLabelKey, concat({r_s, r_o}));
+}
+
+Bytes derive_k3(ByteSpan k2, ByteSpan group_key, ByteSpan r_s, ByteSpan r_o) {
+  const Bytes secret = concat({k2, group_key});
+  return crypto::prf(secret, kLabelKey, concat({r_s, r_o}));
+}
+
+Bytes subject_mac(ByteSpan key, ByteSpan transcript_digest) {
+  return crypto::prf(key, kLabelSubject, transcript_digest);
+}
+
+Bytes object_mac(ByteSpan key, ByteSpan transcript_digest) {
+  return crypto::prf(key, kLabelObject, transcript_digest);
+}
+
+}  // namespace argus::core

@@ -1,0 +1,43 @@
+// Session key schedule and MAC conventions (§V, §VI).
+//
+//   preK      = ECDH(KEXM_S, KEXM_O).x
+//   K2        = HMAC(preK,            "session key" || R_S || R_O)
+//   K3        = HMAC(K2 || K_i^grp,   "session key" || R_S || R_O)
+//   MAC_{S,l} = HMAC(K_l, "subject finished" || Hash(*))
+//   MAC_{O,l} = HMAC(K_l, "object finished"  || Hash(*))
+//
+// where * is all content sent and received so far. For MAC_{S,*} that is
+// QUE1 || RES1 || QUE2-core (everything in QUE2 before the MACs); for
+// MAC_{O,*} it additionally includes the RES2 ciphertext — so a tampered
+// ciphertext invalidates the response MAC.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace argus::core {
+
+inline constexpr std::string_view kLabelKey = "session key";
+inline constexpr std::string_view kLabelSubject = "subject finished";
+inline constexpr std::string_view kLabelObject = "object finished";
+
+/// Running transcript of "*": absorb wire bytes as they flow.
+class Transcript {
+ public:
+  void absorb(ByteSpan data) { hash_.update(data); }
+  /// Hash of everything absorbed so far (non-destructive).
+  [[nodiscard]] Bytes digest() const {
+    crypto::Sha256 copy = hash_;
+    return copy.finish();
+  }
+
+ private:
+  crypto::Sha256 hash_;
+};
+
+Bytes derive_k2(ByteSpan pre_k, ByteSpan r_s, ByteSpan r_o);
+Bytes derive_k3(ByteSpan k2, ByteSpan group_key, ByteSpan r_s, ByteSpan r_o);
+Bytes subject_mac(ByteSpan key, ByteSpan transcript_digest);
+Bytes object_mac(ByteSpan key, ByteSpan transcript_digest);
+
+}  // namespace argus::core

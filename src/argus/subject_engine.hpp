@@ -1,0 +1,103 @@
+// Subject-side protocol engine: drives concurrent Level 1/2/3 discovery.
+//
+// One discovery round = one QUE1 broadcast plus a QUE2/RES2 handshake per
+// Level 2/3 responder. In v3.0 the subject always attaches MAC_{S,3}
+// (using a real group key or the cover-up key), so every subject's QUE2
+// is byte-identical in structure — the indistinguishability property.
+// A subject in multiple secret groups runs one round per group key
+// (§VI-C); `set_group_key_index` selects the active one.
+#pragma once
+
+#include <map>
+
+#include "argus/messages.hpp"
+#include "argus/session.hpp"
+#include "backend/registry.hpp"
+#include "crypto/ecdh.hpp"
+#include "net/compute.hpp"
+
+namespace argus::core {
+
+struct SubjectEngineConfig {
+  ProtocolVersion version = ProtocolVersion::kV30;
+  backend::SubjectCredentials creds;
+  crypto::EcPoint admin_pub;
+  crypto::Strength strength = crypto::Strength::b128;
+  std::uint64_t seed = 2;
+  net::ComputeModel compute = net::ComputeModel::nexus6();
+  /// v2.0 only: whether this round seeks Level 3 services (v3.0 always
+  /// does; v1.0 never does).
+  bool seek_level3 = true;
+};
+
+struct DiscoveredService {
+  std::string object_id;
+  int level = 1;  // visibility level as observed by the subject
+  std::string variant_tag;
+  std::vector<std::string> services;
+  backend::AttributeMap attributes;
+};
+
+class SubjectEngine {
+ public:
+  explicit SubjectEngine(SubjectEngineConfig cfg);
+
+  /// Begin a discovery round; returns the QUE1 wire to broadcast.
+  Bytes start_round();
+
+  /// Feed a response; returns a QUE2 wire to unicast back (for Level 2/3
+  /// RES1), or nullopt (Level 1 responses and RES2s are terminal).
+  std::optional<Bytes> handle(ByteSpan wire, std::uint64_t now);
+
+  /// Services discovered so far (across rounds; deduplicated by object and
+  /// variant).
+  [[nodiscard]] const std::vector<DiscoveredService>& discovered() const {
+    return discovered_;
+  }
+  void clear_discovered() { discovered_.clear(); }
+
+  /// Select which of the subject's group keys the next round uses (§VI-C).
+  void set_group_key_index(std::size_t idx);
+  [[nodiscard]] std::size_t group_key_count() const {
+    return cfg_.creds.group_keys.size();
+  }
+
+  double take_consumed_ms();
+
+  struct Stats {
+    std::uint64_t rounds = 0;
+    std::uint64_t res1_l1 = 0;
+    std::uint64_t res1 = 0;
+    std::uint64_t res2 = 0;
+    std::uint64_t drops = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Session {
+    std::string object_id;
+    Bytes k2, k3;
+    Transcript transcript;
+  };
+
+  std::optional<Bytes> handle_res1_l1(const Res1Level1& msg);
+  std::optional<Bytes> handle_res1(const Res1& msg, const Bytes& wire,
+                                   std::uint64_t now);
+  std::optional<Bytes> handle_res2(const Res2& msg);
+
+  void charge(net::CryptoOp op) { consumed_ms_ += cfg_.compute.cost(op); }
+  void record(DiscoveredService svc);
+
+  SubjectEngineConfig cfg_;
+  const crypto::EcGroup& group_;
+  crypto::HmacDrbg rng_;
+  Bytes r_s_;          // current round nonce
+  Bytes que1_wire_;    // current round QUE1 bytes (transcript prefix)
+  std::size_t group_idx_ = 0;
+  std::map<Bytes, Session> sessions_;  // keyed by R_O
+  std::vector<DiscoveredService> discovered_;
+  double consumed_ms_ = 0;
+  Stats stats_;
+};
+
+}  // namespace argus::core

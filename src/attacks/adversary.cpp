@@ -1,0 +1,246 @@
+#include "attacks/adversary.hpp"
+
+#include "crypto/aes.hpp"
+
+namespace argus::attacks {
+
+using backend::AttributeMap;
+using core::ObjectEngineConfig;
+using core::SubjectEngineConfig;
+
+std::optional<CapturedTrace> capture_exchange(SubjectEngine& subject,
+                                              ObjectEngine& object,
+                                              std::uint64_t now) {
+  CapturedTrace t;
+  t.que1 = subject.start_round();
+  const auto res1 = object.handle(t.que1, now);
+  if (!res1) return std::nullopt;
+  t.res1 = *res1;
+  const auto que2 = subject.handle(t.res1, now);
+  if (!que2) return std::nullopt;
+  t.que2 = *que2;
+  const auto res2 = object.handle(t.que2, now);
+  if (!res2) return std::nullopt;
+  t.res2 = *res2;
+  (void)subject.handle(t.res2, now);
+  return t;
+}
+
+std::size_t try_open_res2(const CapturedTrace& trace,
+                          const std::vector<Bytes>& candidate_keys) {
+  const auto msg = core::decode(trace.res2);
+  if (!msg) return 0;
+  const auto* res2 = std::get_if<core::Res2>(&*msg);
+  if (res2 == nullptr) return 0;
+  std::size_t opened = 0;
+  for (const auto& key : candidate_keys) {
+    if (crypto::SealedBox::verifies(key, res2->sealed_prof)) ++opened;
+  }
+  return opened;
+}
+
+namespace {
+
+/// Forged credentials for an external attacker: real keys, but the
+/// certificate and profile are signed by the ATTACKER's key, not the
+/// admin's — exactly what someone without backend registration can make.
+backend::SubjectCredentials forge_subject(const std::string& id,
+                                          const AttributeMap& attrs,
+                                          crypto::Strength strength,
+                                          std::uint64_t now,
+                                          std::uint64_t seed) {
+  const auto& group = crypto::group_for(strength);
+  auto rng = crypto::make_rng(seed, "forger:" + id);
+  backend::SubjectCredentials creds;
+  creds.id = id;
+  creds.keys = crypto::ec_generate(group, rng);
+
+  creds.cert.subject_id = id;
+  creds.cert.role = crypto::EntityRole::kSubject;
+  creds.cert.strength = strength;
+  creds.cert.pubkey = group.encode_point(creds.keys.pub);
+  creds.cert.serial = 666;
+  creds.cert.not_before = now - 10;
+  creds.cert.not_after = now + 1'000'000;
+  crypto::sign_certificate(group, creds.keys.priv, creds.cert);
+
+  creds.prof.entity_id = id;
+  creds.prof.role = crypto::EntityRole::kSubject;
+  creds.prof.variant_tag = "subject";
+  creds.prof.attributes = attrs;
+  backend::sign_profile(group, creds.keys.priv, creds.prof);
+
+  creds.group_keys.push_back({1, rng.generate(backend::kGroupKeySize), true});
+  return creds;
+}
+
+backend::ObjectCredentials forge_object(const std::string& id,
+                                        crypto::Strength strength,
+                                        std::uint64_t now,
+                                        std::uint64_t seed) {
+  const auto& group = crypto::group_for(strength);
+  auto rng = crypto::make_rng(seed, "forger:" + id);
+  backend::ObjectCredentials creds;
+  creds.id = id;
+  creds.level = backend::Level::kL2;
+  creds.keys = crypto::ec_generate(group, rng);
+
+  creds.cert.subject_id = id;
+  creds.cert.role = crypto::EntityRole::kObject;
+  creds.cert.strength = strength;
+  creds.cert.pubkey = group.encode_point(creds.keys.pub);
+  creds.cert.serial = 667;
+  creds.cert.not_before = now - 10;
+  creds.cert.not_after = now + 1'000'000;
+  crypto::sign_certificate(group, creds.keys.priv, creds.cert);
+
+  backend::Profile prof;
+  prof.entity_id = id;
+  prof.role = crypto::EntityRole::kObject;
+  prof.variant_tag = "fake services";
+  prof.services = {"free money"};
+  backend::sign_profile(group, creds.keys.priv, prof);
+  creds.public_prof = prof;
+  creds.variants2.push_back(
+      {backend::Predicate::parse("position!='_none_'"), prof});
+  return creds;
+}
+
+}  // namespace
+
+bool subject_impostor_succeeds(ObjectEngine& object,
+                               const crypto::EcPoint& admin_pub,
+                               const std::string& claimed_id,
+                               const AttributeMap& claimed_attrs,
+                               crypto::Strength strength, std::uint64_t now,
+                               std::uint64_t seed) {
+  SubjectEngineConfig cfg;
+  cfg.creds = forge_subject(claimed_id, claimed_attrs, strength, now, seed);
+  cfg.admin_pub = admin_pub;  // public knowledge: lets her verify the object
+  cfg.strength = strength;
+  cfg.seed = seed;
+  SubjectEngine attacker(std::move(cfg));
+
+  const Bytes que1 = attacker.start_round();
+  const auto res1 = object.handle(que1, now);
+  if (!res1) return false;
+  const auto que2 = attacker.handle(*res1, now);
+  if (!que2) return false;  // she could not even form a well-signed QUE2
+  const auto res2 = object.handle(*que2, now);
+  return res2.has_value();
+}
+
+bool object_impostor_succeeds(SubjectEngine& victim,
+                              const std::string& claimed_id,
+                              crypto::Strength strength, std::uint64_t now,
+                              std::uint64_t seed) {
+  ObjectEngineConfig cfg;
+  cfg.creds = forge_object(claimed_id, strength, now, seed);
+  // The impostor accepts anything (anchor = its own key).
+  cfg.admin_pub = cfg.creds.keys.pub;
+  cfg.strength = strength;
+  cfg.seed = seed;
+  ObjectEngine impostor(std::move(cfg));
+
+  const Bytes que1 = victim.start_round();
+  const auto res1 = impostor.handle(que1, now);
+  if (!res1) return false;
+  const std::size_t before = victim.discovered().size();
+  const auto que2 = victim.handle(*res1, now);
+  if (que2) {
+    const auto res2 = impostor.handle(*que2, now);
+    if (res2) (void)victim.handle(*res2, now);
+  }
+  return victim.discovered().size() > before;
+}
+
+bool replay_que2_succeeds(ObjectEngine& object, const CapturedTrace& trace,
+                          std::uint64_t now) {
+  return object.handle(trace.que2, now).has_value();
+}
+
+DistinguishResult size_distinguisher(
+    const backend::SubjectCredentials& fellow_subject,
+    const backend::SubjectCredentials& plain_subject,
+    const backend::ObjectCredentials& l3_object,
+    const crypto::EcPoint& admin_pub, std::uint64_t now, bool pad_res2,
+    std::size_t trials, std::uint64_t seed) {
+  auto coin_rng = crypto::make_rng(seed, "distinguisher");
+
+  auto run_trial = [&](bool use_fellow,
+                       std::uint64_t trial) -> std::optional<std::size_t> {
+    SubjectEngineConfig scfg;
+    scfg.creds = use_fellow ? fellow_subject : plain_subject;
+    scfg.admin_pub = admin_pub;
+    scfg.seed = seed * 1000 + trial;
+    SubjectEngine s(std::move(scfg));
+    ObjectEngineConfig ocfg;
+    ocfg.creds = l3_object;
+    ocfg.admin_pub = admin_pub;
+    ocfg.seed = seed * 2000 + trial;
+    ocfg.pad_res2 = pad_res2;
+    ObjectEngine o(std::move(ocfg));
+    const auto trace = capture_exchange(s, o, now);
+    if (!trace) return std::nullopt;
+    return trace->res2.size();
+  };
+
+  // Training: the adversary learns both reference sizes (she can observe
+  // known fellows / known outsiders beforehand).
+  const auto ref_fellow = run_trial(true, 9'000'001);
+  const auto ref_plain = run_trial(false, 9'000'002);
+  if (!ref_fellow || !ref_plain) return {0.0, 0};
+
+  std::size_t wins = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const bool is_fellow = coin_rng.uniform(2) == 1;
+    const auto size = run_trial(is_fellow, t);
+    if (!size) continue;
+    bool guess;
+    if (*ref_fellow != *ref_plain) {
+      guess = (*size == *ref_fellow);
+    } else {
+      guess = coin_rng.uniform(2) == 1;  // sizes identical: blind guess
+    }
+    if (guess == is_fellow) ++wins;
+  }
+  DistinguishResult res;
+  res.trials = trials;
+  res.advantage =
+      trials == 0
+          ? 0.0
+          : std::abs(2.0 * static_cast<double>(wins) / trials - 1.0);
+  return res;
+}
+
+TimingProbe timing_probe(const backend::SubjectCredentials& probe_subject,
+                         const backend::ObjectCredentials& l2_object,
+                         const backend::ObjectCredentials& l3_object,
+                         const crypto::EcPoint& admin_pub, std::uint64_t now,
+                         bool equalize_timing, std::uint64_t seed) {
+  auto measure = [&](const backend::ObjectCredentials& creds) {
+    SubjectEngineConfig scfg;
+    scfg.creds = probe_subject;
+    scfg.admin_pub = admin_pub;
+    scfg.seed = seed;
+    SubjectEngine s(std::move(scfg));
+    ObjectEngineConfig ocfg;
+    ocfg.creds = creds;
+    ocfg.admin_pub = admin_pub;
+    ocfg.seed = seed + 1;
+    ocfg.equalize_timing = equalize_timing;
+    ObjectEngine o(std::move(ocfg));
+    const Bytes que1 = s.start_round();
+    auto res1 = o.handle(que1, now);
+    (void)o.take_consumed_ms();  // isolate the QUE2 response time
+    auto que2 = s.handle(*res1, now);
+    (void)o.handle(*que2, now);
+    return o.take_consumed_ms();
+  };
+  TimingProbe probe;
+  probe.l2_ms = measure(l2_object);
+  probe.l3_ms = measure(l3_object);
+  return probe;
+}
+
+}  // namespace argus::attacks

@@ -1,0 +1,92 @@
+// Adversary harness for the §VII security analysis (Cases 1-9).
+//
+// Attackers here are real protocol participants with real (but wrong or
+// missing) key material: external impostors self-sign certificates,
+// eavesdroppers replay captured bytes, distinguishers observe full traces
+// and guess. Every attack runs against unmodified engines — success or
+// failure is decided by the cryptography, not by test scaffolding.
+#pragma once
+
+#include "argus/object_engine.hpp"
+#include "argus/subject_engine.hpp"
+
+namespace argus::attacks {
+
+using core::ObjectEngine;
+using core::SubjectEngine;
+
+/// A captured 4-way exchange (Case 1/3/5/7 eavesdropper's view).
+struct CapturedTrace {
+  Bytes que1, res1, que2, res2;
+};
+
+/// Run a full exchange between a subject and an object, recording every
+/// message as an eavesdropper would see it. Returns nullopt if the
+/// exchange did not complete (e.g. unauthorized subject).
+std::optional<CapturedTrace> capture_exchange(SubjectEngine& subject,
+                                              ObjectEngine& object,
+                                              std::uint64_t now);
+
+/// Case 1/3: try to open the RES2 ciphertext with a set of candidate
+/// keys (guessed keys, stolen group keys without K2, ...). Returns the
+/// number of candidates that verified (0 = secrecy held).
+std::size_t try_open_res2(const CapturedTrace& trace,
+                          const std::vector<Bytes>& candidate_keys);
+
+/// Case 2/4 subject impostor: an external attacker (no backend-issued
+/// key) forges a subject identity with a self-signed certificate and runs
+/// the handshake against a genuine object. The attacker knows the admin's
+/// PUBLIC key (it is public), so she can verify the object and produce a
+/// well-formed QUE2 — but she cannot make the admin sign her credentials.
+/// Returns true iff the object replied to QUE2 — which must never happen.
+bool subject_impostor_succeeds(ObjectEngine& object,
+                               const crypto::EcPoint& admin_pub,
+                               const std::string& claimed_id,
+                               const backend::AttributeMap& claimed_attrs,
+                               crypto::Strength strength, std::uint64_t now,
+                               std::uint64_t seed);
+
+/// Case 2/4 object impostor: attacker poses as an object with self-signed
+/// CERT/PROF. Returns true iff the victim subject recorded a discovery.
+bool object_impostor_succeeds(SubjectEngine& victim,
+                              const std::string& claimed_id,
+                              crypto::Strength strength, std::uint64_t now,
+                              std::uint64_t seed);
+
+/// Case 5 replay: re-send a captured QUE2 to the same object. Returns
+/// true iff the object answered (freshness violation).
+bool replay_que2_succeeds(ObjectEngine& object, const CapturedTrace& trace,
+                          std::uint64_t now);
+
+/// Case 7/8 distinguishing game: an eavesdropper watches `trials`
+/// complete exchanges with a Level 3 object. Each trial a fair coin picks
+/// whether the subject is a secret-group fellow (covert discovery
+/// happens) or an ordinary subject (cover face); the adversary guesses
+/// from observable bytes (RES2 sizes). Returns |2*Pr[win] - 1| in [0,1]:
+/// ~0 with v3.0 padding, ~1 without padding when the covert variant's
+/// profile is larger.
+struct DistinguishResult {
+  double advantage = 0;
+  std::size_t trials = 0;
+};
+DistinguishResult size_distinguisher(
+    const backend::SubjectCredentials& fellow_subject,
+    const backend::SubjectCredentials& plain_subject,
+    const backend::ObjectCredentials& l3_object,
+    const crypto::EcPoint& admin_pub, std::uint64_t now, bool pad_res2,
+    std::size_t trials, std::uint64_t seed);
+
+/// Case 9 timing side channel: modeled object response-time gap between a
+/// Level 2 and a Level 3 object, with and without equalisation.
+struct TimingProbe {
+  double l2_ms = 0;
+  double l3_ms = 0;
+  [[nodiscard]] double gap_ms() const { return l3_ms - l2_ms; }
+};
+TimingProbe timing_probe(const backend::SubjectCredentials& probe_subject,
+                         const backend::ObjectCredentials& l2_object,
+                         const backend::ObjectCredentials& l3_object,
+                         const crypto::EcPoint& admin_pub, std::uint64_t now,
+                         bool equalize_timing, std::uint64_t seed);
+
+}  // namespace argus::attacks

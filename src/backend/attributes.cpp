@@ -1,0 +1,46 @@
+#include "backend/attributes.hpp"
+
+#include "common/serde.hpp"
+
+namespace argus::backend {
+
+std::optional<std::string> AttributeMap::get(const std::string& name) const {
+  const auto it = attrs_.find(name);
+  if (it == attrs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::set<std::string> AttributeMap::tokens() const {
+  std::set<std::string> out;
+  for (const auto& [k, v] : attrs_) out.insert(k + "=" + v);
+  return out;
+}
+
+Bytes AttributeMap::serialize() const {
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(attrs_.size()));
+  for (const auto& [k, v] : attrs_) {  // std::map iterates sorted
+    w.str(k);
+    w.str(v);
+  }
+  return w.take();
+}
+
+std::optional<AttributeMap> AttributeMap::parse(ByteSpan data) {
+  try {
+    ByteReader r(data);
+    const std::uint16_t n = r.u16();
+    AttributeMap out;
+    for (std::uint16_t i = 0; i < n; ++i) {
+      std::string k = r.str();
+      std::string v = r.str();
+      out.set(k, v);
+    }
+    r.expect_done();
+    return out;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace argus::backend

@@ -1,0 +1,50 @@
+// Attribute model for subjects and objects.
+//
+// Attributes are name=value string pairs (e.g. position=manager,
+// department=X). Non-sensitive attributes live in signed profiles and may
+// be disclosed; sensitive attributes never leave the backend — they exist
+// only as secret-group memberships (§II-B).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace argus::backend {
+
+class AttributeMap {
+ public:
+  AttributeMap() = default;
+  AttributeMap(std::initializer_list<std::pair<const std::string, std::string>> init)
+      : attrs_(init) {}
+
+  void set(const std::string& name, const std::string& value) {
+    attrs_[name] = value;
+  }
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const {
+    return attrs_.contains(name);
+  }
+  [[nodiscard]] std::size_t size() const { return attrs_.size(); }
+  [[nodiscard]] bool empty() const { return attrs_.empty(); }
+  [[nodiscard]] const std::map<std::string, std::string>& items() const {
+    return attrs_;
+  }
+
+  /// "name=value" tokens, the form used as ABE attribute names.
+  [[nodiscard]] std::set<std::string> tokens() const;
+
+  /// Deterministic (sorted) serialization for signing.
+  [[nodiscard]] Bytes serialize() const;
+  static std::optional<AttributeMap> parse(ByteSpan data);
+
+  friend bool operator==(const AttributeMap&, const AttributeMap&) = default;
+
+ private:
+  std::map<std::string, std::string> attrs_;
+};
+
+}  // namespace argus::backend

@@ -1,0 +1,171 @@
+#include "backend/credentials_io.hpp"
+
+#include "common/serde.hpp"
+
+namespace argus::backend {
+
+namespace {
+
+void put_keypair(ByteWriter& w, const crypto::EcKeyPair& keys,
+                 const crypto::EcGroup& group) {
+  const std::size_t order_bytes = (group.params().n.bit_length() + 7) / 8;
+  w.bytes16(keys.priv.to_bytes_be(order_bytes));
+  w.bytes16(group.encode_point(keys.pub));
+}
+
+std::optional<crypto::EcKeyPair> get_keypair(ByteReader& r,
+                                             const crypto::EcGroup& group) {
+  crypto::EcKeyPair keys;
+  keys.priv = crypto::UInt::from_bytes_be(r.bytes16());
+  const auto pub = group.decode_point(r.bytes16());
+  if (!pub) return std::nullopt;
+  keys.pub = *pub;
+  // Consistency: the private scalar must generate the public point.
+  if (group.scalar_mul_base(keys.priv) != keys.pub) return std::nullopt;
+  return keys;
+}
+
+void put_profile(ByteWriter& w, const Profile& prof) {
+  w.bytes16(prof.serialize());
+}
+
+std::optional<Profile> get_profile(ByteReader& r) {
+  return Profile::parse(r.bytes16());
+}
+
+}  // namespace
+
+Bytes export_subject_credentials(const SubjectCredentials& creds,
+                                 const crypto::EcGroup& group) {
+  ByteWriter w;
+  w.u16(kCredentialFormatVersion);
+  w.u8(static_cast<std::uint8_t>(crypto::EntityRole::kSubject));
+  w.str(creds.id);
+  put_keypair(w, creds.keys, group);
+  w.bytes16(creds.cert.serialize());
+  put_profile(w, creds.prof);
+  w.u16(static_cast<std::uint16_t>(creds.group_keys.size()));
+  for (const auto& gk : creds.group_keys) {
+    w.u64(gk.group_id);
+    w.bytes16(gk.key);
+    // NOTE: cover_up is intentionally NOT serialized — on the wire and on
+    // the device a cover-up key is indistinguishable from a real one.
+  }
+  return w.take();
+}
+
+std::optional<SubjectCredentials> import_subject_credentials(
+    ByteSpan data, const crypto::EcGroup& group) {
+  try {
+    ByteReader r(data);
+    if (r.u16() != kCredentialFormatVersion) return std::nullopt;
+    if (r.u8() != static_cast<std::uint8_t>(crypto::EntityRole::kSubject)) {
+      return std::nullopt;
+    }
+    SubjectCredentials creds;
+    creds.id = r.str();
+    const auto keys = get_keypair(r, group);
+    if (!keys) return std::nullopt;
+    creds.keys = *keys;
+    const auto cert = crypto::Certificate::parse(r.bytes16());
+    if (!cert) return std::nullopt;
+    creds.cert = *cert;
+    const auto prof = get_profile(r);
+    if (!prof) return std::nullopt;
+    creds.prof = *prof;
+    const std::uint16_t n = r.u16();
+    if (n == 0) return std::nullopt;  // every subject holds >= 1 key
+    for (std::uint16_t i = 0; i < n; ++i) {
+      SubjectGroupKey gk;
+      gk.group_id = r.u64();
+      gk.key = r.bytes16();
+      if (gk.key.size() != kGroupKeySize) return std::nullopt;
+      creds.group_keys.push_back(std::move(gk));
+    }
+    r.expect_done();
+    return creds;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes export_object_credentials(const ObjectCredentials& creds,
+                                const crypto::EcGroup& group) {
+  ByteWriter w;
+  w.u16(kCredentialFormatVersion);
+  w.u8(static_cast<std::uint8_t>(crypto::EntityRole::kObject));
+  w.str(creds.id);
+  w.u8(static_cast<std::uint8_t>(creds.level));
+  put_keypair(w, creds.keys, group);
+  w.bytes16(creds.cert.serialize());
+  put_profile(w, creds.public_prof);
+  w.u16(static_cast<std::uint16_t>(creds.variants2.size()));
+  for (const auto& v : creds.variants2) {
+    w.str(v.predicate.source());
+    put_profile(w, v.prof);
+  }
+  w.u16(static_cast<std::uint16_t>(creds.variants3.size()));
+  for (const auto& v : creds.variants3) {
+    w.u64(v.group_id);
+    w.bytes16(v.group_key);
+    put_profile(w, v.prof);
+  }
+  return w.take();
+}
+
+std::optional<ObjectCredentials> import_object_credentials(
+    ByteSpan data, const crypto::EcGroup& group) {
+  try {
+    ByteReader r(data);
+    if (r.u16() != kCredentialFormatVersion) return std::nullopt;
+    if (r.u8() != static_cast<std::uint8_t>(crypto::EntityRole::kObject)) {
+      return std::nullopt;
+    }
+    ObjectCredentials creds;
+    creds.id = r.str();
+    const auto level = r.u8();
+    if (level < 1 || level > 3) return std::nullopt;
+    creds.level = static_cast<Level>(level);
+    const auto keys = get_keypair(r, group);
+    if (!keys) return std::nullopt;
+    creds.keys = *keys;
+    const auto cert = crypto::Certificate::parse(r.bytes16());
+    if (!cert) return std::nullopt;
+    creds.cert = *cert;
+    const auto pub_prof = get_profile(r);
+    if (!pub_prof) return std::nullopt;
+    creds.public_prof = *pub_prof;
+
+    const std::uint16_t n2 = r.u16();
+    for (std::uint16_t i = 0; i < n2; ++i) {
+      const std::string pred_src = r.str();
+      const auto prof = get_profile(r);
+      if (!prof) return std::nullopt;
+      creds.variants2.push_back(
+          ProfVariant2{Predicate::parse(pred_src), *prof});
+    }
+    const std::uint16_t n3 = r.u16();
+    if (creds.level == Level::kL3 && creds.variants2.empty()) {
+      return std::nullopt;  // Level 3 must carry a cover face
+    }
+    if (creds.level != Level::kL3 && n3 > 0) return std::nullopt;
+    for (std::uint16_t i = 0; i < n3; ++i) {
+      ProfVariant3 v;
+      v.group_id = r.u64();
+      v.group_key = r.bytes16();
+      if (v.group_key.size() != kGroupKeySize) return std::nullopt;
+      const auto prof = get_profile(r);
+      if (!prof) return std::nullopt;
+      v.prof = *prof;
+      creds.variants3.push_back(std::move(v));
+    }
+    r.expect_done();
+    return creds;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // predicate parse failure
+  }
+}
+
+}  // namespace argus::backend

@@ -1,0 +1,28 @@
+// Credential serialization: export/import the material the backend
+// provisions onto devices (private key, CERT, PROF variants, group keys).
+//
+// In a real deployment this is what travels over the out-of-band secure
+// registration channel (§IV-A) and what devices persist across reboots.
+// The format is versioned; import validates structure and key
+// consistency (public key must match the embedded private scalar).
+#pragma once
+
+#include "backend/registry.hpp"
+
+namespace argus::backend {
+
+inline constexpr std::uint16_t kCredentialFormatVersion = 1;
+
+Bytes export_subject_credentials(const SubjectCredentials& creds,
+                                 const crypto::EcGroup& group);
+/// nullopt on malformed input, version mismatch, or a private key that
+/// does not match the certificate's public key.
+std::optional<SubjectCredentials> import_subject_credentials(
+    ByteSpan data, const crypto::EcGroup& group);
+
+Bytes export_object_credentials(const ObjectCredentials& creds,
+                                const crypto::EcGroup& group);
+std::optional<ObjectCredentials> import_object_credentials(
+    ByteSpan data, const crypto::EcGroup& group);
+
+}  // namespace argus::backend

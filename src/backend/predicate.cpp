@@ -1,0 +1,216 @@
+#include "backend/predicate.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace argus::backend {
+
+struct Predicate::Node {
+  enum class Kind { kTrue, kEq, kNeq, kAnd, kOr, kNot };
+  Kind kind = Kind::kTrue;
+  std::string name, value;                    // kEq / kNeq
+  std::shared_ptr<const Node> lhs, rhs;       // kAnd / kOr (rhs), kNot (lhs)
+};
+
+namespace {
+
+using Node = Predicate::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : src_(src) {}
+
+  NodePtr parse() {
+    NodePtr e = parse_or();
+    skip_ws();
+    if (pos_ != src_.size()) fail("trailing input");
+    return e;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("Predicate parse error at offset " +
+                                std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(std::string_view tok) {
+    skip_ws();
+    if (src_.compare(pos_, tok.size(), tok) == 0) {
+      pos_ += tok.size();
+      return true;
+    }
+    return false;
+  }
+
+  NodePtr parse_or() {
+    NodePtr lhs = parse_and();
+    while (eat("||")) {
+      auto n = std::make_shared<Node>();
+      n->kind = Node::Kind::kOr;
+      n->lhs = lhs;
+      n->rhs = parse_and();
+      lhs = n;
+    }
+    return lhs;
+  }
+
+  NodePtr parse_and() {
+    NodePtr lhs = parse_unary();
+    while (eat("&&")) {
+      auto n = std::make_shared<Node>();
+      n->kind = Node::Kind::kAnd;
+      n->lhs = lhs;
+      n->rhs = parse_unary();
+      lhs = n;
+    }
+    return lhs;
+  }
+
+  NodePtr parse_unary() {
+    if (eat("!")) {
+      // Disambiguate from '!=': '!' must not be followed by '='.
+      if (pos_ < src_.size() && src_[pos_] == '=') fail("unexpected '!='");
+      auto n = std::make_shared<Node>();
+      n->kind = Node::Kind::kNot;
+      n->lhs = parse_unary();
+      return n;
+    }
+    if (eat("(")) {
+      NodePtr e = parse_or();
+      if (!eat(")")) fail("expected ')'");
+      return e;
+    }
+    return parse_comparison();
+  }
+
+  NodePtr parse_comparison() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_' || src_[pos_] == '-' || src_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected attribute name");
+    std::string name = src_.substr(start, pos_ - start);
+
+    bool neq = false;
+    if (eat("==")) {
+      neq = false;
+    } else if (eat("!=")) {
+      neq = true;
+    } else {
+      fail("expected '==' or '!='");
+    }
+
+    skip_ws();
+    if (pos_ >= src_.size() || src_[pos_] != '\'') fail("expected '\\''");
+    ++pos_;
+    const std::size_t vstart = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') ++pos_;
+    if (pos_ >= src_.size()) fail("unterminated string");
+    std::string value = src_.substr(vstart, pos_ - vstart);
+    ++pos_;
+
+    auto n = std::make_shared<Node>();
+    n->kind = neq ? Node::Kind::kNeq : Node::Kind::kEq;
+    n->name = std::move(name);
+    n->value = std::move(value);
+    return n;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+bool eval(const Node& n, const AttributeMap& attrs) {
+  switch (n.kind) {
+    case Node::Kind::kTrue:
+      return true;
+    case Node::Kind::kEq:
+      return attrs.get(n.name) == std::optional<std::string>(n.value);
+    case Node::Kind::kNeq:
+      return attrs.get(n.name) != std::optional<std::string>(n.value);
+    case Node::Kind::kAnd:
+      return eval(*n.lhs, attrs) && eval(*n.rhs, attrs);
+    case Node::Kind::kOr:
+      return eval(*n.lhs, attrs) || eval(*n.rhs, attrs);
+    case Node::Kind::kNot:
+      return !eval(*n.lhs, attrs);
+  }
+  return false;
+}
+
+abe::PolicyNode to_policy(const Node& n) {
+  switch (n.kind) {
+    case Node::Kind::kEq:
+      return abe::PolicyNode::leaf(n.name + "=" + n.value);
+    case Node::Kind::kAnd:
+      return abe::PolicyNode::all_of({to_policy(*n.lhs), to_policy(*n.rhs)});
+    case Node::Kind::kOr:
+      return abe::PolicyNode::any_of({to_policy(*n.lhs), to_policy(*n.rhs)});
+    case Node::Kind::kTrue:
+    case Node::Kind::kNeq:
+    case Node::Kind::kNot:
+      throw std::domain_error(
+          "Predicate::to_abe_policy: non-monotone construct ('!'/'!='/true) "
+          "has no CP-ABE encoding");
+  }
+  throw std::domain_error("unreachable");
+}
+
+void collect_eq_tokens(const Node& n, std::set<std::string>& out) {
+  switch (n.kind) {
+    case Node::Kind::kEq:
+      out.insert(n.name + "=" + n.value);
+      break;
+    case Node::Kind::kAnd:
+    case Node::Kind::kOr:
+      collect_eq_tokens(*n.lhs, out);
+      collect_eq_tokens(*n.rhs, out);
+      break;
+    case Node::Kind::kNot:
+      collect_eq_tokens(*n.lhs, out);
+      break;
+    case Node::Kind::kTrue:
+    case Node::Kind::kNeq:
+      break;
+  }
+}
+
+}  // namespace
+
+Predicate::Predicate(std::shared_ptr<const Node> root, std::string source)
+    : root_(std::move(root)), source_(std::move(source)) {}
+
+Predicate Predicate::parse(const std::string& source) {
+  Parser p(source);
+  return Predicate(p.parse(), source);
+}
+
+Predicate Predicate::always_true() {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kTrue;
+  return Predicate(n, "<true>");
+}
+
+bool Predicate::matches(const AttributeMap& attrs) const {
+  return eval(*root_, attrs);
+}
+
+abe::PolicyNode Predicate::to_abe_policy() const { return to_policy(*root_); }
+
+std::set<std::string> Predicate::equality_tokens() const {
+  std::set<std::string> out;
+  collect_eq_tokens(*root_, out);
+  return out;
+}
+
+}  // namespace argus::backend

@@ -1,0 +1,60 @@
+// Predicate language over attributes, as used by access-control policies:
+//
+//   position=='manager' && department=='X'
+//   type=='door lock' && (room=='conf-a' || room=='conf-b')
+//   !(role=='visitor')
+//
+// Grammar (precedence low to high):
+//   expr   := or
+//   or     := and ('||' and)*
+//   and    := unary ('&&' unary)*
+//   unary  := '!' unary | '(' expr ')' | comparison
+//   comp   := IDENT ('==' | '!=') STRING
+//   STRING := '...' (single quotes)
+//
+// Predicates evaluate against an AttributeMap; the monotone subset
+// (== / && / ||) converts to an ABE policy tree for the ABE baseline.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "abe/policy.hpp"
+#include "backend/attributes.hpp"
+
+namespace argus::backend {
+
+class Predicate {
+ public:
+  /// Parse from source text. Throws std::invalid_argument on syntax error.
+  static Predicate parse(const std::string& source);
+
+  /// Predicate that matches everything.
+  static Predicate always_true();
+
+  [[nodiscard]] bool matches(const AttributeMap& attrs) const;
+
+public:
+  struct Node;  // expression AST (defined in predicate.cpp)
+
+  /// Original (normalized) source text.
+  [[nodiscard]] const std::string& source() const { return source_; }
+
+  /// Convert to a monotone ABE access tree over "name=value" tokens.
+  /// Throws std::domain_error if the predicate uses '!' or '!=' (CP-ABE
+  /// policies are monotone).
+  [[nodiscard]] abe::PolicyNode to_abe_policy() const;
+
+  /// Attribute tokens (name=value) mentioned with '=='. Drives ABE
+  /// revocation accounting: revoking a user touches every policy whose
+  /// token set intersects her attributes.
+  [[nodiscard]] std::set<std::string> equality_tokens() const;
+
+ private:
+  explicit Predicate(std::shared_ptr<const Node> root, std::string source);
+
+  std::shared_ptr<const Node> root_;
+  std::string source_;
+};
+
+}  // namespace argus::backend

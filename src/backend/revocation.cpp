@@ -1,0 +1,61 @@
+#include "backend/revocation.hpp"
+
+#include "common/serde.hpp"
+
+namespace argus::backend {
+
+Bytes SignedRevocation::tbs() const {
+  ByteWriter w;
+  w.str("argus-revocation");  // domain separation from other signed blobs
+  w.str(subject_id);
+  w.u64(seq);
+  w.u64(issued_at);
+  return w.take();
+}
+
+Bytes SignedRevocation::serialize() const {
+  ByteWriter w;
+  w.str(subject_id);
+  w.u64(seq);
+  w.u64(issued_at);
+  w.bytes16(signature);
+  return w.take();
+}
+
+std::optional<SignedRevocation> SignedRevocation::parse(ByteSpan data) {
+  try {
+    ByteReader r(data);
+    SignedRevocation rev;
+    rev.subject_id = r.str();
+    rev.seq = r.u64();
+    rev.issued_at = r.u64();
+    rev.signature = r.bytes16();
+    r.expect_done();
+    return rev;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+SignedRevocation make_revocation(const crypto::EcGroup& group,
+                                 const crypto::UInt& admin_priv,
+                                 const std::string& subject_id,
+                                 std::uint64_t seq, std::uint64_t issued_at) {
+  SignedRevocation rev;
+  rev.subject_id = subject_id;
+  rev.seq = seq;
+  rev.issued_at = issued_at;
+  rev.signature =
+      crypto::ecdsa_sign(group, admin_priv, rev.tbs()).to_bytes(group);
+  return rev;
+}
+
+bool verify_revocation(const crypto::EcGroup& group,
+                       const crypto::EcPoint& admin_pub,
+                       const SignedRevocation& rev) {
+  const auto sig = crypto::EcdsaSignature::from_bytes(group, rev.signature);
+  if (!sig) return false;
+  return crypto::ecdsa_verify(group, admin_pub, rev.tbs(), *sig);
+}
+
+}  // namespace argus::backend

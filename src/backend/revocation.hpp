@@ -1,0 +1,36 @@
+// Signed revocation notices — the control-plane messages the backend
+// pushes to the ground network when a subject loses access (§VIII:
+// "changes on the backend ... immediately propagated to the ground
+// network and effectuated on the affected subjects/objects").
+//
+// A notice is admin-signed and sequence-numbered so objects can verify
+// authenticity and drop replays/stale notices.
+#pragma once
+
+#include "crypto/cert.hpp"
+#include "crypto/ecdsa.hpp"
+
+namespace argus::backend {
+
+struct SignedRevocation {
+  std::string subject_id;
+  std::uint64_t seq = 0;        // monotonically increasing per backend
+  std::uint64_t issued_at = 0;  // backend clock, for audit
+  Bytes signature;              // admin ECDSA over the fields above
+
+  [[nodiscard]] Bytes tbs() const;
+  [[nodiscard]] Bytes serialize() const;
+  static std::optional<SignedRevocation> parse(ByteSpan data);
+};
+
+/// Create and sign a notice (runs at the backend).
+SignedRevocation make_revocation(const crypto::EcGroup& group,
+                                 const crypto::UInt& admin_priv,
+                                 const std::string& subject_id,
+                                 std::uint64_t seq, std::uint64_t issued_at);
+
+bool verify_revocation(const crypto::EcGroup& group,
+                       const crypto::EcPoint& admin_pub,
+                       const SignedRevocation& rev);
+
+}  // namespace argus::backend

@@ -1,0 +1,56 @@
+#include "baselines/abe_discovery.hpp"
+
+#include "backend/predicate.hpp"
+
+namespace argus::baselines {
+
+using crypto::SealedBox;
+
+AbeDiscoverySystem::AbeDiscoverySystem(std::uint64_t seed)
+    : abe_(pairing::default_system()),
+      rng_(crypto::make_rng(seed, "abe-discovery")) {
+  auto setup = abe_.setup(rng_);
+  pub_ = std::move(setup.pub);
+  master_ = std::move(setup.master);
+}
+
+AbeDiscoverySystem::SubjectKey AbeDiscoverySystem::register_subject(
+    const std::string& id, const backend::AttributeMap& attrs) {
+  return SubjectKey{id, abe_.keygen(pub_, master_, attrs.tokens(), rng_)};
+}
+
+AbeDiscoverySystem::ObjectRecord AbeDiscoverySystem::register_object(
+    const std::string& id,
+    const std::vector<std::pair<std::string, backend::Profile>>& variants) {
+  ObjectRecord rec;
+  rec.id = id;
+  for (const auto& [pred_src, prof] : variants) {
+    const auto policy =
+        backend::Predicate::parse(pred_src).to_abe_policy();
+    auto enc = abe_.encapsulate(pub_, policy, rng_);
+    EncryptedVariant v;
+    v.sealed_prof = SealedBox::seal(
+        enc.key, rng_.generate(SealedBox::kIvSize), prof.serialize());
+    v.kem_ct = std::move(enc.ct);
+    v.policy_leaves = policy.leaf_count();
+    rec.variants.push_back(std::move(v));
+  }
+  return rec;
+}
+
+std::optional<backend::Profile> AbeDiscoverySystem::discover(
+    const SubjectKey& subject, const ObjectRecord& object) const {
+  for (const auto& variant : object.variants) {
+    const auto key = abe_.decapsulate(pub_, subject.key, variant.kem_ct);
+    if (!key) continue;
+    try {
+      const Bytes plain = SealedBox::open(*key, variant.sealed_prof);
+      return backend::Profile::parse(plain);
+    } catch (const std::invalid_argument&) {
+      continue;  // wrong recombination (should not happen for valid keys)
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace argus::baselines

@@ -1,0 +1,60 @@
+// ABE-based Level 2 discovery baseline (§VIII, §IX).
+//
+// The backend CP-ABE-encrypts each PROF_O variant under the variant's
+// predicate (converted to a monotone access tree over name=value tokens)
+// and provisions the ciphertexts onto objects. A subject holds one ABE
+// key over her attribute tokens. Discovery is 2-way: the object returns
+// the ciphertexts; the subject decapsulates the KEM and opens the sealed
+// profile — all decryption cost lands on the subject device, which is the
+// quantity Fig 6(c) sweeps.
+#pragma once
+
+#include "abe/cpabe.hpp"
+#include "backend/registry.hpp"
+#include "crypto/aes.hpp"
+
+namespace argus::baselines {
+
+class AbeDiscoverySystem {
+ public:
+  explicit AbeDiscoverySystem(std::uint64_t seed);
+
+  struct SubjectKey {
+    std::string id;
+    abe::AbeUserKey key;
+  };
+  /// Issue an ABE key over the subject's attribute tokens.
+  SubjectKey register_subject(const std::string& id,
+                              const backend::AttributeMap& attrs);
+
+  struct EncryptedVariant {
+    abe::AbeCiphertext kem_ct;   // encapsulated profile key
+    Bytes sealed_prof;           // SealedBox under the KEM key
+    std::size_t policy_leaves;   // attributes in the ciphertext policy
+  };
+  struct ObjectRecord {
+    std::string id;
+    std::vector<EncryptedVariant> variants;
+  };
+  /// Provision an object with ABE-encrypted PROF variants. Each pair is
+  /// (predicate source, profile). Non-monotone predicates are rejected.
+  ObjectRecord register_object(
+      const std::string& id,
+      const std::vector<std::pair<std::string, backend::Profile>>& variants);
+
+  /// Subject-side discovery: try to decrypt any variant. Returns the
+  /// first profile the key satisfies.
+  std::optional<backend::Profile> discover(const SubjectKey& subject,
+                                           const ObjectRecord& object) const;
+
+  [[nodiscard]] const abe::CpAbe& abe() const { return abe_; }
+  [[nodiscard]] const abe::AbePublicKey& public_key() const { return pub_; }
+
+ private:
+  abe::CpAbe abe_;
+  crypto::HmacDrbg rng_;
+  abe::AbePublicKey pub_;
+  abe::AbeMasterKey master_;
+};
+
+}  // namespace argus::baselines

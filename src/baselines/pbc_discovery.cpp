@@ -1,0 +1,53 @@
+#include "baselines/pbc_discovery.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace argus::baselines {
+
+using crypto::SealedBox;
+
+PbcDiscoverySystem::PbcDiscoverySystem(std::uint64_t seed)
+    : sok_(pairing::default_system()),
+      rng_(crypto::make_rng(seed, "pbc-discovery")) {}
+
+pbc::GroupAuthority PbcDiscoverySystem::create_group() {
+  return sok_.create_group(rng_);
+}
+
+PbcDiscoverySystem::Member PbcDiscoverySystem::enroll(
+    const pbc::GroupAuthority& group, const std::string& id) {
+  return Member{sok_.issue(group, id)};
+}
+
+PbcDiscoverySystem::Attempt PbcDiscoverySystem::discover(
+    const Member& subject, const std::string& subject_id,
+    const CovertObject& object) {
+  Attempt attempt;
+  const Bytes nonce = rng_.generate(16);
+
+  // Object side: derive the pairwise key from its credential and the
+  // claimed subject identity (one pairing), confirm with an HMAC, release
+  // the profile sealed under the key.
+  const Bytes k_obj =
+      sok_.handshake_key(object.member.credential, subject_id);
+  ++attempt.pairings_done;
+  const Bytes confirm = crypto::prf(k_obj, "pbc confirm", nonce);
+  const Bytes sealed = SealedBox::seal(
+      k_obj, rng_.generate(SealedBox::kIvSize), object.prof.serialize());
+
+  // Subject side: one pairing, verify the confirmation, open the box.
+  const Bytes k_sub = sok_.handshake_key(
+      subject.credential, object.member.credential.member_id);
+  ++attempt.pairings_done;
+  if (!ct_equal(crypto::prf(k_sub, "pbc confirm", nonce), confirm)) {
+    return attempt;  // not fellows: key mismatch, nothing learned
+  }
+  try {
+    const Bytes plain = SealedBox::open(k_sub, sealed);
+    attempt.prof = backend::Profile::parse(plain);
+  } catch (const std::invalid_argument&) {
+  }
+  return attempt;
+}
+
+}  // namespace argus::baselines

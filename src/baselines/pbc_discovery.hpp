@@ -1,0 +1,51 @@
+// PBC-based Level 3 (covert) discovery baseline — the MASHaBLE-style
+// secret-handshake alternative Fig 6(d) measures.
+//
+// Fellows of a secret group hold SOK credentials; a discovery exchanges
+// nonces and identity hints, both sides compute the pairwise key with ONE
+// PAIRING EACH (the dominant cost), confirm via HMAC, and the object
+// releases the covert profile sealed under the pairwise key.
+#pragma once
+
+#include "backend/profile.hpp"
+#include "crypto/aes.hpp"
+#include "pbc/sok.hpp"
+
+namespace argus::baselines {
+
+class PbcDiscoverySystem {
+ public:
+  explicit PbcDiscoverySystem(std::uint64_t seed);
+
+  /// Backend: create a secret group.
+  pbc::GroupAuthority create_group();
+
+  struct Member {
+    pbc::MemberCredential credential;
+  };
+  Member enroll(const pbc::GroupAuthority& group, const std::string& id);
+
+  struct CovertObject {
+    Member member;
+    backend::Profile prof;
+  };
+
+  /// One covert discovery attempt: subject -> object (id + nonce),
+  /// object -> subject (HMAC + sealed profile). Returns the profile iff
+  /// both are fellows of the same group. `pairings_done` counts pairing
+  /// evaluations (2 per attempt — the Fig 6(d) unit).
+  struct Attempt {
+    std::optional<backend::Profile> prof;
+    std::size_t pairings_done = 0;
+  };
+  Attempt discover(const Member& subject, const std::string& subject_id,
+                   const CovertObject& object);
+
+  [[nodiscard]] const pbc::SokScheme& scheme() const { return sok_; }
+
+ private:
+  pbc::SokScheme sok_;
+  crypto::HmacDrbg rng_;
+};
+
+}  // namespace argus::baselines

@@ -1,0 +1,104 @@
+#include "baselines/updating.hpp"
+
+#include <stdexcept>
+
+namespace argus::baselines {
+
+using backend::AttributeMap;
+using backend::Backend;
+using backend::Level;
+
+SyntheticEnterprise::SyntheticEnterprise(const EnterpriseSpec& spec)
+    : spec_(spec),
+      backend_(std::make_unique<Backend>(crypto::Strength::b128, spec.seed)) {
+  for (std::size_t d = 0; d < spec.departments; ++d) {
+    const std::string dept = "dept-" + std::to_string(d);
+
+    for (std::size_t s = 0; s < spec.subjects_per_department; ++s) {
+      const std::string id = dept + ":subject-" + std::to_string(s);
+      AttributeMap attrs{{"department", dept}, {"position", "employee"}};
+      backend_->register_subject(id, attrs);
+      subject_ids_.push_back(id);
+    }
+
+    const std::string dev_pred = "department=='" + dept + "'";
+    for (std::size_t r = 0; r < spec.rooms_per_department; ++r) {
+      for (std::size_t o = 0; o < spec.objects_per_room; ++o) {
+        const std::string id = dept + ":room-" + std::to_string(r) +
+                               ":device-" + std::to_string(o);
+        AttributeMap attrs{{"department", dept}, {"type", "device"}};
+        backend_->register_object(id, attrs, Level::kL2, {},
+                                  {{dev_pred, "staff", {"use"}}});
+        object_ids_.push_back(id);
+        object_policies_.push_back(
+            {id, backend::Predicate::parse(dev_pred)});
+      }
+    }
+    backend_->add_policy(dev_pred, "department=='" + dept + "'", {"use"});
+  }
+}
+
+const AttributeMap& SyntheticEnterprise::subject_attrs(
+    const std::string& id) const {
+  const auto* attrs = backend_->subject_attributes(id);
+  if (attrs == nullptr) {
+    throw std::invalid_argument("SyntheticEnterprise: unknown subject");
+  }
+  return *attrs;
+}
+
+UpdateOverhead measure_idacl(SyntheticEnterprise& e,
+                             const std::string& subject_id) {
+  // Every object the newcomer may access must append her ID to its local
+  // ACL; removal touches the same set.
+  const std::size_t n = e.backend().accessible_objects(subject_id).size();
+  return UpdateOverhead{n, n};
+}
+
+UpdateOverhead measure_argus(SyntheticEnterprise& e,
+                             const std::string& subject_id) {
+  // Join: one backend interaction issues the attribute profile; objects'
+  // attribute-based ACLs need no update. Leave: notify the N objects she
+  // could access to blacklist her ID.
+  const std::size_t n = e.backend().accessible_objects(subject_id).size();
+  return UpdateOverhead{1, n};
+}
+
+UpdateOverhead measure_abe(SyntheticEnterprise& e,
+                           const std::string& subject_id) {
+  // Join: issue her attribute secret keys (1 backend interaction).
+  // Leave (global attribute revocation): every ciphertext whose policy
+  // mentions any of her attribute tokens is re-encrypted and delivered to
+  // its object; every OTHER subject holding any of those tokens gets fresh
+  // attribute keys.
+  const auto tokens = e.subject_attrs(subject_id).tokens();
+
+  std::size_t reencrypted = 0;
+  std::set<std::string> touched_tokens;
+  for (const auto& pol : e.object_policies()) {
+    const auto pol_tokens = pol.predicate.equality_tokens();
+    bool hit = false;
+    for (const auto& t : pol_tokens) {
+      if (tokens.contains(t)) {
+        hit = true;
+        touched_tokens.insert(t);
+      }
+    }
+    if (hit) ++reencrypted;
+  }
+
+  std::size_t rekeyed = 0;
+  for (const auto& sid : e.subject_ids()) {
+    if (sid == subject_id) continue;
+    const auto other = e.subject_attrs(sid).tokens();
+    for (const auto& t : touched_tokens) {
+      if (other.contains(t)) {
+        ++rekeyed;
+        break;
+      }
+    }
+  }
+  return UpdateOverhead{1, reencrypted + rekeyed};
+}
+
+}  // namespace argus::baselines

@@ -1,0 +1,84 @@
+#include "common/bytes.hpp"
+
+#include <stdexcept>
+
+namespace argus {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(ByteSpan data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_val(hex[i]);
+    const int lo = hex_val(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("from_hex: bad digit");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes str_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+bool ct_equal(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+void append(Bytes& dst, ByteSpan src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+Bytes concat(std::initializer_list<ByteSpan> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) append(out, p);
+  return out;
+}
+
+void secure_wipe(Bytes& b) {
+  volatile std::uint8_t* p = b.data();
+  for (std::size_t i = 0; i < b.size(); ++i) p[i] = 0;
+  b.clear();
+}
+
+Bytes xor_bytes(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("xor_bytes: length mismatch");
+  }
+  Bytes out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+}  // namespace argus

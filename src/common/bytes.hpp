@@ -1,0 +1,47 @@
+// Byte-buffer utilities shared by every Argus subsystem.
+//
+// `Bytes` is the universal octet-string type used for keys, wire messages,
+// MACs and profiles. Helpers here are deliberately small and allocation
+// conscious; hot paths (crypto inner loops) operate on spans.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace argus {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Encode `data` as lowercase hex.
+std::string to_hex(ByteSpan data);
+
+/// Decode a hex string (upper or lower case, no separators).
+/// Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Copy a string's bytes into a Bytes buffer (no terminator).
+Bytes str_bytes(std::string_view s);
+
+/// Constant-time equality: runtime depends only on the lengths, never on
+/// the content. Required when comparing MACs so that a byte-by-byte
+/// early-exit comparison cannot be used as a forgery oracle.
+bool ct_equal(ByteSpan a, ByteSpan b);
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, ByteSpan src);
+
+/// Concatenate buffers (used for the paper's `||` operator).
+Bytes concat(std::initializer_list<ByteSpan> parts);
+
+/// Best-effort secure wipe (volatile writes so the compiler cannot elide).
+void secure_wipe(Bytes& b);
+
+/// XOR two equal-length buffers.
+Bytes xor_bytes(ByteSpan a, ByteSpan b);
+
+}  // namespace argus

@@ -1,0 +1,95 @@
+#include "common/serde.hpp"
+
+namespace argus {
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int s = 24; s >= 0; s -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> s));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int s = 56; s >= 0; s -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> s));
+  }
+}
+
+void ByteWriter::raw(ByteSpan data) { append(buf_, data); }
+
+void ByteWriter::bytes16(ByteSpan data) {
+  if (data.size() > 0xFFFF) throw SerdeError("bytes16: too long");
+  u16(static_cast<std::uint16_t>(data.size()));
+  raw(data);
+}
+
+void ByteWriter::bytes32(ByteSpan data) {
+  if (data.size() > 0xFFFFFFFFull) throw SerdeError("bytes32: too long");
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void ByteWriter::str(std::string_view s) {
+  bytes16(ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) throw SerdeError("truncated message");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes ByteReader::bytes16() { return raw(u16()); }
+
+Bytes ByteReader::bytes32() { return raw(u32()); }
+
+std::string ByteReader::str() {
+  Bytes b = bytes16();
+  return std::string(b.begin(), b.end());
+}
+
+void ByteReader::expect_done() const {
+  if (!done()) throw SerdeError("trailing bytes");
+}
+
+}  // namespace argus

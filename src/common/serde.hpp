@@ -1,0 +1,72 @@
+// Minimal binary serialization used for all wire messages.
+//
+// Format conventions (big-endian, like TLS):
+//   u8/u16/u32/u64      fixed-width unsigned integers
+//   bytes16             u16 length prefix + raw octets
+//   bytes32             u32 length prefix + raw octets (for large blobs)
+//   string              encoded as bytes16 of UTF-8
+//
+// The reader is strict: any truncated field throws SerdeError, which the
+// protocol engines translate into "malformed message, drop".
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace argus {
+
+class SerdeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(ByteSpan data);
+  void bytes16(ByteSpan data);
+  void bytes32(ByteSpan data);
+  void str(std::string_view s);
+
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes raw(std::size_t n);
+  Bytes bytes16();
+  Bytes bytes32();
+  std::string str();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+  /// Throw unless the whole buffer has been consumed (trailing garbage is a
+  /// protocol violation).
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace argus

@@ -1,0 +1,50 @@
+// Small work-stealing-free thread pool + parallel_for, used by the
+// benchmark harness to run independent handshakes/sweeps concurrently.
+//
+// The discrete-event network simulator itself is single-threaded and
+// deterministic; parallelism lives at the workload level (many independent
+// simulations / crypto measurements), which is the textbook "embarrassingly
+// parallel outer loop" decomposition.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace argus {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across the pool, blocking until all complete.
+/// Exceptions from tasks propagate (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace argus

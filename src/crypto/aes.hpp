@@ -1,0 +1,61 @@
+// AES-128/192/256 block cipher (FIPS 197) with CBC mode and the paper's
+// encrypt-then-MAC envelope.
+//
+// §IX-A: "[PROF_O]ENC_K is assumed to use AES in CBC mode with 16-byte IV
+// and 32-byte MAC" — `SealedBox` reproduces exactly that wire layout:
+//   IV (16 B) || CBC ciphertext (PKCS#7) || HMAC-SHA256 tag (32 B)
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace argus::crypto {
+
+/// Raw AES block cipher. Key must be 16, 24 or 32 bytes.
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  explicit Aes(ByteSpan key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+ private:
+  std::array<std::uint32_t, 60> ek_{};  // encryption round keys
+  std::array<std::uint32_t, 60> dk_{};  // decryption round keys
+  int rounds_ = 0;
+};
+
+/// CBC with PKCS#7 padding. `iv` must be 16 bytes.
+Bytes aes_cbc_encrypt(ByteSpan key, ByteSpan iv, ByteSpan plaintext);
+/// Throws std::invalid_argument on bad padding or size.
+Bytes aes_cbc_decrypt(ByteSpan key, ByteSpan iv, ByteSpan ciphertext);
+
+/// Authenticated envelope used for PROF_O in RES2 (encrypt-then-MAC).
+/// Key material is expanded from `session_key` into independent AES-128
+/// and HMAC keys. Layout: IV(16) || CT || TAG(32).
+class SealedBox {
+ public:
+  static constexpr std::size_t kIvSize = 16;
+  static constexpr std::size_t kTagSize = 32;
+
+  /// Seal plaintext; `iv` is caller-provided (from the DRBG) for
+  /// determinism under test.
+  static Bytes seal(ByteSpan session_key, ByteSpan iv, ByteSpan plaintext);
+
+  /// Open a sealed box. Returns plaintext; throws std::invalid_argument if
+  /// the tag does not verify or the layout is malformed.
+  static Bytes open(ByteSpan session_key, ByteSpan box);
+
+  /// True iff the tag verifies under `session_key` (used by subjects to
+  /// test "was this sealed under K2 or K3?" without throwing).
+  static bool verifies(ByteSpan session_key, ByteSpan box);
+
+  /// Ciphertext size for a given plaintext size (for padding analysis).
+  static std::size_t sealed_size(std::size_t plaintext_len);
+};
+
+}  // namespace argus::crypto

@@ -1,0 +1,59 @@
+#include "crypto/drbg.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/hmac.hpp"
+
+namespace argus::crypto {
+
+HmacDrbg::HmacDrbg(ByteSpan entropy, ByteSpan nonce, ByteSpan personalization)
+    : k_(32, 0x00), v_(32, 0x01) {
+  Bytes seed = concat({entropy, nonce, personalization});
+  update(seed);
+}
+
+void HmacDrbg::update(ByteSpan data1, ByteSpan data2) {
+  const std::uint8_t zero = 0x00;
+  const std::uint8_t one = 0x01;
+  k_ = hmac_sha256(k_, concat({v_, ByteSpan(&zero, 1), data1, data2}));
+  v_ = hmac_sha256(k_, v_);
+  if (!data1.empty() || !data2.empty()) {
+    k_ = hmac_sha256(k_, concat({v_, ByteSpan(&one, 1), data1, data2}));
+    v_ = hmac_sha256(k_, v_);
+  }
+}
+
+Bytes HmacDrbg::generate(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    v_ = hmac_sha256(k_, v_);
+    const std::size_t take = std::min(v_.size(), n - out.size());
+    out.insert(out.end(), v_.begin(),
+               v_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  update({});
+  return out;
+}
+
+void HmacDrbg::reseed(ByteSpan entropy) { update(entropy); }
+
+std::uint64_t HmacDrbg::uniform(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling over the smallest power-of-two envelope.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  for (;;) {
+    Bytes b = generate(8);
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x = (x << 8) | b[static_cast<std::size_t>(i)];
+    if (x < limit) return x % bound;
+  }
+}
+
+HmacDrbg make_rng(std::uint64_t run_seed, std::string_view name) {
+  ByteWriter w;
+  w.u64(run_seed);
+  w.str(name);
+  return HmacDrbg(w.data(), {}, str_bytes("argus-rng"));
+}
+
+}  // namespace argus::crypto

@@ -1,0 +1,41 @@
+// HMAC-DRBG (NIST SP 800-90A) over HMAC-SHA256.
+//
+// All randomness in the repository flows through this generator so that
+// simulations are reproducible: every node seeds its DRBG from a run seed
+// plus its identity. RFC-6979 ECDSA nonces reuse the same update/generate
+// core with the per-message instantiation the RFC prescribes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace argus::crypto {
+
+class HmacDrbg {
+ public:
+  /// Instantiate from entropy (+ optional personalization string).
+  explicit HmacDrbg(ByteSpan entropy, ByteSpan nonce = {},
+                    ByteSpan personalization = {});
+
+  /// Generate `n` pseudorandom bytes.
+  Bytes generate(std::size_t n);
+
+  /// Mix additional entropy into the state.
+  void reseed(ByteSpan entropy);
+
+  /// Convenience: uniform integer in [0, bound) by rejection sampling.
+  std::uint64_t uniform(std::uint64_t bound);
+
+ private:
+  void update(ByteSpan data1, ByteSpan data2 = {});
+
+  Bytes k_;
+  Bytes v_;
+};
+
+/// Deterministic per-entity RNG: DRBG seeded from (run_seed, name).
+HmacDrbg make_rng(std::uint64_t run_seed, std::string_view name);
+
+}  // namespace argus::crypto

@@ -1,0 +1,100 @@
+// Short-Weierstrass elliptic-curve groups over prime fields.
+//
+// Supplies the four NIST curves the paper's strength sweep uses
+// (Fig 6(a)): P-224 (112-bit strength), P-256 (128), P-384 (192),
+// P-521 (256). Internally points are Jacobian-projective in Montgomery
+// form; the public API exposes affine points and byte encodings
+// (uncompressed SEC1: 0x04 || X || Y).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "crypto/drbg.hpp"
+#include "crypto/mont.hpp"
+#include "crypto/wide.hpp"
+
+namespace argus::crypto {
+
+/// Security strength in bits, as the paper sweeps it.
+enum class Strength { b112, b128, b192, b256 };
+
+[[nodiscard]] const char* strength_name(Strength s);
+[[nodiscard]] int strength_bits(Strength s);
+
+struct CurveParams {
+  std::string name;
+  Strength strength;
+  UInt p;       // field prime
+  UInt a;       // curve coefficient a (NIST curves: p - 3)
+  UInt b;       // curve coefficient b
+  UInt gx, gy;  // base point
+  UInt n;       // group order (prime)
+  std::size_t field_bytes;  // serialized coordinate size
+};
+
+const CurveParams& curve_p224();
+const CurveParams& curve_p256();
+const CurveParams& curve_p384();
+const CurveParams& curve_p521();
+const CurveParams& curve_for(Strength s);
+
+/// Affine point; `infinity` marks the identity element.
+struct EcPoint {
+  UInt x, y;
+  bool infinity = false;
+
+  static EcPoint identity() { return EcPoint{{}, {}, true}; }
+  friend bool operator==(const EcPoint&, const EcPoint&) = default;
+};
+
+class EcGroup {
+ public:
+  explicit EcGroup(const CurveParams& params);
+
+  [[nodiscard]] const CurveParams& params() const { return params_; }
+  [[nodiscard]] const MontCtx& field() const { return fp_; }
+  [[nodiscard]] const MontCtx& order() const { return fn_; }
+  [[nodiscard]] EcPoint generator() const {
+    return EcPoint{params_.gx, params_.gy, false};
+  }
+
+  [[nodiscard]] bool on_curve(const EcPoint& pt) const;
+  [[nodiscard]] EcPoint add(const EcPoint& a, const EcPoint& b) const;
+  [[nodiscard]] EcPoint dbl(const EcPoint& a) const;
+  [[nodiscard]] EcPoint negate(const EcPoint& a) const;
+  [[nodiscard]] EcPoint scalar_mul(const EcPoint& pt, const UInt& k) const;
+  [[nodiscard]] EcPoint scalar_mul_base(const UInt& k) const {
+    return scalar_mul(generator(), k);
+  }
+
+  /// Uniform scalar in [1, n-1].
+  [[nodiscard]] UInt random_scalar(HmacDrbg& rng) const;
+
+  /// SEC1 uncompressed encoding: 0x04 || X || Y (2*field_bytes+1 total).
+  [[nodiscard]] Bytes encode_point(const EcPoint& pt) const;
+  /// Decode and validate (on-curve check). nullopt on malformed/invalid.
+  [[nodiscard]] std::optional<EcPoint> decode_point(ByteSpan data) const;
+
+ private:
+  struct Jacobian {
+    UInt x, y, z;  // Montgomery form; z == 0 means identity
+  };
+
+  [[nodiscard]] Jacobian to_jacobian(const EcPoint& pt) const;
+  [[nodiscard]] EcPoint to_affine(const Jacobian& pt) const;
+  [[nodiscard]] Jacobian jdbl(const Jacobian& p) const;
+  [[nodiscard]] Jacobian jadd(const Jacobian& p, const Jacobian& q) const;
+
+  CurveParams params_;
+  MontCtx fp_;
+  MontCtx fn_;
+  UInt a_m_;  // curve a in Montgomery form
+  UInt b_m_;
+};
+
+/// Shared per-strength group instances (construction is nontrivial).
+const EcGroup& group_for(Strength s);
+
+}  // namespace argus::crypto

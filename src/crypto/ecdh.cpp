@@ -1,0 +1,19 @@
+#include "crypto/ecdh.hpp"
+
+#include <stdexcept>
+
+namespace argus::crypto {
+
+Bytes ecdh_shared_secret(const EcGroup& group, const UInt& priv,
+                         const EcPoint& peer_pub) {
+  if (peer_pub.infinity || !group.on_curve(peer_pub)) {
+    throw std::invalid_argument("ecdh: invalid peer public key");
+  }
+  const EcPoint shared = group.scalar_mul(peer_pub, priv);
+  if (shared.infinity) {
+    throw std::invalid_argument("ecdh: degenerate shared point");
+  }
+  return shared.x.to_bytes_be(group.params().field_bytes);
+}
+
+}  // namespace argus::crypto

@@ -1,0 +1,22 @@
+// Ephemeral ECDH key exchange.
+//
+// §V fixes the key exchange at ephemeral ECDH for forward secrecy: the
+// KEXM (key exchange material) in RES1/QUE2 is a fresh public value, and
+// the premaster secret `preK` is the shared point's X coordinate.
+#pragma once
+
+#include "crypto/ecdsa.hpp"
+
+namespace argus::crypto {
+
+/// Fresh ephemeral key pair for one handshake.
+inline EcKeyPair ecdh_generate(const EcGroup& group, HmacDrbg& rng) {
+  return ec_generate(group, rng);
+}
+
+/// preK = X coordinate of priv * peer_pub, serialized field-size bytes.
+/// Throws std::invalid_argument on the identity result (invalid peer key).
+Bytes ecdh_shared_secret(const EcGroup& group, const UInt& priv,
+                         const EcPoint& peer_pub);
+
+}  // namespace argus::crypto

@@ -1,0 +1,54 @@
+#include "crypto/hmac.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace argus::crypto {
+
+Bytes hmac_sha256(ByteSpan key, ByteSpan data) {
+  constexpr std::size_t B = Sha256::kBlockSize;
+  Bytes k0(B, 0);
+  if (key.size() > B) {
+    Bytes kh = Sha256::hash(key);
+    std::copy(kh.begin(), kh.end(), k0.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k0.begin());
+  }
+  Bytes ipad(B), opad(B);
+  for (std::size_t i = 0; i < B; ++i) {
+    ipad[i] = k0[i] ^ 0x36;
+    opad[i] = k0[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  Bytes inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Bytes prf(ByteSpan secret, std::string_view label, ByteSpan seed) {
+  Bytes msg = concat({str_bytes(label), seed});
+  return hmac_sha256(secret, msg);
+}
+
+Bytes prf_expand(ByteSpan secret, std::string_view label, ByteSpan seed,
+                 std::size_t out_len) {
+  Bytes out;
+  out.reserve(out_len);
+  Bytes block;  // T(0) = empty
+  std::uint8_t counter = 1;
+  while (out.size() < out_len) {
+    Bytes msg = concat({block, str_bytes(label), seed, ByteSpan(&counter, 1)});
+    block = hmac_sha256(secret, msg);
+    const std::size_t take = std::min(block.size(), out_len - out.size());
+    out.insert(out.end(), block.begin(),
+               block.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace argus::crypto

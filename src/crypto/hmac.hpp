@@ -1,0 +1,27 @@
+// HMAC-SHA256 (RFC 2104) and the paper's PRF conventions.
+//
+// Argus derives everything from HMAC:
+//   preK  = ECDH shared secret
+//   K2    = HMAC(preK,           "session key" || R_S || R_O)
+//   K3    = HMAC(K2 || K_grp,    "session key" || R_S || R_O)
+//   MAC_X = HMAC(K,  label || Hash(transcript))
+// `prf(secret, label, seed)` implements HMAC(secret, label || seed).
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace argus::crypto {
+
+/// HMAC-SHA256 of `data` under `key` (any key length).
+Bytes hmac_sha256(ByteSpan key, ByteSpan data);
+
+/// The paper's pseudorandom function: HMAC(secret, label || seed).
+Bytes prf(ByteSpan secret, std::string_view label, ByteSpan seed);
+
+/// HKDF-Expand-style output of arbitrary length from HMAC-SHA256
+/// (counter-mode expansion); used where more than 32 bytes are needed,
+/// e.g. AES-256 key + MAC key from one session secret.
+Bytes prf_expand(ByteSpan secret, std::string_view label, ByteSpan seed,
+                 std::size_t out_len);
+
+}  // namespace argus::crypto

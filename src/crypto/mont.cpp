@@ -1,0 +1,119 @@
+#include "crypto/mont.hpp"
+
+#include <stdexcept>
+
+namespace argus::crypto {
+
+using u128 = unsigned __int128;
+
+namespace {
+
+// -n^{-1} mod 2^64 via Newton iteration (n odd).
+std::uint64_t neg_inv64(std::uint64_t n) {
+  std::uint64_t x = n;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) x *= 2 - n * x;
+  return ~x + 1;  // negate: now -n^{-1}
+}
+
+}  // namespace
+
+MontCtx::MontCtx(const UInt& modulus) : n_(modulus) {
+  if (modulus.is_zero() || !modulus.is_odd()) {
+    throw std::invalid_argument("MontCtx: modulus must be odd and nonzero");
+  }
+  if (modulus.bit_length() > 575) {
+    throw std::invalid_argument("MontCtx: modulus too large");
+  }
+  nwords_ = modulus.word_count();
+  n0inv_ = neg_inv64(n_.w[0]);
+
+  // R mod n and R^2 mod n by repeated doubling: R = 2^(64*nwords).
+  UInt r = mod(UInt::one(), n_);
+  const std::size_t rbits = 64 * nwords_;
+  for (std::size_t i = 0; i < rbits; ++i) r = addmod(r, r, n_);
+  one_ = r;
+  UInt r2 = r;
+  for (std::size_t i = 0; i < rbits; ++i) r2 = addmod(r2, r2, n_);
+  rr_ = r2;
+}
+
+UInt MontCtx::mul(const UInt& a, const UInt& b) const {
+  const std::size_t nw = nwords_;
+  // CIOS: t has nw+2 words.
+  std::uint64_t t[kMaxWords + 2] = {0};
+  for (std::size_t i = 0; i < nw; ++i) {
+    // t += a[i] * b
+    u128 carry = 0;
+    for (std::size_t j = 0; j < nw; ++j) {
+      carry += static_cast<u128>(a.w[i]) * b.w[j] + t[j];
+      t[j] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    carry += t[nw];
+    t[nw] = static_cast<std::uint64_t>(carry);
+    t[nw + 1] = static_cast<std::uint64_t>(carry >> 64);
+
+    // m = t[0] * n0inv mod 2^64; t += m*n; t >>= 64
+    const std::uint64_t m = t[0] * n0inv_;
+    carry = static_cast<u128>(m) * n_.w[0] + t[0];
+    carry >>= 64;
+    for (std::size_t j = 1; j < nw; ++j) {
+      carry += static_cast<u128>(m) * n_.w[j] + t[j];
+      t[j - 1] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    carry += t[nw];
+    t[nw - 1] = static_cast<std::uint64_t>(carry);
+    t[nw] = t[nw + 1] + static_cast<std::uint64_t>(carry >> 64);
+    t[nw + 1] = 0;
+  }
+
+  UInt r;
+  for (std::size_t j = 0; j < nw; ++j) r.w[j] = t[j];
+  // The CIOS result T < 2n may spill one bit past the modulus words; the
+  // 575-bit modulus cap guarantees it still fits in UInt's capacity, so the
+  // final conditional subtraction can run at full width.
+  if (nw < kMaxWords) r.w[nw] = t[nw];
+  if (cmp(r, n_) >= 0) r = crypto::sub(r, n_);
+  return r;
+}
+
+UInt MontCtx::to_mont(const UInt& x) const { return mul(x, rr_); }
+
+UInt MontCtx::from_mont(const UInt& x) const { return mul(x, UInt::one()); }
+
+UInt MontCtx::pow(const UInt& base_m, const UInt& exp) const {
+  UInt result = one_;
+  const std::size_t bits = exp.bit_length();
+  // 4-bit fixed window.
+  UInt table[16];
+  table[0] = one_;
+  for (int i = 1; i < 16; ++i) {
+    table[i] = mul(table[i - 1], base_m);
+  }
+  if (bits == 0) return one_;
+  const std::size_t nibbles = (bits + 3) / 4;
+  for (std::size_t i = nibbles; i-- > 0;) {
+    if (i != nibbles - 1) {
+      result = sqr(result);
+      result = sqr(result);
+      result = sqr(result);
+      result = sqr(result);
+    }
+    std::size_t nibble = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      const std::size_t bit_idx = i * 4 + b;
+      if (bit_idx < bits && exp.bit(bit_idx)) nibble |= 1u << b;
+    }
+    if (nibble != 0) result = mul(result, table[nibble]);
+  }
+  return result;
+}
+
+UInt MontCtx::inv(const UInt& a_m) const {
+  if (a_m.is_zero()) throw std::invalid_argument("MontCtx::inv: zero");
+  const UInt e = crypto::sub(n_, UInt::from_u64(2));
+  return pow(a_m, e);
+}
+
+}  // namespace argus::crypto

@@ -1,0 +1,60 @@
+// Montgomery modular arithmetic (CIOS) for odd moduli up to 575 bits.
+//
+// A MontCtx captures one modulus (curve field prime, curve group order, or
+// pairing field prime). Values passed to mul/pow/inv must be in Montgomery
+// form and < n; use to_mont/from_mont at the boundary. The active word
+// count is taken from the modulus at construction, so smaller fields pay
+// proportionally less per multiplication — matching the paper's
+// strength-sweep behaviour in Fig 6(a).
+#pragma once
+
+#include "crypto/wide.hpp"
+
+namespace argus::crypto {
+
+class MontCtx {
+ public:
+  explicit MontCtx(const UInt& modulus);
+
+  [[nodiscard]] const UInt& modulus() const { return n_; }
+  [[nodiscard]] std::size_t nwords() const { return nwords_; }
+
+  [[nodiscard]] UInt to_mont(const UInt& x) const;
+  [[nodiscard]] UInt from_mont(const UInt& x) const;
+  /// 1 in Montgomery form (R mod n).
+  [[nodiscard]] const UInt& one() const { return one_; }
+
+  /// Montgomery product a*b*R^-1 mod n.
+  [[nodiscard]] UInt mul(const UInt& a, const UInt& b) const;
+  [[nodiscard]] UInt sqr(const UInt& a) const { return mul(a, a); }
+
+  /// Modular add/sub (domain-agnostic: works for plain or Montgomery form).
+  [[nodiscard]] UInt add(const UInt& a, const UInt& b) const {
+    return addmod(a, b, n_);
+  }
+  [[nodiscard]] UInt sub(const UInt& a, const UInt& b) const {
+    return submod(a, b, n_);
+  }
+  [[nodiscard]] UInt neg(const UInt& a) const {
+    return a.is_zero() ? a : crypto::sub(n_, a);
+  }
+
+  /// base^exp (base in Montgomery form; result in Montgomery form).
+  [[nodiscard]] UInt pow(const UInt& base_m, const UInt& exp) const;
+
+  /// Multiplicative inverse for prime moduli (Fermat), Montgomery domain.
+  [[nodiscard]] UInt inv(const UInt& a_m) const;
+
+  /// Reduce an arbitrary value (e.g. a hash) into [0, n).
+  [[nodiscard]] UInt reduce(const UInt& x) const { return mod(x, n_); }
+  [[nodiscard]] UInt reduce(const UProd& x) const { return mod(x, n_); }
+
+ private:
+  UInt n_;
+  std::size_t nwords_;
+  std::uint64_t n0inv_;  // -n^{-1} mod 2^64
+  UInt rr_;              // R^2 mod n
+  UInt one_;             // R mod n
+};
+
+}  // namespace argus::crypto

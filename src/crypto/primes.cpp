@@ -1,0 +1,57 @@
+#include "crypto/primes.hpp"
+
+#include "crypto/mont.hpp"
+
+namespace argus::crypto {
+
+bool is_probable_prime(const UInt& n, HmacDrbg& rng, int rounds) {
+  if (n.is_zero()) return false;
+  if (cmp(n, UInt::from_u64(3)) <= 0) {
+    return cmp(n, UInt::from_u64(2)) >= 0;
+  }
+  if (!n.is_odd()) return false;
+
+  // Trial division by small primes to reject quickly.
+  static constexpr std::uint64_t kSmall[] = {3,  5,  7,  11, 13, 17, 19, 23,
+                                             29, 31, 37, 41, 43, 47, 53, 59};
+  for (std::uint64_t p : kSmall) {
+    const UInt r = mod(n, UInt::from_u64(p));
+    if (r.is_zero()) return n == UInt::from_u64(p);
+  }
+
+  // n - 1 = d * 2^s
+  const UInt n_minus_1 = sub(n, UInt::one());
+  UInt d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = shr1(d);
+    ++s;
+  }
+
+  const MontCtx ctx(n);
+  const std::size_t nbytes = (n.bit_length() + 7) / 8;
+  for (int round = 0; round < rounds; ++round) {
+    // Random base a in [2, n-2].
+    UInt a;
+    do {
+      a = mod(UInt::from_bytes_be(rng.generate(nbytes)), n);
+    } while (cmp(a, UInt::from_u64(2)) < 0 || cmp(a, n_minus_1) >= 0);
+
+    UInt x = ctx.pow(ctx.to_mont(a), d);
+    UInt x_plain = ctx.from_mont(x);
+    if (x_plain == UInt::one() || x_plain == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = ctx.sqr(x);
+      x_plain = ctx.from_mont(x);
+      if (x_plain == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+}  // namespace argus::crypto

@@ -1,0 +1,15 @@
+// Miller-Rabin primality testing. Used by the pairing parameter generator
+// (tools/paramgen) and by tests that validate hard-coded curve/pairing
+// constants instead of trusting them.
+#pragma once
+
+#include "crypto/drbg.hpp"
+#include "crypto/wide.hpp"
+
+namespace argus::crypto {
+
+/// Miller-Rabin with `rounds` random bases drawn from `rng`.
+/// Deterministically correct for composites with probability >= 1-4^-rounds.
+bool is_probable_prime(const UInt& n, HmacDrbg& rng, int rounds = 40);
+
+}  // namespace argus::crypto

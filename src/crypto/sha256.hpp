@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for: transcript hashes (`Hash(*)` in the paper), HMAC, the
+// HMAC-DRBG, RFC-6979 nonce derivation, and hash-to-field/curve in the
+// pairing substrate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace argus::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorb more input. May be called any number of times.
+  void update(ByteSpan data);
+
+  /// Finalize and return the 32-byte digest. The object must not be
+  /// reused afterwards without calling reset().
+  Bytes finish();
+
+  void reset();
+
+  /// One-shot convenience.
+  static Bytes hash(ByteSpan data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace argus::crypto

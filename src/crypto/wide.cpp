@@ -1,0 +1,200 @@
+#include "crypto/wide.hpp"
+
+#include <stdexcept>
+
+namespace argus::crypto {
+
+using u128 = unsigned __int128;
+
+UInt UInt::from_bytes_be(ByteSpan bytes) {
+  if (bytes.size() > kMaxWords * 8) {
+    throw std::invalid_argument("UInt::from_bytes_be: too long");
+  }
+  UInt x;
+  std::size_t bit = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::uint8_t byte = bytes[bytes.size() - 1 - i];
+    x.w[bit / 64] |= static_cast<std::uint64_t>(byte) << (bit % 64);
+    bit += 8;
+  }
+  return x;
+}
+
+UInt UInt::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+  return from_bytes_be(argus::from_hex(padded));
+}
+
+Bytes UInt::to_bytes_be(std::size_t len) const {
+  if (bit_length() > len * 8) {
+    throw std::invalid_argument("UInt::to_bytes_be: value does not fit");
+  }
+  Bytes out(len, 0);
+  for (std::size_t i = 0; i < len && i < kMaxWords * 8; ++i) {
+    out[len - 1 - i] =
+        static_cast<std::uint8_t>(w[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+std::string UInt::to_hex() const {
+  const std::size_t len = std::max<std::size_t>(1, (bit_length() + 7) / 8);
+  return argus::to_hex(to_bytes_be(len));
+}
+
+bool UInt::is_zero() const {
+  for (auto v : w) {
+    if (v != 0) return false;
+  }
+  return true;
+}
+
+std::size_t UInt::bit_length() const {
+  for (std::size_t i = kMaxWords; i-- > 0;) {
+    if (w[i] != 0) {
+      return 64 * i + (64 - static_cast<std::size_t>(__builtin_clzll(w[i])));
+    }
+  }
+  return 0;
+}
+
+std::size_t UInt::word_count() const {
+  const std::size_t bits = bit_length();
+  return bits == 0 ? 1 : (bits + 63) / 64;
+}
+
+int cmp(const UInt& a, const UInt& b) {
+  for (std::size_t i = kMaxWords; i-- > 0;) {
+    if (a.w[i] != b.w[i]) return a.w[i] < b.w[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+UInt add(const UInt& a, const UInt& b, bool* carry) {
+  UInt r;
+  u128 c = 0;
+  for (std::size_t i = 0; i < kMaxWords; ++i) {
+    c += static_cast<u128>(a.w[i]) + b.w[i];
+    r.w[i] = static_cast<std::uint64_t>(c);
+    c >>= 64;
+  }
+  if (carry) *carry = c != 0;
+  return r;
+}
+
+UInt sub(const UInt& a, const UInt& b, bool* borrow) {
+  UInt r;
+  u128 bw = 0;
+  for (std::size_t i = 0; i < kMaxWords; ++i) {
+    const u128 ai = a.w[i];
+    const u128 need = static_cast<u128>(b.w[i]) + bw;
+    if (ai >= need) {
+      r.w[i] = static_cast<std::uint64_t>(ai - need);
+      bw = 0;
+    } else {
+      r.w[i] = static_cast<std::uint64_t>((u128{1} << 64) + ai - need);
+      bw = 1;
+    }
+  }
+  if (borrow) *borrow = bw != 0;
+  return r;
+}
+
+UInt shl1(const UInt& a, bool* overflow) {
+  UInt r;
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < kMaxWords; ++i) {
+    r.w[i] = (a.w[i] << 1) | carry;
+    carry = a.w[i] >> 63;
+  }
+  if (overflow) *overflow = carry != 0;
+  return r;
+}
+
+UInt shr1(const UInt& a) {
+  UInt r;
+  std::uint64_t carry = 0;
+  for (std::size_t i = kMaxWords; i-- > 0;) {
+    r.w[i] = (a.w[i] >> 1) | (carry << 63);
+    carry = a.w[i] & 1;
+  }
+  return r;
+}
+
+UProd mul_full(const UInt& a, const UInt& b) {
+  UProd p;
+  for (std::size_t i = 0; i < kMaxWords; ++i) {
+    if (a.w[i] == 0) continue;
+    u128 carry = 0;
+    for (std::size_t j = 0; j < kMaxWords; ++j) {
+      carry += static_cast<u128>(a.w[i]) * b.w[j] + p.w[i + j];
+      p.w[i + j] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    p.w[i + kMaxWords] = static_cast<std::uint64_t>(carry);
+  }
+  return p;
+}
+
+namespace {
+
+// Shift-subtract reduction of an arbitrary-width value. O(bits) UInt ops;
+// used only at setup / non-hot paths.
+template <std::size_t N>
+UInt mod_impl(const std::array<std::uint64_t, N>& x, const UInt& m) {
+  if (m.is_zero()) throw std::invalid_argument("mod: zero modulus");
+  UInt r;
+  for (std::size_t i = N; i-- > 0;) {
+    for (int b = 63; b >= 0; --b) {
+      bool overflow = false;
+      r = shl1(r, &overflow);
+      if ((x[i] >> b) & 1) r.w[0] |= 1;
+      if (overflow || cmp(r, m) >= 0) r = sub(r, m);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+UInt mod(const UProd& x, const UInt& m) { return mod_impl(x.w, m); }
+
+UInt mod(const UInt& x, const UInt& m) {
+  if (cmp(x, m) < 0) return x;
+  return mod_impl(x.w, m);
+}
+
+DivResult divmod(const UInt& a, const UInt& m) {
+  if (m.is_zero()) throw std::invalid_argument("divmod: zero modulus");
+  DivResult res;
+  for (std::size_t i = kMaxWords; i-- > 0;) {
+    for (int b = 63; b >= 0; --b) {
+      res.remainder = shl1(res.remainder);
+      if ((a.w[i] >> b) & 1) res.remainder.w[0] |= 1;
+      res.quotient = shl1(res.quotient);
+      if (cmp(res.remainder, m) >= 0) {
+        res.remainder = sub(res.remainder, m);
+        res.quotient.w[0] |= 1;
+      }
+    }
+  }
+  return res;
+}
+
+UInt addmod(const UInt& a, const UInt& b, const UInt& m) {
+  bool carry = false;
+  UInt r = add(a, b, &carry);
+  if (carry || cmp(r, m) >= 0) r = sub(r, m);
+  return r;
+}
+
+UInt submod(const UInt& a, const UInt& b, const UInt& m) {
+  if (cmp(a, b) >= 0) return sub(a, b);
+  // a - b + m
+  bool carry = false;
+  UInt t = add(a, m, &carry);
+  return sub(t, b);
+}
+
+}  // namespace argus::crypto

@@ -1,0 +1,115 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace argus::net {
+
+Network::Network(Simulator& sim, RadioParams radio, std::uint64_t seed)
+    : sim_(sim), radio_(radio), rng_(crypto::make_rng(seed, "network")) {}
+
+NodeId Network::add_node(SimNode* node, unsigned hops) {
+  const NodeId id = next_id_++;
+  node->net_ = this;
+  node->id_ = id;
+  nodes_[id] = NodeSlot{node, hops, 0};
+  return id;
+}
+
+unsigned Network::hops_between(NodeId a, NodeId b) const {
+  const auto ia = nodes_.find(a);
+  const auto ib = nodes_.find(b);
+  if (ia == nodes_.end() || ib == nodes_.end()) {
+    throw std::invalid_argument("Network: unknown node");
+  }
+  const unsigned ha = ia->second.hops;
+  const unsigned hb = ib->second.hops;
+  const unsigned d = ha > hb ? ha - hb : hb - ha;
+  return d == 0 ? 1 : d;  // distinct nodes are at least one hop apart
+}
+
+double Network::jitter() {
+  if (radio_.jitter_ms <= 0) return 0;
+  return radio_.jitter_ms *
+         (static_cast<double>(rng_.uniform(1000)) / 1000.0);
+}
+
+SimTime Network::reserve_channel(unsigned ring, SimTime earliest,
+                                 double occupancy) {
+  if (ring_free_.size() <= ring) ring_free_.resize(ring + 1, 0);
+  const SimTime start = std::max(earliest, ring_free_[ring]);
+  ring_free_[ring] = start + occupancy;
+  stats_.channel_busy_ms += occupancy;
+  return start;
+}
+
+void Network::deliver(NodeId from, NodeId to, Bytes payload, SimTime arrival) {
+  sim_.schedule_at(arrival, [this, from, to, payload = std::move(payload)] {
+    auto& slot = nodes_.at(to);
+    // The node is a serial processor: processing starts when it frees up.
+    const SimTime start = std::max(sim_.now(), slot.busy_until);
+    slot.busy_until = start;
+    sim_.schedule_at(start, [this, from, to, payload] {
+      nodes_.at(to).node->on_message(from, payload);
+    });
+  });
+}
+
+void Network::unicast(NodeId from, NodeId to, Bytes payload) {
+  auto& src = nodes_.at(from);
+  const unsigned hops = hops_between(from, to);
+  const double occupancy =
+      static_cast<double>(payload.size()) / radio_.bandwidth_bytes_per_ms;
+
+  stats_.messages += 1;
+  stats_.bytes += payload.size();
+  stats_.hop_bytes += payload.size() * hops;
+
+  // The sender cannot transmit before it finishes computing.
+  // The ring index of each traversed hop: between rings min..max-1.
+  const unsigned base = std::min(nodes_.at(from).hops, nodes_.at(to).hops);
+  SimTime ready = std::max(sim_.now(), src.busy_until);
+  SimTime arrival = ready;
+  for (unsigned h = 0; h < hops; ++h) {
+    const SimTime start = reserve_channel(base + h, arrival, occupancy);
+    arrival = start + occupancy + radio_.per_hop_latency_ms + jitter();
+  }
+  deliver(from, to, std::move(payload), arrival);
+}
+
+void Network::broadcast(NodeId from, Bytes payload) {
+  auto& src = nodes_.at(from);
+  const double occupancy =
+      static_cast<double>(payload.size()) / radio_.bandwidth_bytes_per_ms;
+
+  // Flooding: the hop-h ring re-broadcasts once; ring k's transmission
+  // happens after ring k-1 received the message.
+  unsigned max_hops = 0;
+  for (const auto& [id, slot] : nodes_) max_hops = std::max(max_hops, slot.hops);
+
+  const SimTime ready = std::max(sim_.now(), src.busy_until);
+  std::vector<SimTime> ring_arrival(max_hops + 1, ready);
+  SimTime prev = ready;
+  for (unsigned h = 1; h <= max_hops; ++h) {
+    const SimTime start = reserve_channel(h - 1, prev, occupancy);
+    ring_arrival[h] = start + occupancy + radio_.per_hop_latency_ms + jitter();
+    prev = ring_arrival[h];
+    stats_.channel_busy_ms += 0;  // occupancy already counted
+    stats_.hop_bytes += payload.size();
+  }
+  stats_.messages += 1;
+  stats_.bytes += payload.size();
+
+  for (const auto& [id, slot] : nodes_) {
+    if (id == from) continue;
+    const unsigned h = std::max(1u, slot.hops);
+    deliver(from, id, payload, ring_arrival[std::min<unsigned>(h, max_hops)]);
+  }
+}
+
+void Network::consume_compute(NodeId node, double ms) {
+  if (ms < 0) throw std::invalid_argument("consume_compute: negative time");
+  auto& slot = nodes_.at(node);
+  slot.busy_until = std::max(slot.busy_until, sim_.now()) + ms;
+}
+
+}  // namespace argus::net

@@ -1,0 +1,117 @@
+// Ground-network model: the ad-hoc radio network formed by one subject
+// device and nearby objects (§II-A).
+//
+// Topology is a hop-distance tree rooted at the subject (matching the
+// paper's testbed: objects 1..4 hops away). The radio model has two cost
+// components per message per hop:
+//   * channel occupancy  — bytes / bandwidth; the shared medium serializes
+//     concurrent transmissions (CSMA-like), which is what lets 20 RES1
+//     responses arrive in well under 20 x one-message-latency;
+//   * per-hop pipeline latency — protocol/OS overhead that does NOT occupy
+//     the channel, so different messages' latencies overlap.
+// Each node is a serial processor: handler compute time (from the
+// ComputeModel) delays both its replies and its next message.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/drbg.hpp"
+#include "net/compute.hpp"
+#include "net/sim.hpp"
+
+namespace argus::net {
+
+using NodeId = std::uint32_t;
+
+struct RadioParams {
+  double bandwidth_bytes_per_ms = 110.0;  // effective app-layer throughput
+  double per_hop_latency_ms = 52.0;       // per message per hop, overlapping
+  double jitter_ms = 4.0;                 // uniform [0, jitter) extra latency
+};
+
+class Network;
+
+/// Base class for protocol endpoints attached to the network.
+class SimNode {
+ public:
+  virtual ~SimNode() = default;
+  /// Handle a delivered message. Runs when the node becomes free; report
+  /// crypto time via Network::consume_compute before sending replies.
+  virtual void on_message(NodeId from, const Bytes& payload) = 0;
+
+  [[nodiscard]] NodeId node_id() const { return id_; }
+
+ protected:
+  friend class Network;
+  Network* net_ = nullptr;
+  NodeId id_ = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, RadioParams radio, std::uint64_t seed);
+
+  /// Attach a node at `hops` from the subject (subject itself: hops 0).
+  NodeId add_node(SimNode* node, unsigned hops);
+
+  /// Hop distance used for traffic between two nodes.
+  [[nodiscard]] unsigned hops_between(NodeId a, NodeId b) const;
+
+  /// Point-to-point send from the node currently processing (or idle).
+  void unicast(NodeId from, NodeId to, Bytes payload);
+  /// Flooded broadcast: reaches every node; each hop ring re-transmits.
+  void broadcast(NodeId from, Bytes payload);
+
+  /// Charge compute time to a node (extends its busy window; subsequent
+  /// sends and deliveries queue behind it).
+  void consume_compute(NodeId node, double ms);
+  /// Charge one modeled crypto op.
+  void consume_op(NodeId node, const ComputeModel& model, CryptoOp op) {
+    consume_compute(node, model.cost(op));
+  }
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] SimTime now() const { return sim_.now(); }
+  /// Earliest time the node is free of queued compute (used to timestamp
+  /// when a node's current processing completes).
+  [[nodiscard]] SimTime node_free_at(NodeId node) const {
+    return nodes_.at(node).busy_until;
+  }
+
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;          // payload bytes offered
+    std::uint64_t hop_bytes = 0;      // bytes x hops actually carried
+    double channel_busy_ms = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct NodeSlot {
+    SimNode* node = nullptr;
+    unsigned hops = 0;
+    SimTime busy_until = 0;
+  };
+
+  /// Reserve the hop-ring channel `ring` for `occupancy` ms starting no
+  /// earlier than `earliest`; returns the reserved start time. Each hop
+  /// ring is its own contention domain (spatial reuse), so a relay two
+  /// hops out does not block fresh transmissions at the subject.
+  SimTime reserve_channel(unsigned ring, SimTime earliest, double occupancy);
+  void deliver(NodeId from, NodeId to, Bytes payload, SimTime arrival);
+  double jitter();
+
+  Simulator& sim_;
+  RadioParams radio_;
+  crypto::HmacDrbg rng_;
+  std::map<NodeId, NodeSlot> nodes_;
+  NodeId next_id_ = 1;
+  std::vector<SimTime> ring_free_;  // per-hop-ring contention domains
+  Stats stats_;
+};
+
+}  // namespace argus::net

@@ -1,0 +1,41 @@
+#include "net/sim.hpp"
+
+#include <stdexcept>
+
+namespace argus::net {
+
+void Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) throw std::invalid_argument("Simulator: time in the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+SimTime Simulator::run() {
+  while (!queue_.empty()) {
+    // Copy out before pop: fn may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  now_ = std::max(now_, deadline);
+  return now_;
+}
+
+}  // namespace argus::net

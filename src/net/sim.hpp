@@ -1,0 +1,55 @@
+// Discrete-event simulator kernel.
+//
+// Virtual time is in milliseconds (double). Events fire in (time, seq)
+// order, so same-time events preserve scheduling order and runs are fully
+// deterministic — a requirement for reproducing the paper's discovery
+// timelines and for the indistinguishability analyses, where timing IS the
+// observable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace argus::net {
+
+using SimTime = double;  // virtual milliseconds
+
+class Simulator {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` ms from now (delay >= 0).
+  void schedule(SimTime delay, std::function<void()> fn);
+  /// Schedule at an absolute virtual time (>= now).
+  void schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Run until the event queue drains. Returns the final virtual time.
+  SimTime run();
+  /// Run until `deadline` (events after it stay queued).
+  SimTime run_until(SimTime deadline);
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace argus::net

@@ -1,0 +1,190 @@
+#include "pairing/curve.hpp"
+
+#include <stdexcept>
+
+#include "common/serde.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace argus::pairing {
+
+PairingCurve::PairingCurve(const PairingParams& params)
+    : params_(params), fp_(params.p), fr_(params.r) {
+  // (p+1)/4: p = 3 (mod 4) so p+1 is divisible by 4.
+  UInt p1 = crypto::add(params_.p, UInt::one());
+  sqrt_exp_ = crypto::shr1(crypto::shr1(p1));
+}
+
+bool PairingCurve::on_curve(const PPoint& pt) const {
+  if (pt.infinity) return true;
+  if (crypto::cmp(pt.x, params_.p) >= 0 || crypto::cmp(pt.y, params_.p) >= 0) {
+    return false;
+  }
+  const UInt x = fp_.to_mont(pt.x);
+  const UInt y = fp_.to_mont(pt.y);
+  // y^2 == x^3 + x
+  const UInt lhs = fp_.sqr(y);
+  const UInt rhs = fp_.add(fp_.mul(fp_.sqr(x), x), x);
+  return lhs == rhs;
+}
+
+PairingCurve::Jac PairingCurve::to_jac(const PPoint& pt) const {
+  if (pt.infinity) return Jac{fp_.one(), fp_.one(), UInt::zero()};
+  return Jac{fp_.to_mont(pt.x), fp_.to_mont(pt.y), fp_.one()};
+}
+
+PPoint PairingCurve::to_affine(const Jac& pt) const {
+  if (pt.z.is_zero()) return PPoint::identity();
+  const UInt zinv = fp_.inv(pt.z);
+  const UInt zinv2 = fp_.sqr(zinv);
+  const UInt zinv3 = fp_.mul(zinv2, zinv);
+  return PPoint{fp_.from_mont(fp_.mul(pt.x, zinv2)),
+                fp_.from_mont(fp_.mul(pt.y, zinv3)), false};
+}
+
+// Jacobian doubling, curve a = 1 (general-a dbl-2007-bl).
+PairingCurve::Jac PairingCurve::jdbl(const Jac& p) const {
+  if (p.z.is_zero() || p.y.is_zero()) {
+    return Jac{fp_.one(), fp_.one(), UInt::zero()};
+  }
+  const UInt xx = fp_.sqr(p.x);
+  const UInt yy = fp_.sqr(p.y);
+  const UInt yyyy = fp_.sqr(yy);
+  const UInt zz = fp_.sqr(p.z);
+  UInt s = fp_.sqr(fp_.add(p.x, yy));
+  s = fp_.sub(s, xx);
+  s = fp_.sub(s, yyyy);
+  s = fp_.add(s, s);
+  // M = 3*XX + a*ZZ^2 with a = 1.
+  UInt m = fp_.add(fp_.add(xx, xx), xx);
+  m = fp_.add(m, fp_.sqr(zz));
+  UInt t = fp_.sqr(m);
+  t = fp_.sub(t, s);
+  t = fp_.sub(t, s);
+  Jac r;
+  r.x = t;
+  UInt y8 = fp_.add(yyyy, yyyy);
+  y8 = fp_.add(y8, y8);
+  y8 = fp_.add(y8, y8);
+  r.y = fp_.sub(fp_.mul(m, fp_.sub(s, t)), y8);
+  UInt z3 = fp_.sqr(fp_.add(p.y, p.z));
+  z3 = fp_.sub(z3, yy);
+  r.z = fp_.sub(z3, zz);
+  return r;
+}
+
+PairingCurve::Jac PairingCurve::jadd(const Jac& p, const Jac& q) const {
+  if (p.z.is_zero()) return q;
+  if (q.z.is_zero()) return p;
+  const UInt z1z1 = fp_.sqr(p.z);
+  const UInt z2z2 = fp_.sqr(q.z);
+  const UInt u1 = fp_.mul(p.x, z2z2);
+  const UInt u2 = fp_.mul(q.x, z1z1);
+  const UInt s1 = fp_.mul(p.y, fp_.mul(q.z, z2z2));
+  const UInt s2 = fp_.mul(q.y, fp_.mul(p.z, z1z1));
+  if (u1 == u2) {
+    if (s1 == s2) return jdbl(p);
+    return Jac{fp_.one(), fp_.one(), UInt::zero()};
+  }
+  const UInt h = fp_.sub(u2, u1);
+  UInt i = fp_.add(h, h);
+  i = fp_.sqr(i);
+  const UInt j = fp_.mul(h, i);
+  UInt r0 = fp_.sub(s2, s1);
+  r0 = fp_.add(r0, r0);
+  const UInt v = fp_.mul(u1, i);
+  Jac r;
+  r.x = fp_.sub(fp_.sub(fp_.sqr(r0), j), fp_.add(v, v));
+  UInt s1j = fp_.mul(s1, j);
+  s1j = fp_.add(s1j, s1j);
+  r.y = fp_.sub(fp_.mul(r0, fp_.sub(v, r.x)), s1j);
+  UInt z3 = fp_.sqr(fp_.add(p.z, q.z));
+  z3 = fp_.sub(z3, z1z1);
+  z3 = fp_.sub(z3, z2z2);
+  r.z = fp_.mul(z3, h);
+  return r;
+}
+
+PPoint PairingCurve::add(const PPoint& a, const PPoint& b) const {
+  return to_affine(jadd(to_jac(a), to_jac(b)));
+}
+
+PPoint PairingCurve::dbl(const PPoint& a) const {
+  return to_affine(jdbl(to_jac(a)));
+}
+
+PPoint PairingCurve::negate(const PPoint& a) const {
+  if (a.infinity) return a;
+  return PPoint{a.x, crypto::submod(UInt::zero(), a.y, params_.p), false};
+}
+
+PPoint PairingCurve::scalar_mul(const PPoint& pt, const UInt& k) const {
+  if (k.is_zero() || pt.infinity) return PPoint::identity();
+  const Jac base = to_jac(pt);
+  Jac acc{fp_.one(), fp_.one(), UInt::zero()};
+  for (std::size_t i = k.bit_length(); i-- > 0;) {
+    acc = jdbl(acc);
+    if (k.bit(i)) acc = jadd(acc, base);
+  }
+  return to_affine(acc);
+}
+
+std::optional<UInt> PairingCurve::sqrt_m(const UInt& x_m) const {
+  const UInt cand = fp_.pow(x_m, sqrt_exp_);
+  if (fp_.sqr(cand) != x_m) return std::nullopt;
+  return cand;
+}
+
+PPoint PairingCurve::hash_to_group(ByteSpan data) const {
+  const std::size_t pbytes = (params_.p.bit_length() + 7) / 8;
+  for (std::uint32_t counter = 0;; ++counter) {
+    ByteWriter w;
+    w.u32(counter);
+    w.raw(data);
+    // Two hash blocks give 64 bytes >= pbytes of candidate material.
+    Bytes material =
+        crypto::prf_expand(crypto::Sha256::hash(w.data()), "h2c", {}, pbytes);
+    const UInt x = crypto::mod(UInt::from_bytes_be(material), params_.p);
+    const UInt x_m = fp_.to_mont(x);
+    const UInt rhs = fp_.add(fp_.mul(fp_.sqr(x_m), x_m), x_m);
+    const auto y_m = sqrt_m(rhs);
+    if (!y_m) continue;
+    PPoint pt{x, fp_.from_mont(*y_m), false};
+    // Clear the cofactor to land in the order-r subgroup.
+    pt = scalar_mul(pt, params_.h);
+    if (pt.infinity) continue;  // astronomically unlikely
+    return pt;
+  }
+}
+
+UInt PairingCurve::random_scalar(crypto::HmacDrbg& rng) const {
+  const std::size_t nbytes = (params_.r.bit_length() + 7) / 8;
+  for (;;) {
+    const UInt k = crypto::mod(UInt::from_bytes_be(rng.generate(nbytes)),
+                               params_.r);
+    if (!k.is_zero()) return k;
+  }
+}
+
+Bytes PairingCurve::encode_point(const PPoint& pt) const {
+  if (pt.infinity) return Bytes{0x00};
+  const std::size_t pbytes = (params_.p.bit_length() + 7) / 8;
+  Bytes out{0x04};
+  append(out, pt.x.to_bytes_be(pbytes));
+  append(out, pt.y.to_bytes_be(pbytes));
+  return out;
+}
+
+std::optional<PPoint> PairingCurve::decode_point(ByteSpan data) const {
+  if (data.size() == 1 && data[0] == 0x00) return PPoint::identity();
+  const std::size_t pbytes = (params_.p.bit_length() + 7) / 8;
+  if (data.size() != 1 + 2 * pbytes || data[0] != 0x04) return std::nullopt;
+  PPoint pt;
+  pt.x = UInt::from_bytes_be(data.subspan(1, pbytes));
+  pt.y = UInt::from_bytes_be(data.subspan(1 + pbytes, pbytes));
+  pt.infinity = false;
+  if (!on_curve(pt)) return std::nullopt;
+  return pt;
+}
+
+}  // namespace argus::pairing

@@ -1,0 +1,73 @@
+// Point arithmetic on the supersingular curve E: y^2 = x^3 + x over F_p.
+//
+// Unlike crypto::EcGroup, scalar multiplication here must NOT reduce the
+// scalar modulo the subgroup order: cofactor clearing during hash-to-curve
+// multiplies by h > r. Formulas are Jacobian with a = 1, b = 0.
+#pragma once
+
+#include <optional>
+
+#include "crypto/drbg.hpp"
+#include "pairing/fp2.hpp"
+#include "pairing/params.hpp"
+
+namespace argus::pairing {
+
+/// Affine point in plain (non-Montgomery) coordinates; infinity flag.
+struct PPoint {
+  UInt x, y;
+  bool infinity = false;
+
+  static PPoint identity() { return PPoint{{}, {}, true}; }
+  friend bool operator==(const PPoint&, const PPoint&) = default;
+};
+
+class PairingCurve {
+ public:
+  explicit PairingCurve(const PairingParams& params);
+
+  [[nodiscard]] const PairingParams& params() const { return params_; }
+  [[nodiscard]] const MontCtx& fp() const { return fp_; }
+  [[nodiscard]] const MontCtx& fr() const { return fr_; }
+  [[nodiscard]] PPoint generator() const {
+    return PPoint{params_.gx, params_.gy, false};
+  }
+
+  [[nodiscard]] bool on_curve(const PPoint& pt) const;
+  [[nodiscard]] PPoint add(const PPoint& a, const PPoint& b) const;
+  [[nodiscard]] PPoint dbl(const PPoint& a) const;
+  [[nodiscard]] PPoint negate(const PPoint& a) const;
+  /// k * pt with NO modular reduction of k (full bit-length ladder).
+  [[nodiscard]] PPoint scalar_mul(const PPoint& pt, const UInt& k) const;
+
+  /// Hash arbitrary bytes onto the order-r subgroup (try-and-increment on
+  /// x, then cofactor clearing by h).
+  [[nodiscard]] PPoint hash_to_group(ByteSpan data) const;
+
+  /// Uniform scalar in [1, r-1].
+  [[nodiscard]] UInt random_scalar(crypto::HmacDrbg& rng) const;
+
+  /// 0x04 || X || Y (64-byte coordinates) or 0x00 for identity.
+  [[nodiscard]] Bytes encode_point(const PPoint& pt) const;
+  [[nodiscard]] std::optional<PPoint> decode_point(ByteSpan data) const;
+
+  /// Square root mod p for p = 3 (mod 4): x^((p+1)/4). Returns nullopt if
+  /// `x` is a non-residue. Montgomery domain in and out.
+  [[nodiscard]] std::optional<UInt> sqrt_m(const UInt& x_m) const;
+
+ private:
+  struct Jac {
+    UInt x, y, z;  // Montgomery form; z == 0 encodes identity
+  };
+  [[nodiscard]] Jac to_jac(const PPoint& pt) const;
+  [[nodiscard]] PPoint to_affine(const Jac& pt) const;
+  [[nodiscard]] Jac jdbl(const Jac& p) const;
+  [[nodiscard]] Jac jadd(const Jac& p, const Jac& q) const;
+
+  PairingParams params_;
+  MontCtx fp_;
+  MontCtx fr_;
+  UInt sqrt_exp_;  // (p+1)/4
+};
+
+}  // namespace argus::pairing

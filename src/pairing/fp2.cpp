@@ -1,0 +1,60 @@
+#include "pairing/fp2.hpp"
+
+#include <stdexcept>
+
+namespace argus::pairing {
+
+Fp2 Fp2Ctx::add(const Fp2& x, const Fp2& y) const {
+  return {fp_.add(x.a, y.a), fp_.add(x.b, y.b)};
+}
+
+Fp2 Fp2Ctx::sub(const Fp2& x, const Fp2& y) const {
+  return {fp_.sub(x.a, y.a), fp_.sub(x.b, y.b)};
+}
+
+Fp2 Fp2Ctx::neg(const Fp2& x) const { return {fp_.neg(x.a), fp_.neg(x.b)}; }
+
+Fp2 Fp2Ctx::mul(const Fp2& x, const Fp2& y) const {
+  // Karatsuba: (a+bi)(c+di) = ac - bd + ((a+b)(c+d) - ac - bd) i
+  const UInt ac = fp_.mul(x.a, y.a);
+  const UInt bd = fp_.mul(x.b, y.b);
+  const UInt cross = fp_.mul(fp_.add(x.a, x.b), fp_.add(y.a, y.b));
+  return {fp_.sub(ac, bd), fp_.sub(fp_.sub(cross, ac), bd)};
+}
+
+Fp2 Fp2Ctx::sqr(const Fp2& x) const {
+  // (a+bi)^2 = (a+b)(a-b) + 2ab i
+  const UInt t1 = fp_.add(x.a, x.b);
+  const UInt t2 = fp_.sub(x.a, x.b);
+  const UInt ab = fp_.mul(x.a, x.b);
+  return {fp_.mul(t1, t2), fp_.add(ab, ab)};
+}
+
+Fp2 Fp2Ctx::inv(const Fp2& x) const {
+  if (is_zero(x)) throw std::invalid_argument("Fp2: inverse of zero");
+  // 1/(a+bi) = (a-bi) / (a^2+b^2)
+  const UInt norm = fp_.add(fp_.sqr(x.a), fp_.sqr(x.b));
+  const UInt ninv = fp_.inv(norm);
+  return {fp_.mul(x.a, ninv), fp_.mul(fp_.neg(x.b), ninv)};
+}
+
+Fp2 Fp2Ctx::conj(const Fp2& x) const { return {x.a, fp_.neg(x.b)}; }
+
+Fp2 Fp2Ctx::pow(const Fp2& base, const UInt& exp) const {
+  Fp2 result = one();
+  Fp2 acc = base;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mul(result, acc);
+    if (i + 1 < bits) acc = sqr(acc);
+  }
+  return result;
+}
+
+Bytes Fp2Ctx::serialize(const Fp2& x) const {
+  const std::size_t len = (fp_.modulus().bit_length() + 7) / 8;
+  return concat({fp_.from_mont(x.a).to_bytes_be(len),
+                         fp_.from_mont(x.b).to_bytes_be(len)});
+}
+
+}  // namespace argus::pairing

@@ -1,0 +1,62 @@
+// Quadratic extension field F_p^2 = F_p[i] / (i^2 + 1).
+//
+// The pairing target group G_T lives here. The base prime satisfies
+// p = 3 (mod 4), so -1 is a quadratic non-residue and i^2 = -1 defines a
+// field. Elements hold Montgomery-form coordinates over a shared MontCtx.
+#pragma once
+
+#include "crypto/mont.hpp"
+
+namespace argus::pairing {
+
+using argus::Bytes;
+using crypto::MontCtx;
+using crypto::UInt;
+
+/// a + b*i with a, b in Montgomery form.
+struct Fp2 {
+  UInt a;  // real part
+  UInt b;  // imaginary part
+
+  friend bool operator==(const Fp2&, const Fp2&) = default;
+};
+
+class Fp2Ctx {
+ public:
+  explicit Fp2Ctx(const MontCtx& fp) : fp_(fp) {}
+
+  [[nodiscard]] const MontCtx& fp() const { return fp_; }
+
+  [[nodiscard]] Fp2 zero() const { return {UInt::zero(), UInt::zero()}; }
+  [[nodiscard]] Fp2 one() const { return {fp_.one(), UInt::zero()}; }
+  /// Lift an F_p element (Montgomery form) into F_p^2.
+  [[nodiscard]] Fp2 from_base(const UInt& a_m) const {
+    return {a_m, UInt::zero()};
+  }
+
+  [[nodiscard]] bool is_zero(const Fp2& x) const {
+    return x.a.is_zero() && x.b.is_zero();
+  }
+  [[nodiscard]] bool is_one(const Fp2& x) const {
+    return x.a == fp_.one() && x.b.is_zero();
+  }
+
+  [[nodiscard]] Fp2 add(const Fp2& x, const Fp2& y) const;
+  [[nodiscard]] Fp2 sub(const Fp2& x, const Fp2& y) const;
+  [[nodiscard]] Fp2 neg(const Fp2& x) const;
+  [[nodiscard]] Fp2 mul(const Fp2& x, const Fp2& y) const;
+  [[nodiscard]] Fp2 sqr(const Fp2& x) const;
+  [[nodiscard]] Fp2 inv(const Fp2& x) const;
+  /// Conjugate a - b*i; equals the Frobenius x^p because p = 3 (mod 4).
+  [[nodiscard]] Fp2 conj(const Fp2& x) const;
+  [[nodiscard]] Fp2 pow(const Fp2& base, const UInt& exp) const;
+
+  /// Canonical byte serialization (non-Montgomery, fixed width) for key
+  /// derivation from G_T elements.
+  [[nodiscard]] Bytes serialize(const Fp2& x) const;
+
+ private:
+  const MontCtx& fp_;
+};
+
+}  // namespace argus::pairing

@@ -1,0 +1,28 @@
+// Type-A pairing parameters (supersingular curve E: y^2 = x^3 + x over
+// F_p, p = 3 mod 4, embedding degree 2), PBC-style: |p| = 512 bits,
+// |r| = 160 bits, matching the security level the paper's JPBC/CP-ABE
+// baselines used.
+//
+// The constants were produced by tools/paramgen (deterministic search
+// seeded with "argus-paramgen") and are *validated* by tests: p, r prime,
+// p = 3 (mod 4), r | p + 1, generator on curve with order exactly r.
+#pragma once
+
+#include "crypto/wide.hpp"
+
+namespace argus::pairing {
+
+using crypto::UInt;
+
+struct PairingParams {
+  UInt p;   // 512-bit base field prime, p = 3 (mod 4)
+  UInt r;   // 160-bit prime group order, r | p + 1
+  UInt h;   // cofactor, p + 1 = h * r
+  UInt gx;  // generator of the order-r subgroup of E(F_p)
+  UInt gy;
+};
+
+/// The repository-wide default parameter set.
+const PairingParams& default_params();
+
+}  // namespace argus::pairing

@@ -1,0 +1,22 @@
+// Shared pairing system instance (curve + Tate pairing over the default
+// parameters). Construction precomputes Montgomery contexts; reuse it.
+#pragma once
+
+#include "pairing/tate.hpp"
+
+namespace argus::pairing {
+
+struct PairingSystem {
+  PairingCurve curve;
+  Pairing pairing;
+
+  explicit PairingSystem(const PairingParams& params)
+      : curve(params), pairing(curve) {}
+};
+
+inline const PairingSystem& default_system() {
+  static const PairingSystem sys(default_params());
+  return sys;
+}
+
+}  // namespace argus::pairing

@@ -1,0 +1,104 @@
+#include "pairing/tate.hpp"
+
+#include <stdexcept>
+
+namespace argus::pairing {
+
+Pairing::Pairing(const PairingCurve& curve)
+    : curve_(curve), fp2ctx_(curve.fp()) {
+  // (p+1)/r (exact by construction: p + 1 = h * r).
+  const UInt p1 = crypto::add(curve_.params().p, UInt::one());
+  const crypto::DivResult d = crypto::divmod(p1, curve_.params().r);
+  if (!d.remainder.is_zero()) {
+    throw std::invalid_argument("Pairing: r does not divide p+1");
+  }
+  exp_lo_ = d.quotient;
+}
+
+namespace {
+
+/// Affine working point in Montgomery form.
+struct AffM {
+  UInt x, y;
+  bool infinity = false;
+};
+
+}  // namespace
+
+Fp2 Pairing::miller(const PPoint& p, const PPoint& q) const {
+  const MontCtx& fp = curve_.fp();
+  // phi(Q) = (-x_Q, i*y_Q): precompute the F_p parts.
+  const UInt xq = fp.neg(fp.to_mont(q.x));
+  const UInt yq = fp.to_mont(q.y);
+  const UInt neg_yq = fp.neg(yq);
+
+  AffM v{fp.to_mont(p.x), fp.to_mont(p.y), false};
+  const AffM base = v;
+  Fp2 f = fp2ctx_.one();
+
+  const UInt& r = curve_.params().r;
+  const std::size_t bits = r.bit_length();
+
+  // Evaluate the line through V with slope `lambda` at phi(Q):
+  //   l = lambda*(xq - x_V) + y_V - i*y_Q
+  const auto line = [&](const AffM& vv, const UInt& lambda) -> Fp2 {
+    const UInt re = fp.add(fp.mul(lambda, fp.sub(xq, vv.x)), vv.y);
+    return Fp2{re, neg_yq};
+  };
+
+  for (std::size_t i = bits - 1; i-- > 0;) {
+    f = fp2ctx_.sqr(f);
+    if (!v.infinity) {
+      if (v.y.is_zero()) {
+        // Order-2 point: vertical tangent, line in F_p* (eliminated).
+        v.infinity = true;
+      } else {
+        // lambda = (3 x^2 + 1) / (2 y)  (curve a = 1, Montgomery form).
+        const UInt x2 = fp.sqr(v.x);
+        UInt num = fp.add(fp.add(x2, x2), x2);
+        num = fp.add(num, fp.one());
+        const UInt den = fp.inv(fp.add(v.y, v.y));
+        const UInt lambda = fp.mul(num, den);
+        f = fp2ctx_.mul(f, line(v, lambda));
+        // V = 2V.
+        UInt x3 = fp.sub(fp.sqr(lambda), fp.add(v.x, v.x));
+        UInt y3 = fp.sub(fp.mul(lambda, fp.sub(v.x, x3)), v.y);
+        v = AffM{x3, y3, false};
+      }
+    }
+    if (r.bit(i) && !v.infinity) {
+      if (v.x == base.x) {
+        // V == +-P. Equal points cannot occur (the loop never revisits P
+        // before the final step); V == -P means the vertical line, which
+        // is eliminated, and V+P = infinity.
+        v.infinity = true;
+      } else {
+        const UInt lambda =
+            fp.mul(fp.sub(base.y, v.y), fp.inv(fp.sub(base.x, v.x)));
+        f = fp2ctx_.mul(f, line(v, lambda));
+        UInt x3 = fp.sub(fp.sub(fp.sqr(lambda), v.x), base.x);
+        UInt y3 = fp.sub(fp.mul(lambda, fp.sub(v.x, x3)), v.y);
+        v = AffM{x3, y3, false};
+      }
+    }
+  }
+  return f;
+}
+
+Fp2 Pairing::final_exp(const Fp2& f) const {
+  // f^{(p^2-1)/r} = (f^{p-1})^{(p+1)/r}; f^p is the conjugate.
+  const Fp2 fp_part = fp2ctx_.mul(fp2ctx_.conj(f), fp2ctx_.inv(f));
+  return fp2ctx_.pow(fp_part, exp_lo_);
+}
+
+Fp2 Pairing::pair(const PPoint& p, const PPoint& q) const {
+  if (p.infinity || q.infinity) return fp2ctx_.one();
+  const Fp2 m = miller(p, q);
+  if (fp2ctx_.is_zero(m)) {
+    // Can only happen for degenerate inputs outside the subgroup.
+    throw std::invalid_argument("Pairing: degenerate Miller value");
+  }
+  return final_exp(m);
+}
+
+}  // namespace argus::pairing

@@ -1,0 +1,48 @@
+// Modified Tate pairing on the supersingular curve.
+//
+//   e_hat(P, Q) = tate(P, phi(Q)),  phi(x, y) = (-x, i*y)
+//
+// with the distortion map phi making the pairing symmetric and
+// non-degenerate on the order-r subgroup of E(F_p). Computed by Miller's
+// algorithm with denominator elimination (valid because x_{phi(Q)} lies in
+// F_p and the final exponentiation (p^2-1)/r kills F_p* factors), followed
+// by the final exponentiation into the order-r subgroup of F_p^2*.
+#pragma once
+
+#include "pairing/curve.hpp"
+
+namespace argus::pairing {
+
+class Pairing {
+ public:
+  explicit Pairing(const PairingCurve& curve);
+
+  /// e_hat(P, Q) in G_T (unity-normalized: result^r == 1).
+  /// Returns 1 for identity inputs.
+  [[nodiscard]] Fp2 pair(const PPoint& p, const PPoint& q) const;
+
+  /// G_T exponentiation.
+  [[nodiscard]] Fp2 gt_pow(const Fp2& base, const UInt& exp) const {
+    return fp2ctx_.pow(base, exp);
+  }
+
+  [[nodiscard]] const Fp2Ctx& fp2() const { return fp2ctx_; }
+  [[nodiscard]] const PairingCurve& curve() const { return curve_; }
+
+  /// Canonical bytes of a G_T element (for HMAC key derivation).
+  [[nodiscard]] Bytes serialize_gt(const Fp2& x) const {
+    return fp2ctx_.serialize(x);
+  }
+
+ private:
+  /// Miller loop f_{r,P} evaluated at phi(Q), denominators eliminated.
+  [[nodiscard]] Fp2 miller(const PPoint& p, const PPoint& q) const;
+  /// Final exponentiation: x^{(p-1)} via Frobenius, then ^{(p+1)/r}.
+  [[nodiscard]] Fp2 final_exp(const Fp2& f) const;
+
+  const PairingCurve& curve_;
+  Fp2Ctx fp2ctx_;
+  UInt exp_lo_;  // (p+1)/r
+};
+
+}  // namespace argus::pairing

@@ -1,0 +1,24 @@
+#include "pbc/sok.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace argus::pbc {
+
+GroupAuthority SokScheme::create_group(HmacDrbg& rng) const {
+  return GroupAuthority{sys_.curve.random_scalar(rng)};
+}
+
+MemberCredential SokScheme::issue(const GroupAuthority& group,
+                                  const std::string& member_id) const {
+  const PPoint h = sys_.curve.hash_to_group(str_bytes(member_id));
+  return MemberCredential{member_id, sys_.curve.scalar_mul(h, group.master)};
+}
+
+Bytes SokScheme::handshake_key(const MemberCredential& self,
+                               const std::string& peer_id) const {
+  const PPoint h_peer = sys_.curve.hash_to_group(str_bytes(peer_id));
+  const pairing::Fp2 k = sys_.pairing.pair(self.credential, h_peer);
+  return crypto::Sha256::hash(sys_.pairing.serialize_gt(k));
+}
+
+}  // namespace argus::pbc

@@ -1,0 +1,62 @@
+// Sakai-Ohgishi-Kasahara style secret-handshake key agreement over the
+// Tate pairing — the paper's PBC baseline for Level 3 covert discovery
+// (MASHaBLE-like, §IX "the other uses Pairing-based Cryptography ...
+// adapted for Level 3 discovery").
+//
+// Per secret group g the backend holds a master secret t_g. A member X
+// receives credential C_X = t_g * H1(X). Two members derive the same
+// pairwise key without revealing the group:
+//
+//   X computes e(C_X, H1(Y)) = e(H1(X), H1(Y))^{t_g} = Y's e(H1(X), C_Y)
+//
+// Non-members (unknown t_g) cannot compute the key; key confirmation is
+// by HMAC exchange, exactly as Argus Level 3 does with its group key.
+#pragma once
+
+#include <string>
+
+#include "crypto/drbg.hpp"
+#include "pairing/system.hpp"
+
+namespace argus::pbc {
+
+using crypto::HmacDrbg;
+using crypto::UInt;
+using pairing::PairingSystem;
+using pairing::PPoint;
+
+/// Backend-side per-group master secret.
+struct GroupAuthority {
+  UInt master;  // t_g in [1, r-1]
+};
+
+/// Member-side credential for one secret group.
+struct MemberCredential {
+  std::string member_id;
+  PPoint credential;  // t_g * H1(member_id)
+};
+
+class SokScheme {
+ public:
+  explicit SokScheme(const PairingSystem& sys) : sys_(sys) {}
+
+  /// Create a fresh group authority.
+  GroupAuthority create_group(HmacDrbg& rng) const;
+
+  /// Issue a member credential (runs at the backend).
+  MemberCredential issue(const GroupAuthority& group,
+                         const std::string& member_id) const;
+
+  /// Derive the pairwise key with `peer_id`: 32 bytes,
+  /// SHA-256(e(C_self, H1(peer))), order-independent per group.
+  /// Costs one pairing — the operation Fig 6(d) measures.
+  [[nodiscard]] Bytes handshake_key(const MemberCredential& self,
+                                    const std::string& peer_id) const;
+
+  [[nodiscard]] const PairingSystem& system() const { return sys_; }
+
+ private:
+  const PairingSystem& sys_;
+};
+
+}  // namespace argus::pbc

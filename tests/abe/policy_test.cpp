@@ -1,0 +1,91 @@
+#include "abe/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace argus::abe {
+namespace {
+
+TEST(PolicyTest, LeafSatisfaction) {
+  const PolicyNode p = PolicyNode::leaf("dept:X");
+  EXPECT_TRUE(p.satisfied_by({"dept:X"}));
+  EXPECT_TRUE(p.satisfied_by({"dept:X", "role:mgr"}));
+  EXPECT_FALSE(p.satisfied_by({"dept:Y"}));
+  EXPECT_FALSE(p.satisfied_by({}));
+}
+
+TEST(PolicyTest, AndSemantics) {
+  const PolicyNode p = PolicyNode::all_of(
+      {PolicyNode::leaf("a"), PolicyNode::leaf("b"), PolicyNode::leaf("c")});
+  EXPECT_TRUE(p.satisfied_by({"a", "b", "c"}));
+  EXPECT_TRUE(p.satisfied_by({"a", "b", "c", "d"}));
+  EXPECT_FALSE(p.satisfied_by({"a", "b"}));
+  EXPECT_FALSE(p.satisfied_by({}));
+}
+
+TEST(PolicyTest, OrSemantics) {
+  const PolicyNode p =
+      PolicyNode::any_of({PolicyNode::leaf("a"), PolicyNode::leaf("b")});
+  EXPECT_TRUE(p.satisfied_by({"a"}));
+  EXPECT_TRUE(p.satisfied_by({"b"}));
+  EXPECT_TRUE(p.satisfied_by({"a", "b"}));
+  EXPECT_FALSE(p.satisfied_by({"c"}));
+}
+
+TEST(PolicyTest, ThresholdSemantics) {
+  const PolicyNode p = PolicyNode::threshold(
+      2, {PolicyNode::leaf("a"), PolicyNode::leaf("b"), PolicyNode::leaf("c")});
+  EXPECT_TRUE(p.satisfied_by({"a", "b"}));
+  EXPECT_TRUE(p.satisfied_by({"a", "c"}));
+  EXPECT_TRUE(p.satisfied_by({"a", "b", "c"}));
+  EXPECT_FALSE(p.satisfied_by({"a"}));
+  EXPECT_FALSE(p.satisfied_by({"d", "e"}));
+}
+
+TEST(PolicyTest, NestedTree) {
+  // (dept:X AND (role:mgr OR role:dir))
+  const PolicyNode p = PolicyNode::all_of(
+      {PolicyNode::leaf("dept:X"),
+       PolicyNode::any_of(
+           {PolicyNode::leaf("role:mgr"), PolicyNode::leaf("role:dir")})});
+  EXPECT_TRUE(p.satisfied_by({"dept:X", "role:mgr"}));
+  EXPECT_TRUE(p.satisfied_by({"dept:X", "role:dir"}));
+  EXPECT_FALSE(p.satisfied_by({"dept:X"}));
+  EXPECT_FALSE(p.satisfied_by({"role:mgr"}));
+}
+
+TEST(PolicyTest, LeafCount) {
+  EXPECT_EQ(PolicyNode::leaf("a").leaf_count(), 1u);
+  EXPECT_EQ(and_of_attributes({"a", "b", "c"}).leaf_count(), 3u);
+  const PolicyNode nested = PolicyNode::all_of(
+      {PolicyNode::leaf("a"),
+       PolicyNode::any_of({PolicyNode::leaf("b"), PolicyNode::leaf("c")})});
+  EXPECT_EQ(nested.leaf_count(), 3u);
+}
+
+TEST(PolicyTest, Validity) {
+  EXPECT_TRUE(PolicyNode::leaf("a").valid());
+  EXPECT_FALSE(PolicyNode::leaf("").valid());
+  EXPECT_FALSE(PolicyNode::threshold(0, {PolicyNode::leaf("a")}).valid());
+  EXPECT_FALSE(PolicyNode::threshold(2, {PolicyNode::leaf("a")}).valid());
+  EXPECT_FALSE(PolicyNode::threshold(1, {}).valid());
+  EXPECT_TRUE(PolicyNode::threshold(1, {PolicyNode::leaf("a")}).valid());
+  // Invalid child invalidates parent.
+  EXPECT_FALSE(PolicyNode::all_of({PolicyNode::leaf("")}).valid());
+}
+
+TEST(PolicyTest, ToStringReadable) {
+  const PolicyNode p =
+      PolicyNode::all_of({PolicyNode::leaf("a"), PolicyNode::leaf("b")});
+  EXPECT_EQ(p.to_string(), "(2 of (a, b))");
+  EXPECT_EQ(PolicyNode::leaf("x").to_string(), "x");
+}
+
+TEST(PolicyTest, AndOfAttributesBuilder) {
+  const PolicyNode p = and_of_attributes({"a", "b"});
+  EXPECT_TRUE(p.valid());
+  EXPECT_TRUE(p.satisfied_by({"a", "b"}));
+  EXPECT_FALSE(p.satisfied_by({"a"}));
+}
+
+}  // namespace
+}  // namespace argus::abe

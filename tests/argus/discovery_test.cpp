@@ -1,0 +1,227 @@
+// Simulated end-to-end discovery: the paper's testbed shape (1 subject,
+// up to 20 objects, 1-4 hops) on the discrete-event ground network.
+#include <gtest/gtest.h>
+
+#include "argus/discovery.hpp"
+
+namespace argus::core {
+namespace {
+
+using backend::AttributeMap;
+using backend::Backend;
+using backend::Level;
+
+struct Fleet {
+  std::unique_ptr<Backend> be;
+  backend::SubjectCredentials subject;
+  std::vector<ScenarioObject> objects;
+};
+
+/// Build a testbed: `n` objects of the given level, all at `hops`.
+Fleet make_fleet(std::size_t n, Level level, unsigned hops = 1) {
+  Fleet f;
+  f.be = std::make_unique<Backend>(crypto::Strength::b128, 11);
+  f.subject = f.be->register_subject(
+      "alice", AttributeMap{{"position", "employee"}}, {"support"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string id = "obj-" + std::to_string(i);
+    backend::ObjectCredentials creds;
+    switch (level) {
+      case Level::kL1:
+        creds = f.be->register_object(id, AttributeMap{{"type", "sensor"}},
+                                      Level::kL1, {"read"});
+        break;
+      case Level::kL2:
+        creds = f.be->register_object(
+            id, AttributeMap{{"type", "multimedia"}}, Level::kL2, {},
+            {{"position=='employee'", "staff", {"use"}}});
+        break;
+      case Level::kL3:
+        creds = f.be->register_object(
+            id, AttributeMap{{"type", "kiosk"}}, Level::kL3, {},
+            {{"position=='employee'", "staff", {"use"}}},
+            {{"support", "covert", {"use", "support"}}});
+        break;
+    }
+    f.objects.push_back(ScenarioObject{std::move(creds), hops});
+  }
+  return f;
+}
+
+DiscoveryScenario scenario_for(const Fleet& f) {
+  DiscoveryScenario sc;
+  sc.subject = f.subject;
+  sc.admin_pub = f.be->admin_public_key();
+  sc.objects = f.objects;
+  sc.epoch = f.be->now();
+  return sc;
+}
+
+TEST(DiscoveryTest, Level1TwentyObjectsDiscovered) {
+  const Fleet f = make_fleet(20, Level::kL1);
+  const auto report = run_discovery(scenario_for(f));
+  EXPECT_EQ(report.services.size(), 20u);
+  EXPECT_EQ(report.count_level(1), 20u);
+  // Paper Fig 6(e): ~0.25 s for 20 Level 1 objects. Allow generous band.
+  EXPECT_GT(report.total_ms, 120);
+  EXPECT_LT(report.total_ms, 450);
+}
+
+TEST(DiscoveryTest, Level2TwentyObjectsDiscovered) {
+  const Fleet f = make_fleet(20, Level::kL2);
+  const auto report = run_discovery(scenario_for(f));
+  EXPECT_EQ(report.count_level(2), 20u);
+  // Paper: ~0.63 s.
+  EXPECT_GT(report.total_ms, 450);
+  EXPECT_LT(report.total_ms, 900);
+}
+
+TEST(DiscoveryTest, Level3TwentyObjectsDiscoveredCovertly) {
+  const Fleet f = make_fleet(20, Level::kL3);
+  const auto report = run_discovery(scenario_for(f));
+  EXPECT_EQ(report.count_level(3), 20u);
+  EXPECT_GT(report.total_ms, 450);
+  EXPECT_LT(report.total_ms, 900);
+}
+
+TEST(DiscoveryTest, Level2And3TimesOverlap) {
+  // Fig 6(e): Level 2 and Level 3 curves overlap — the timing signature
+  // of indistinguishability at fleet scale.
+  const Fleet f2 = make_fleet(10, Level::kL2);
+  const Fleet f3 = make_fleet(10, Level::kL3);
+  const auto r2 = run_discovery(scenario_for(f2));
+  const auto r3 = run_discovery(scenario_for(f3));
+  EXPECT_NEAR(r2.total_ms, r3.total_ms, 0.12 * r2.total_ms);
+}
+
+TEST(DiscoveryTest, TimeGrowsWithObjectCount) {
+  double prev = 0;
+  for (std::size_t n : {5u, 10u, 20u}) {
+    const Fleet f = make_fleet(n, Level::kL2);
+    const auto report = run_discovery(scenario_for(f));
+    EXPECT_EQ(report.services.size(), n);
+    EXPECT_GT(report.total_ms, prev);
+    prev = report.total_ms;
+  }
+}
+
+TEST(DiscoveryTest, MultiHopCostsMore) {
+  const Fleet near = make_fleet(20, Level::kL2, 1);
+  Fleet mixed = make_fleet(20, Level::kL2, 1);
+  for (std::size_t i = 0; i < mixed.objects.size(); ++i) {
+    mixed.objects[i].hops = static_cast<unsigned>(1 + i / 5);  // 5 per ring
+  }
+  const auto r_near = run_discovery(scenario_for(near));
+  const auto r_mixed = run_discovery(scenario_for(mixed));
+  EXPECT_EQ(r_mixed.services.size(), 20u);
+  // Paper Fig 6(g): 0.63 s single-hop -> 1.15 s multi-hop.
+  EXPECT_GT(r_mixed.total_ms, 1.2 * r_near.total_ms);
+}
+
+TEST(DiscoveryTest, SingleObjectLatencyByHops) {
+  // Fig 6(h): latency grows roughly linearly with hop count.
+  std::vector<double> times;
+  for (unsigned hops : {1u, 2u, 3u, 4u}) {
+    const Fleet f = make_fleet(1, Level::kL1, hops);
+    times.push_back(run_discovery(scenario_for(f)).total_ms);
+  }
+  EXPECT_LT(times[0], times[1]);
+  EXPECT_LT(times[1], times[2]);
+  EXPECT_LT(times[2], times[3]);
+  // 4-hop should be roughly 3-4.5x the 1-hop latency (paper: 0.13->0.53 s).
+  EXPECT_GT(times[3], 2.5 * times[0]);
+  EXPECT_LT(times[3], 5.5 * times[0]);
+}
+
+TEST(DiscoveryTest, MixedFleetConcurrentLevels) {
+  // 3-in-1: one round discovers L1, L2, L3 services concurrently.
+  Fleet f = make_fleet(4, Level::kL1);
+  Fleet f2 = make_fleet(3, Level::kL2);
+  Fleet f3 = make_fleet(2, Level::kL3);
+  // Rebuild in one backend so credentials share an admin.
+  Backend be(crypto::Strength::b128, 12);
+  auto subject = be.register_subject(
+      "alice", AttributeMap{{"position", "employee"}}, {"support"});
+  std::vector<ScenarioObject> objs;
+  for (int i = 0; i < 4; ++i) {
+    objs.push_back({be.register_object("l1-" + std::to_string(i), {},
+                                       Level::kL1, {"read"}),
+                    1});
+  }
+  for (int i = 0; i < 3; ++i) {
+    objs.push_back({be.register_object(
+                        "l2-" + std::to_string(i), {}, Level::kL2, {},
+                        {{"position=='employee'", "staff", {"use"}}}),
+                    1});
+  }
+  for (int i = 0; i < 2; ++i) {
+    objs.push_back({be.register_object(
+                        "l3-" + std::to_string(i), {}, Level::kL3, {},
+                        {{"position=='employee'", "staff", {"use"}}},
+                        {{"support", "covert", {"support"}}}),
+                    1});
+  }
+  DiscoveryScenario sc;
+  sc.subject = subject;
+  sc.admin_pub = be.admin_public_key();
+  sc.objects = objs;
+  sc.epoch = be.now();
+  const auto report = run_discovery(sc);
+  EXPECT_EQ(report.count_level(1), 4u);
+  EXPECT_EQ(report.count_level(2), 3u);
+  EXPECT_EQ(report.count_level(3), 2u);
+  EXPECT_EQ(report.timeline.size(), 9u);
+  (void)f;
+  (void)f2;
+  (void)f3;
+}
+
+TEST(DiscoveryTest, ReportAccountsMessagesAndCompute) {
+  const Fleet f = make_fleet(5, Level::kL2);
+  const auto report = run_discovery(scenario_for(f));
+  EXPECT_GT(report.bytes_by_msg.at("QUE1"), 0u);
+  EXPECT_GT(report.bytes_by_msg.at("RES1"), 0u);
+  EXPECT_GT(report.bytes_by_msg.at("QUE2"), 0u);
+  EXPECT_GT(report.bytes_by_msg.at("RES2"), 0u);
+  // Subject: ~27.4 ms per object + RES2 processing extras.
+  EXPECT_NEAR(report.subject_compute_ms, 5 * 27.4, 5 * 8.0);
+  EXPECT_NEAR(report.object_compute_ms, 5 * 78.2, 5 * 4.0);
+  EXPECT_EQ(report.net_stats.messages, 1u + 3 * 5u);  // QUE1 + 3 per object
+}
+
+TEST(DiscoveryTest, DeterministicGivenSeed) {
+  const Fleet f = make_fleet(8, Level::kL3);
+  const auto r1 = run_discovery(scenario_for(f));
+  const auto r2 = run_discovery(scenario_for(f));
+  EXPECT_EQ(r1.total_ms, r2.total_ms);
+  EXPECT_EQ(r1.net_stats.bytes, r2.net_stats.bytes);
+}
+
+TEST(DiscoveryTest, MultiRoundFindsServicesAcrossGroups) {
+  Backend be(crypto::Strength::b128, 13);
+  auto subject =
+      be.register_subject("carol", {}, {"support", "disability"});
+  std::vector<ScenarioObject> objs;
+  objs.push_back({be.register_object(
+                      "kiosk", {}, Level::kL3, {},
+                      {{"position!='x'", "staff", {"use"}}},
+                      {{"support", "covert-a", {"a"}}}),
+                  1});
+  objs.push_back({be.register_object(
+                      "ramp", {}, Level::kL3, {},
+                      {{"position!='x'", "staff", {"use"}}},
+                      {{"disability", "covert-b", {"b"}}}),
+                  1});
+  DiscoveryScenario sc;
+  sc.subject = subject;
+  sc.admin_pub = be.admin_public_key();
+  sc.objects = objs;
+  sc.epoch = be.now();
+  sc.rounds = 2;  // cycle both group keys (§VI-C)
+  const auto report = run_discovery(sc);
+  std::size_t covert = report.count_level(3);
+  EXPECT_EQ(covert, 2u);
+}
+
+}  // namespace
+}  // namespace argus::core

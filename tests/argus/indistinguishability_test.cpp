@@ -1,0 +1,166 @@
+// v3.0 indistinguishability properties (§VI-B): identical QUE2 structure
+// for all subjects, constant RES2 length, double-faced Level 3 objects.
+// These are the observable-bytes guarantees an eavesdropper would attack.
+#include <gtest/gtest.h>
+
+#include "argus/object_engine.hpp"
+#include "argus/subject_engine.hpp"
+#include "crypto/aes.hpp"
+
+namespace argus::core {
+namespace {
+
+using backend::AttributeMap;
+using backend::Backend;
+using backend::Level;
+
+class IndistFixture : public ::testing::Test {
+ protected:
+  IndistFixture() : be_(crypto::Strength::b128, 77) {
+    member_ = be_.register_subject("member",
+                                   AttributeMap{{"position", "employee"}},
+                                   {"support-group"});
+    plain_ = be_.register_subject("plain",
+                                  AttributeMap{{"position", "employee"}});
+    l2_obj_ = be_.register_object(
+        "printer", AttributeMap{{"type", "printer"}}, Level::kL2, {},
+        {{"position=='employee'", "staff", {"print"}}});
+    l3_obj_ = be_.register_object(
+        "kiosk", AttributeMap{{"type", "kiosk"}}, Level::kL3, {},
+        {{"position=='employee'", "staff", {"browse"}}},
+        {{"support-group", "support", {"browse", "private resources"}}});
+  }
+
+  SubjectEngine subject(const backend::SubjectCredentials& c,
+                        std::uint64_t seed) {
+    SubjectEngineConfig cfg;
+    cfg.creds = c;
+    cfg.admin_pub = be_.admin_public_key();
+    cfg.seed = seed;
+    return SubjectEngine(std::move(cfg));
+  }
+  ObjectEngine object(const backend::ObjectCredentials& c) {
+    ObjectEngineConfig cfg;
+    cfg.creds = c;
+    cfg.admin_pub = be_.admin_public_key();
+    cfg.seed = 9;
+    return ObjectEngine(std::move(cfg));
+  }
+
+  struct Trace {
+    Bytes que1, res1, que2, res2;
+  };
+  Trace run(SubjectEngine& s, ObjectEngine& o) {
+    Trace t;
+    t.que1 = s.start_round();
+    t.res1 = *o.handle(t.que1, be_.now());
+    t.que2 = *s.handle(t.res1, be_.now());
+    t.res2 = *o.handle(t.que2, be_.now());
+    (void)s.handle(t.res2, be_.now());
+    return t;
+  }
+
+  Backend be_;
+  backend::SubjectCredentials member_, plain_;
+  backend::ObjectCredentials l2_obj_, l3_obj_;
+};
+
+TEST_F(IndistFixture, AllSubjectsSendStructurallyIdenticalQue2) {
+  // A subject with a real group key and one with only a cover-up key must
+  // produce QUE2s of identical length and composition (MAC_{S,3} always
+  // present in v3.0).
+  auto s1 = subject(member_, 1);
+  auto s2 = subject(plain_, 2);
+  auto o1 = object(l3_obj_);
+  auto o2 = object(l3_obj_);
+  const Trace t1 = run(s1, o1);
+  const Trace t2 = run(s2, o2);
+  EXPECT_EQ(t1.que2.size(), t2.que2.size());
+  const auto m1 = std::get<Que2>(*decode(t1.que2));
+  const auto m2 = std::get<Que2>(*decode(t2.que2));
+  EXPECT_EQ(m1.mac_s3.size(), kMacSize);
+  EXPECT_EQ(m2.mac_s3.size(), kMacSize);
+}
+
+TEST_F(IndistFixture, Res2LengthConstantAcrossFaces) {
+  // The Level 3 object's RES2 to a fellow and to a non-fellow must have
+  // the same length even though the underlying variants differ.
+  auto fellow = subject(member_, 3);
+  auto outsider = subject(plain_, 4);
+  auto o1 = object(l3_obj_);
+  auto o2 = object(l3_obj_);
+  const Trace tf = run(fellow, o1);
+  const Trace to = run(outsider, o2);
+  EXPECT_EQ(tf.res2.size(), to.res2.size());
+  // And the two subjects did see different levels.
+  EXPECT_EQ(fellow.discovered().front().level, 3);
+  EXPECT_EQ(outsider.discovered().front().level, 2);
+}
+
+TEST_F(IndistFixture, Level2AndLevel3ObjectsEmitSameShapedTraffic) {
+  // RES1 and RES2 from a pure Level 2 object vs a Level 3 object (cover
+  // face) must be structurally identical; only profile content differs
+  // under encryption. Compare full message lengths field by field.
+  auto s1 = subject(plain_, 5);
+  auto s2 = subject(plain_, 5);  // same seed: same subject behaviour
+  auto o2 = object(l2_obj_);
+  auto o3 = object(l3_obj_);
+  const Trace a = run(s1, o2);
+  const Trace b = run(s2, o3);
+  EXPECT_EQ(a.res1.size(), b.res1.size());
+  const auto ra = std::get<Res2>(*decode(a.res2));
+  const auto rb = std::get<Res2>(*decode(b.res2));
+  EXPECT_EQ(ra.mac_o.size(), rb.mac_o.size());
+  // Note: sealed sizes differ only if profile sizes differ; both pad to
+  // each object's own maximum. Here both have one 200 B class profile.
+  EXPECT_EQ(a.res2.size(), b.res2.size());
+}
+
+TEST_F(IndistFixture, CoverUpMacIsNotVerifiableByObjects) {
+  // The cover-up key is unique to the subject: no object ever validates
+  // its MAC_{S,3}, so the subject only ever receives Level 2 responses.
+  auto s = subject(plain_, 6);
+  auto o = object(l3_obj_);
+  run(s, o);
+  EXPECT_EQ(o.stats().fellows_confirmed, 0u);
+  EXPECT_EQ(s.discovered().front().level, 2);
+}
+
+TEST_F(IndistFixture, TimingEqualizationChargesLevel2Gap) {
+  // With equalisation on, a pure Level 2 object charges one extra HMAC so
+  // its modeled response time matches a Level 3 object's (§VII Case 9).
+  auto run_compute = [&](bool equalize, const backend::ObjectCredentials& c) {
+    ObjectEngineConfig cfg;
+    cfg.creds = c;
+    cfg.admin_pub = be_.admin_public_key();
+    cfg.seed = 9;
+    cfg.equalize_timing = equalize;
+    ObjectEngine o(std::move(cfg));
+    auto s = subject(plain_, 7);
+    const Bytes que1 = s.start_round();
+    auto res1 = o.handle(que1, be_.now());
+    auto que2 = s.handle(*res1, be_.now());
+    (void)o.handle(*que2, be_.now());
+    return o.take_consumed_ms();
+  };
+  const double l2_eq = run_compute(true, l2_obj_);
+  const double l3 = run_compute(true, l3_obj_);
+  const double l2_raw = run_compute(false, l2_obj_);
+  EXPECT_NEAR(l2_eq, l3, 1e-9);  // equalised: exactly the same model cost
+  EXPECT_LT(l2_raw, l2_eq);      // ablation: without it there IS a gap
+}
+
+TEST_F(IndistFixture, SealedProfilesUnreadableWithoutSessionKeys) {
+  // An eavesdropper holding the full trace cannot open RES2 with either a
+  // guessed key or a key from a different session.
+  auto s = subject(member_, 8);
+  auto o = object(l3_obj_);
+  const Trace t = run(s, o);
+  const auto res2 = std::get<Res2>(*decode(t.res2));
+  EXPECT_FALSE(crypto::SealedBox::verifies(Bytes(32, 0xAA), res2.sealed_prof));
+  EXPECT_FALSE(
+      crypto::SealedBox::verifies(member_.group_keys[0].key, res2.sealed_prof));
+}
+
+}  // namespace
+}  // namespace argus::core

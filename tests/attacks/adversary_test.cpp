@@ -1,0 +1,162 @@
+// §VII security analysis as executable tests: Cases 1-9 with real key
+// material. Every attack must fail against v3.0; the ablations (padding
+// or timing equalisation off) show the attacks would otherwise succeed.
+#include <gtest/gtest.h>
+
+#include "attacks/adversary.hpp"
+
+namespace argus::attacks {
+namespace {
+
+using backend::AttributeMap;
+using backend::Backend;
+using backend::Level;
+using core::ObjectEngineConfig;
+using core::SubjectEngineConfig;
+
+class AttackFixture : public ::testing::Test {
+ protected:
+  AttackFixture() : be_(crypto::Strength::b128, 555) {
+    fellow_ = be_.register_subject(
+        "fellow", AttributeMap{{"position", "employee"}}, {"support"});
+    plain_ = be_.register_subject("plain",
+                                  AttributeMap{{"position", "employee"}});
+    l2_ = be_.register_object("printer", {}, Level::kL2, {},
+                              {{"position=='employee'", "staff", {"print"}}});
+    // Covert variant with a deliberately larger profile (more services) so
+    // that, WITHOUT padding, sizes leak.
+    l3_ = be_.register_object(
+        "kiosk", {}, Level::kL3, {},
+        {{"position=='employee'", "staff", {"browse"}}},
+        {{"support", "covert",
+          {"browse", "counseling resources", "financial aid directory",
+           "peer support meetup calendar", "emergency contact lines",
+           "accessibility services catalog", "confidential appointment "
+           "booking"}}});
+  }
+
+  SubjectEngine subject(const backend::SubjectCredentials& c) {
+    SubjectEngineConfig cfg;
+    cfg.creds = c;
+    cfg.admin_pub = be_.admin_public_key();
+    cfg.seed = 71;
+    return SubjectEngine(std::move(cfg));
+  }
+  ObjectEngine object(const backend::ObjectCredentials& c) {
+    ObjectEngineConfig cfg;
+    cfg.creds = c;
+    cfg.admin_pub = be_.admin_public_key();
+    cfg.seed = 72;
+    return ObjectEngine(std::move(cfg));
+  }
+
+  Backend be_;
+  backend::SubjectCredentials fellow_, plain_;
+  backend::ObjectCredentials l2_, l3_;
+};
+
+TEST_F(AttackFixture, Case1EavesdropperCannotReadServiceInfo) {
+  auto s = subject(plain_);
+  auto o = object(l2_);
+  const auto trace = capture_exchange(s, o, be_.now());
+  ASSERT_TRUE(trace.has_value());
+  // Candidate keys an eavesdropper might assemble: zeros, the group keys
+  // (stolen alone, without K2), random guesses.
+  std::vector<Bytes> candidates{Bytes(32, 0), fellow_.group_keys[0].key,
+                                plain_.group_keys[0].key};
+  auto rng = crypto::make_rng(1, "guesses");
+  for (int i = 0; i < 50; ++i) candidates.push_back(rng.generate(32));
+  EXPECT_EQ(try_open_res2(*trace, candidates), 0u);
+}
+
+TEST_F(AttackFixture, Case2SubjectImpostorRejected) {
+  auto o = object(l2_);
+  EXPECT_FALSE(subject_impostor_succeeds(
+      o, be_.admin_public_key(), "plain",
+      AttributeMap{{"position", "employee"}}, crypto::Strength::b128,
+      be_.now(), 81));
+  EXPECT_GT(o.stats().drops, 0u);
+}
+
+TEST_F(AttackFixture, Case2ObjectImpostorRejected) {
+  auto victim = subject(plain_);
+  EXPECT_FALSE(object_impostor_succeeds(victim, "printer",
+                                        crypto::Strength::b128, be_.now(),
+                                        82));
+  EXPECT_TRUE(victim.discovered().empty());
+}
+
+TEST_F(AttackFixture, Case3EavesdropperCannotReadLevel3ServiceInfo) {
+  auto s = subject(fellow_);
+  auto o = object(l3_);
+  const auto trace = capture_exchange(s, o, be_.now());
+  ASSERT_TRUE(trace.has_value());
+  // Even the correct group key alone (no K2 -> no K3) opens nothing.
+  EXPECT_EQ(try_open_res2(*trace, {fellow_.group_keys[0].key}), 0u);
+}
+
+TEST_F(AttackFixture, Case4ImpostorCannotReachLevel3) {
+  auto o = object(l3_);
+  EXPECT_FALSE(subject_impostor_succeeds(
+      o, be_.admin_public_key(), "fellow",
+      AttributeMap{{"position", "employee"}}, crypto::Strength::b128,
+      be_.now(), 83));
+  EXPECT_EQ(o.stats().fellows_confirmed, 0u);
+}
+
+TEST_F(AttackFixture, Case5ReplayedQue2Rejected) {
+  auto s = subject(plain_);
+  auto o = object(l2_);
+  const auto trace = capture_exchange(s, o, be_.now());
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_FALSE(replay_que2_succeeds(o, *trace, be_.now()));
+}
+
+TEST_F(AttackFixture, Case5ReplayedQue1Rejected) {
+  auto s = subject(plain_);
+  auto o = object(l2_);
+  const auto trace = capture_exchange(s, o, be_.now());
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_FALSE(o.handle(trace->que1, be_.now()).has_value());
+  EXPECT_GT(o.stats().replays_detected, 0u);
+}
+
+TEST_F(AttackFixture, Case7PaddingDefeatsSizeDistinguisher) {
+  const auto res = size_distinguisher(fellow_, plain_, l3_,
+                                      be_.admin_public_key(), be_.now(),
+                                      /*pad_res2=*/true, 40, 91);
+  EXPECT_LT(res.advantage, 0.3);  // statistically indistinct at 40 trials
+}
+
+TEST_F(AttackFixture, Case7AblationNoPaddingLeaksCovertDiscovery) {
+  const auto res = size_distinguisher(fellow_, plain_, l3_,
+                                      be_.admin_public_key(), be_.now(),
+                                      /*pad_res2=*/false, 40, 92);
+  EXPECT_GT(res.advantage, 0.9);  // sizes differ -> near-perfect attack
+}
+
+TEST_F(AttackFixture, Case9TimingEqualizationClosesTheGap) {
+  const auto eq = timing_probe(plain_, l2_, l3_, be_.admin_public_key(),
+                               be_.now(), /*equalize=*/true, 95);
+  EXPECT_NEAR(eq.gap_ms(), 0.0, 1e-9);
+  const auto raw = timing_probe(plain_, l2_, l3_, be_.admin_public_key(),
+                                be_.now(), /*equalize=*/false, 96);
+  EXPECT_GT(raw.gap_ms(), 0.0);           // the leak exists...
+  EXPECT_LT(raw.gap_ms(), 0.2);           // ...but is < 0.1-ish ms (§VII)
+}
+
+TEST_F(AttackFixture, InternalAttackerWithValidKeyStillFailsLevel3) {
+  // Case 6/8: an insider (valid registered subject, no group key) cannot
+  // confirm fellowship or recognize MAC_{O,3}.
+  auto insider = subject(plain_);
+  auto o = object(l3_);
+  const auto trace = capture_exchange(insider, o, be_.now());
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(o.stats().fellows_confirmed, 0u);
+  // She got the Level 2 cover face, believing the kiosk is Level 2.
+  ASSERT_FALSE(insider.discovered().empty());
+  EXPECT_EQ(insider.discovered().front().level, 2);
+}
+
+}  // namespace
+}  // namespace argus::attacks

@@ -1,0 +1,122 @@
+#include "backend/credentials_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace argus::backend {
+namespace {
+
+class CredentialsIoTest : public ::testing::Test {
+ protected:
+  CredentialsIoTest() : be_(crypto::Strength::b128, 4242) {}
+  Backend be_;
+};
+
+TEST_F(CredentialsIoTest, SubjectRoundTrip) {
+  const auto creds = be_.register_subject(
+      "alice", AttributeMap{{"position", "manager"}}, {"counseling"});
+  const Bytes wire = export_subject_credentials(creds, be_.group());
+  const auto back = import_subject_credentials(wire, be_.group());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id, "alice");
+  EXPECT_EQ(back->keys.priv, creds.keys.priv);
+  EXPECT_EQ(back->keys.pub, creds.keys.pub);
+  EXPECT_EQ(back->cert.serialize(), creds.cert.serialize());
+  EXPECT_EQ(back->prof.serialize(), creds.prof.serialize());
+  ASSERT_EQ(back->group_keys.size(), 1u);
+  EXPECT_EQ(back->group_keys[0].key, creds.group_keys[0].key);
+}
+
+TEST_F(CredentialsIoTest, CoverUpFlagNotSerialized) {
+  // A cover-up key must be indistinguishable from a real one on disk.
+  const auto creds = be_.register_subject("bob", {});
+  ASSERT_TRUE(creds.group_keys[0].cover_up);
+  const auto back = import_subject_credentials(
+      export_subject_credentials(creds, be_.group()), be_.group());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->group_keys[0].cover_up);  // default, no marker on wire
+}
+
+TEST_F(CredentialsIoTest, ObjectRoundTripAllLevels) {
+  const auto l1 = be_.register_object("s1", {}, Level::kL1, {"read"});
+  const auto l3 = be_.register_object(
+      "k1", AttributeMap{{"type", "kiosk"}}, Level::kL3, {"info"},
+      {{"position=='employee'", "staff", {"use"}}},
+      {{"support", "covert", {"use", "support"}}});
+  for (const auto& creds : {l1, l3}) {
+    const Bytes wire = export_object_credentials(creds, be_.group());
+    const auto back = import_object_credentials(wire, be_.group());
+    ASSERT_TRUE(back.has_value()) << creds.id;
+    EXPECT_EQ(back->id, creds.id);
+    EXPECT_EQ(back->level, creds.level);
+    EXPECT_EQ(back->variants2.size(), creds.variants2.size());
+    EXPECT_EQ(back->variants3.size(), creds.variants3.size());
+  }
+  const auto back = import_object_credentials(
+      export_object_credentials(l3, be_.group()), be_.group());
+  EXPECT_EQ(back->variants2[0].predicate.source(), "position=='employee'");
+  EXPECT_EQ(back->variants3[0].group_key, l3.variants3[0].group_key);
+}
+
+TEST_F(CredentialsIoTest, RejectsTamperedPrivateKey) {
+  const auto creds = be_.register_subject("carol", {});
+  Bytes wire = export_subject_credentials(creds, be_.group());
+  // The private key begins shortly after the version/role/id header;
+  // flip a byte there and the pub/priv consistency check must fire.
+  wire[12] ^= 0x01;
+  EXPECT_FALSE(import_subject_credentials(wire, be_.group()).has_value());
+}
+
+TEST_F(CredentialsIoTest, RejectsGarbageAndWrongRole) {
+  EXPECT_FALSE(import_subject_credentials({}, be_.group()).has_value());
+  EXPECT_FALSE(
+      import_subject_credentials(Bytes(40, 0xAB), be_.group()).has_value());
+  const auto obj = be_.register_object("o", {}, Level::kL1, {});
+  const Bytes obj_wire = export_object_credentials(obj, be_.group());
+  EXPECT_FALSE(import_subject_credentials(obj_wire, be_.group()).has_value());
+  const auto subj = be_.register_subject("s", {});
+  const Bytes subj_wire = export_subject_credentials(subj, be_.group());
+  EXPECT_FALSE(import_object_credentials(subj_wire, be_.group()).has_value());
+}
+
+TEST_F(CredentialsIoTest, RejectsWrongVersion) {
+  const auto creds = be_.register_subject("dave", {});
+  Bytes wire = export_subject_credentials(creds, be_.group());
+  wire[1] ^= 0xFF;  // version field
+  EXPECT_FALSE(import_subject_credentials(wire, be_.group()).has_value());
+}
+
+TEST_F(CredentialsIoTest, ImportedCredentialsStillVerify) {
+  const auto creds = be_.register_subject("erin", {});
+  const auto back = import_subject_credentials(
+      export_subject_credentials(creds, be_.group()), be_.group());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(crypto::verify_certificate(be_.group(), be_.admin_public_key(),
+                                         back->cert, be_.now()));
+  EXPECT_TRUE(verify_profile(be_.group(), be_.admin_public_key(), back->prof));
+}
+
+TEST(RevocationTest, SignAndVerify) {
+  Backend be(crypto::Strength::b128, 1);
+  be.register_subject("mallory", {});
+  const auto rev = be.issue_revocation("mallory");
+  EXPECT_EQ(rev.seq, 1u);
+  EXPECT_TRUE(verify_revocation(be.group(), be.admin_public_key(), rev));
+  // Serde round trip.
+  const auto parsed = SignedRevocation::parse(rev.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(verify_revocation(be.group(), be.admin_public_key(), *parsed));
+  // Tampering detected.
+  SignedRevocation forged = rev;
+  forged.subject_id = "alice";
+  EXPECT_FALSE(verify_revocation(be.group(), be.admin_public_key(), forged));
+  // Sequence numbers increase.
+  EXPECT_EQ(be.issue_revocation("mallory").seq, 2u);
+}
+
+TEST(RevocationTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(SignedRevocation::parse({}).has_value());
+  EXPECT_FALSE(SignedRevocation::parse(Bytes(5, 1)).has_value());
+}
+
+}  // namespace
+}  // namespace argus::backend

@@ -1,0 +1,120 @@
+#include "backend/predicate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace argus::backend {
+namespace {
+
+AttributeMap manager_x() {
+  return AttributeMap{{"position", "manager"}, {"department", "X"}};
+}
+
+TEST(PredicateTest, SimpleEquality) {
+  const auto p = Predicate::parse("position=='manager'");
+  EXPECT_TRUE(p.matches(manager_x()));
+  EXPECT_FALSE(p.matches(AttributeMap{{"position", "intern"}}));
+  EXPECT_FALSE(p.matches(AttributeMap{}));
+}
+
+TEST(PredicateTest, Inequality) {
+  const auto p = Predicate::parse("position!='visitor'");
+  EXPECT_TRUE(p.matches(manager_x()));
+  EXPECT_FALSE(p.matches(AttributeMap{{"position", "visitor"}}));
+  // Missing attribute != value: treated as not-equal, thus true.
+  EXPECT_TRUE(p.matches(AttributeMap{}));
+}
+
+TEST(PredicateTest, PaperExample) {
+  const auto p =
+      Predicate::parse("position=='manager' && department=='X'");
+  EXPECT_TRUE(p.matches(manager_x()));
+  EXPECT_FALSE(p.matches(AttributeMap{{"position", "manager"}}));
+  EXPECT_FALSE(p.matches(
+      AttributeMap{{"position", "manager"}, {"department", "Y"}}));
+}
+
+TEST(PredicateTest, OrAndPrecedence) {
+  // && binds tighter than ||.
+  const auto p = Predicate::parse("a=='1' || b=='2' && c=='3'");
+  EXPECT_TRUE(p.matches(AttributeMap{{"a", "1"}}));
+  EXPECT_TRUE(p.matches(AttributeMap{{"b", "2"}, {"c", "3"}}));
+  EXPECT_FALSE(p.matches(AttributeMap{{"b", "2"}}));
+}
+
+TEST(PredicateTest, ParenthesesOverridePrecedence) {
+  const auto p = Predicate::parse("(a=='1' || b=='2') && c=='3'");
+  EXPECT_FALSE(p.matches(AttributeMap{{"a", "1"}}));
+  EXPECT_TRUE(p.matches(AttributeMap{{"a", "1"}, {"c", "3"}}));
+}
+
+TEST(PredicateTest, Negation) {
+  const auto p = Predicate::parse("!(role=='visitor')");
+  EXPECT_TRUE(p.matches(AttributeMap{{"role", "staff"}}));
+  EXPECT_FALSE(p.matches(AttributeMap{{"role", "visitor"}}));
+}
+
+TEST(PredicateTest, ValuesMayContainSpaces) {
+  const auto p = Predicate::parse("type=='door lock'");
+  EXPECT_TRUE(p.matches(AttributeMap{{"type", "door lock"}}));
+}
+
+TEST(PredicateTest, AlwaysTrue) {
+  EXPECT_TRUE(Predicate::always_true().matches(AttributeMap{}));
+}
+
+TEST(PredicateTest, SyntaxErrors) {
+  EXPECT_THROW(Predicate::parse(""), std::invalid_argument);
+  EXPECT_THROW(Predicate::parse("a=="), std::invalid_argument);
+  EXPECT_THROW(Predicate::parse("a=='x' &&"), std::invalid_argument);
+  EXPECT_THROW(Predicate::parse("a=='x' garbage"), std::invalid_argument);
+  EXPECT_THROW(Predicate::parse("(a=='x'"), std::invalid_argument);
+  EXPECT_THROW(Predicate::parse("a='x'"), std::invalid_argument);
+  EXPECT_THROW(Predicate::parse("a=='x"), std::invalid_argument);
+}
+
+TEST(PredicateTest, ToAbePolicyMonotone) {
+  const auto p =
+      Predicate::parse("position=='manager' && department=='X'");
+  const auto tree = p.to_abe_policy();
+  EXPECT_TRUE(tree.valid());
+  EXPECT_EQ(tree.leaf_count(), 2u);
+  EXPECT_TRUE(tree.satisfied_by({"position=manager", "department=X"}));
+  EXPECT_FALSE(tree.satisfied_by({"position=manager"}));
+}
+
+TEST(PredicateTest, ToAbePolicyOr) {
+  const auto p = Predicate::parse("a=='1' || b=='2'");
+  const auto tree = p.to_abe_policy();
+  EXPECT_TRUE(tree.satisfied_by({"a=1"}));
+  EXPECT_TRUE(tree.satisfied_by({"b=2"}));
+  EXPECT_FALSE(tree.satisfied_by({"c=3"}));
+}
+
+TEST(PredicateTest, ToAbePolicyRejectsNonMonotone) {
+  EXPECT_THROW(Predicate::parse("a!='1'").to_abe_policy(), std::domain_error);
+  EXPECT_THROW(Predicate::parse("!(a=='1')").to_abe_policy(),
+               std::domain_error);
+  EXPECT_THROW(Predicate::always_true().to_abe_policy(), std::domain_error);
+}
+
+TEST(PredicateTest, EqualityTokens) {
+  const auto p = Predicate::parse("a=='1' && (b=='2' || a=='1')");
+  EXPECT_EQ(p.equality_tokens(),
+            (std::set<std::string>{"a=1", "b=2"}));
+}
+
+TEST(PredicateTest, AttributeTokens) {
+  const AttributeMap m{{"a", "1"}, {"b", "2"}};
+  EXPECT_EQ(m.tokens(), (std::set<std::string>{"a=1", "b=2"}));
+}
+
+TEST(PredicateTest, AttributeMapSerdeRoundTrip) {
+  const AttributeMap m{{"position", "manager"}, {"department", "X"}};
+  const auto parsed = AttributeMap::parse(m.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, m);
+  EXPECT_FALSE(AttributeMap::parse(Bytes{0xFF}).has_value());
+}
+
+}  // namespace
+}  // namespace argus::backend

@@ -1,0 +1,157 @@
+#include "backend/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace argus::backend {
+namespace {
+
+class BackendTest : public ::testing::Test {
+ protected:
+  BackendTest() : be_(crypto::Strength::b128, 42) {}
+  Backend be_;
+};
+
+TEST_F(BackendTest, SubjectRegistrationIssuesValidCredentials) {
+  const auto cred = be_.register_subject(
+      "alice", AttributeMap{{"position", "manager"}, {"department", "X"}});
+  EXPECT_TRUE(crypto::verify_certificate(be_.group(), be_.admin_public_key(),
+                                         cred.cert, be_.now()));
+  EXPECT_TRUE(verify_profile(be_.group(), be_.admin_public_key(), cred.prof));
+  EXPECT_EQ(cred.prof.entity_id, "alice");
+  // Key pair is consistent.
+  const auto pub = be_.group().decode_point(cred.cert.pubkey);
+  ASSERT_TRUE(pub.has_value());
+  EXPECT_EQ(*pub, cred.keys.pub);
+}
+
+TEST_F(BackendTest, DuplicateRegistrationRejected) {
+  be_.register_subject("alice", {});
+  EXPECT_THROW(be_.register_subject("alice", {}), std::invalid_argument);
+}
+
+TEST_F(BackendTest, CoverUpKeyIssuedWhenNoSensitiveAttributes) {
+  const auto cred = be_.register_subject("bob", {});
+  ASSERT_EQ(cred.group_keys.size(), 1u);
+  EXPECT_TRUE(cred.group_keys[0].cover_up);
+  EXPECT_EQ(cred.group_keys[0].key.size(), kGroupKeySize);
+  // Cover-up keys are unique per subject.
+  const auto cred2 = be_.register_subject("carol", {});
+  EXPECT_NE(cred.group_keys[0].key, cred2.group_keys[0].key);
+}
+
+TEST_F(BackendTest, SecretGroupSharedByFellows) {
+  const auto s = be_.register_subject("sam", {}, {"learning-disability"});
+  const auto o = be_.register_object(
+      "magazine-1", AttributeMap{{"type", "vending"}}, Level::kL3,
+      {"sell magazines"},
+      {{"position!='visitor'", "employees", {"sell magazines"}}},
+      {{"learning-disability", "support", {"dispense support flyers"}}});
+  ASSERT_EQ(s.group_keys.size(), 1u);
+  EXPECT_FALSE(s.group_keys[0].cover_up);
+  ASSERT_EQ(o.variants3.size(), 1u);
+  EXPECT_EQ(s.group_keys[0].key, o.variants3[0].group_key);
+  EXPECT_EQ(s.group_keys[0].group_id, o.variants3[0].group_id);
+  EXPECT_EQ(be_.group_members(s.group_keys[0].group_id),
+            (std::vector<std::string>{"sam", "magazine-1"}));
+}
+
+TEST_F(BackendTest, Level3RequiresCoverVariants) {
+  EXPECT_THROW(
+      be_.register_object("bad", {}, Level::kL3, {}, {},
+                          {{"attr", "tag", {}}}),
+      std::invalid_argument);
+}
+
+TEST_F(BackendTest, Level2CannotHaveLevel3Variants) {
+  EXPECT_THROW(be_.register_object("bad", {}, Level::kL2, {},
+                                   {{"a=='1'", "t", {}}}, {{"attr", "t", {}}}),
+               std::invalid_argument);
+}
+
+TEST_F(BackendTest, PolicyDrivenAccessibleObjects) {
+  be_.register_subject("mgr", AttributeMap{{"position", "manager"}});
+  be_.register_subject("eng", AttributeMap{{"position", "engineer"}});
+  be_.register_object("lock-1", AttributeMap{{"type", "door lock"}},
+                      Level::kL2, {}, {{"position=='manager'", "full", {"open"}}});
+  be_.register_object("lamp-1", AttributeMap{{"type", "lamp"}}, Level::kL1,
+                      {"light"});
+  be_.add_policy("position=='manager'", "type=='door lock'",
+                 {"open", "close"});
+  be_.add_policy("position!='visitor'", "type=='lamp'", {"toggle"});
+
+  EXPECT_EQ(be_.accessible_objects("mgr"),
+            (std::vector<std::string>{"lamp-1", "lock-1"}));
+  EXPECT_EQ(be_.accessible_objects("eng"),
+            (std::vector<std::string>{"lamp-1"}));
+  EXPECT_EQ(be_.authorized_subjects("lock-1"),
+            (std::vector<std::string>{"mgr"}));
+}
+
+TEST_F(BackendTest, RevocationNotifiesAccessibleObjects) {
+  be_.register_subject("mgr", AttributeMap{{"position", "manager"}},
+                       {"counseling"});
+  be_.register_subject("peer", {}, {"counseling"});
+  for (int i = 0; i < 5; ++i) {
+    be_.register_object("lock-" + std::to_string(i),
+                        AttributeMap{{"type", "door lock"}}, Level::kL2, {},
+                        {{"position=='manager'", "full", {"open"}}});
+  }
+  be_.add_policy("position=='manager'", "type=='door lock'", {"open"});
+
+  const Bytes old_key = be_.group_key(1);
+  const auto notice = be_.revoke_subject("mgr");
+  EXPECT_EQ(notice.objects_to_notify.size(), 5u);  // N objects
+  EXPECT_EQ(notice.groups_rekeyed.size(), 1u);
+  EXPECT_EQ(notice.fellows_rekeyed, 1u);  // gamma - 1
+  EXPECT_NE(be_.group_key(notice.groups_rekeyed[0]), old_key);
+  EXPECT_TRUE(be_.is_revoked("mgr"));
+  // Revoked subjects disappear from authorization queries.
+  EXPECT_TRUE(be_.authorized_subjects("lock-0").empty());
+}
+
+TEST_F(BackendTest, RevokeUnknownSubjectThrows) {
+  EXPECT_THROW(be_.revoke_subject("ghost"), std::invalid_argument);
+}
+
+TEST_F(BackendTest, ProfileWireSizeAtLeastPaperAverage) {
+  const auto cred = be_.register_subject(
+      "alice", AttributeMap{{"position", "manager"}});
+  EXPECT_GE(cred.prof.serialize().size(), Profile::kMinWireSize);
+}
+
+TEST_F(BackendTest, ProfileSerdeRoundTrip) {
+  const auto o = be_.register_object(
+      "tv-1", AttributeMap{{"type", "multimedia"}}, Level::kL2,
+      {"play"}, {{"position=='manager'", "managers", {"play", "configure"}}});
+  const Bytes wire = o.variants2[0].prof.serialize();
+  const auto parsed = Profile::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->variant_tag, "managers");
+  EXPECT_EQ(parsed->services,
+            (std::vector<std::string>{"play", "configure"}));
+  EXPECT_TRUE(verify_profile(be_.group(), be_.admin_public_key(), *parsed));
+}
+
+TEST_F(BackendTest, ProfileForgeryDetected) {
+  const auto cred = be_.register_subject("alice", {});
+  Profile forged = cred.prof;
+  forged.attributes.set("position", "ceo");
+  EXPECT_FALSE(verify_profile(be_.group(), be_.admin_public_key(), forged));
+}
+
+TEST_F(BackendTest, GroupKeyRotationForUnknownGroupThrows) {
+  EXPECT_THROW(be_.rotate_group_key(999), std::invalid_argument);
+  EXPECT_THROW(be_.group_key(999), std::invalid_argument);
+}
+
+TEST_F(BackendTest, DeterministicGivenSeed) {
+  Backend a(crypto::Strength::b128, 7);
+  Backend b(crypto::Strength::b128, 7);
+  const auto ca = a.register_subject("x", {});
+  const auto cb = b.register_subject("x", {});
+  EXPECT_EQ(ca.keys.priv, cb.keys.priv);
+  EXPECT_EQ(ca.group_keys[0].key, cb.group_keys[0].key);
+}
+
+}  // namespace
+}  // namespace argus::backend

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "baselines/abe_discovery.hpp"
+
+namespace argus::baselines {
+namespace {
+
+using backend::AttributeMap;
+
+backend::Profile make_prof(const std::string& id, const std::string& tag) {
+  backend::Profile p;
+  p.entity_id = id;
+  p.role = crypto::EntityRole::kObject;
+  p.variant_tag = tag;
+  p.services = {"svc"};
+  return p;  // unsigned: ABE baseline relies on ABE for authorization
+}
+
+class AbeDiscoveryTest : public ::testing::Test {
+ protected:
+  AbeDiscoveryTest() : sys_(21) {}
+  AbeDiscoverySystem sys_;
+};
+
+TEST_F(AbeDiscoveryTest, AuthorizedSubjectDecrypts) {
+  const auto mgr = sys_.register_subject(
+      "mgr", AttributeMap{{"position", "manager"}, {"department", "X"}});
+  const auto obj = sys_.register_object(
+      "tv", {{"position=='manager' && department=='X'",
+              make_prof("tv", "managers")}});
+  const auto prof = sys_.discover(mgr, obj);
+  ASSERT_TRUE(prof.has_value());
+  EXPECT_EQ(prof->variant_tag, "managers");
+}
+
+TEST_F(AbeDiscoveryTest, UnauthorizedSubjectFails) {
+  const auto intern = sys_.register_subject(
+      "intern", AttributeMap{{"position", "intern"}, {"department", "X"}});
+  const auto obj = sys_.register_object(
+      "tv", {{"position=='manager' && department=='X'",
+              make_prof("tv", "managers")}});
+  EXPECT_FALSE(sys_.discover(intern, obj).has_value());
+}
+
+TEST_F(AbeDiscoveryTest, VariantSelectionByPolicy) {
+  const auto emp = sys_.register_subject(
+      "emp", AttributeMap{{"position", "employee"}, {"department", "X"}});
+  const auto obj = sys_.register_object(
+      "tv", {{"position=='manager'", make_prof("tv", "managers")},
+             {"position=='employee'", make_prof("tv", "employees")}});
+  const auto prof = sys_.discover(emp, obj);
+  ASSERT_TRUE(prof.has_value());
+  EXPECT_EQ(prof->variant_tag, "employees");
+}
+
+TEST_F(AbeDiscoveryTest, OrPolicyWorks) {
+  const auto eng = sys_.register_subject(
+      "eng", AttributeMap{{"position", "engineer"}});
+  const auto obj = sys_.register_object(
+      "lab", {{"position=='engineer' || position=='manager'",
+               make_prof("lab", "staff")}});
+  EXPECT_TRUE(sys_.discover(eng, obj).has_value());
+}
+
+TEST_F(AbeDiscoveryTest, PolicyLeafCountRecorded) {
+  const auto obj = sys_.register_object(
+      "x", {{"a=='1' && b=='2' && c=='3'", make_prof("x", "t")}});
+  EXPECT_EQ(obj.variants[0].policy_leaves, 3u);
+}
+
+TEST_F(AbeDiscoveryTest, NonMonotonePolicyRejected) {
+  EXPECT_THROW(
+      sys_.register_object("x", {{"a!='1'", make_prof("x", "t")}}),
+      std::domain_error);
+}
+
+}  // namespace
+}  // namespace argus::baselines

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "baselines/pbc_discovery.hpp"
+
+namespace argus::baselines {
+namespace {
+
+backend::Profile covert_prof() {
+  backend::Profile p;
+  p.entity_id = "kiosk";
+  p.role = crypto::EntityRole::kObject;
+  p.variant_tag = "covert";
+  p.services = {"support flyers"};
+  return p;
+}
+
+class PbcDiscoveryTest : public ::testing::Test {
+ protected:
+  PbcDiscoveryTest() : sys_(31), group_(sys_.create_group()) {}
+  PbcDiscoverySystem sys_;
+  pbc::GroupAuthority group_;
+};
+
+TEST_F(PbcDiscoveryTest, FellowsDiscoverCovertService) {
+  const auto subject = sys_.enroll(group_, "alice");
+  PbcDiscoverySystem::CovertObject obj{sys_.enroll(group_, "kiosk"),
+                                       covert_prof()};
+  const auto attempt = sys_.discover(subject, "alice", obj);
+  ASSERT_TRUE(attempt.prof.has_value());
+  EXPECT_EQ(attempt.prof->variant_tag, "covert");
+  EXPECT_EQ(attempt.pairings_done, 2u);  // one per side — Fig 6(d) unit
+}
+
+TEST_F(PbcDiscoveryTest, NonFellowLearnsNothing) {
+  const auto other_group = sys_.create_group();
+  const auto outsider = sys_.enroll(other_group, "eve");
+  PbcDiscoverySystem::CovertObject obj{sys_.enroll(group_, "kiosk"),
+                                       covert_prof()};
+  const auto attempt = sys_.discover(outsider, "eve", obj);
+  EXPECT_FALSE(attempt.prof.has_value());
+}
+
+TEST_F(PbcDiscoveryTest, ClaimedIdentityMustMatchCredential) {
+  // Using Alice's id with Bob's credential fails: the object derives the
+  // key for "alice" but the subject can only pair with her own credential.
+  const auto bob = sys_.enroll(group_, "bob");
+  PbcDiscoverySystem::CovertObject obj{sys_.enroll(group_, "kiosk"),
+                                       covert_prof()};
+  const auto attempt = sys_.discover(bob, "alice", obj);
+  EXPECT_FALSE(attempt.prof.has_value());
+}
+
+TEST_F(PbcDiscoveryTest, DistinctGroupsIsolated) {
+  const auto g2 = sys_.create_group();
+  const auto alice_g2 = sys_.enroll(g2, "alice");
+  PbcDiscoverySystem::CovertObject obj{sys_.enroll(group_, "kiosk"),
+                                       covert_prof()};
+  EXPECT_FALSE(sys_.discover(alice_g2, "alice", obj).prof.has_value());
+}
+
+}  // namespace
+}  // namespace argus::baselines

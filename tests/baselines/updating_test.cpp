@@ -1,0 +1,81 @@
+// Table I reproduction at test scale: update-overhead ordering between
+// ID-ACL, Argus, and ABE on a concrete synthetic enterprise.
+#include <gtest/gtest.h>
+
+#include "baselines/updating.hpp"
+
+namespace argus::baselines {
+namespace {
+
+EnterpriseSpec small_spec() {
+  EnterpriseSpec spec;
+  spec.departments = 3;
+  spec.subjects_per_department = 10;  // alpha
+  spec.rooms_per_department = 4;
+  spec.objects_per_room = 5;          // N = 20 per department member
+  return spec;
+}
+
+class UpdatingTest : public ::testing::Test {
+ protected:
+  UpdatingTest() : e_(small_spec()) {}
+  SyntheticEnterprise e_;
+  const std::string subject_ = "dept-0:subject-0";
+};
+
+TEST_F(UpdatingTest, PopulationBuilt) {
+  EXPECT_EQ(e_.subject_ids().size(), 30u);
+  EXPECT_EQ(e_.object_ids().size(), 60u);
+  EXPECT_EQ(e_.object_policies().size(), 60u);
+  // N: a subject reaches her department's 4*5 = 20 devices.
+  EXPECT_EQ(e_.backend().accessible_objects(subject_).size(), 20u);
+}
+
+TEST_F(UpdatingTest, IdAclPaysNOnBothOperations) {
+  const auto o = measure_idacl(e_, subject_);
+  EXPECT_EQ(o.add_subject, 20u);     // N
+  EXPECT_EQ(o.remove_subject, 20u);  // N
+}
+
+TEST_F(UpdatingTest, ArgusAddsWithConstantOverhead) {
+  const auto o = measure_argus(e_, subject_);
+  EXPECT_EQ(o.add_subject, 1u);      // Table I: 1
+  EXPECT_EQ(o.remove_subject, 20u);  // Table I: N
+}
+
+TEST_F(UpdatingTest, AbeRemovalExceedsArgus) {
+  const auto abe = measure_abe(e_, subject_);
+  const auto argus = measure_argus(e_, subject_);
+  EXPECT_EQ(abe.add_subject, 1u);
+  // xi_o*N + xi_s*(alpha-1): 20 re-encrypted ciphertexts + 9 re-keyed
+  // category members.
+  EXPECT_EQ(abe.remove_subject, 20u + 9u);
+  EXPECT_GT(abe.remove_subject, argus.remove_subject);
+}
+
+TEST_F(UpdatingTest, AddSubjectRatioMatchesTableOne) {
+  // Argus vs ID-ACL on add: 1 vs N -> N-fold advantage (paper: up to
+  // 1000x at N = 1000).
+  const auto idacl = measure_idacl(e_, subject_);
+  const auto argus = measure_argus(e_, subject_);
+  EXPECT_EQ(idacl.add_subject / argus.add_subject, 20u);
+}
+
+TEST_F(UpdatingTest, AbeGapGrowsWithCategorySize) {
+  // With larger alpha the ABE revocation overhead diverges from Argus —
+  // the paper's "easily goes to 10N" regime.
+  EnterpriseSpec big = small_spec();
+  big.subjects_per_department = 60;
+  SyntheticEnterprise e2(big);
+  const auto abe = measure_abe(e2, "dept-0:subject-0");
+  const auto argus = measure_argus(e2, "dept-0:subject-0");
+  EXPECT_EQ(abe.remove_subject, 20u + 59u);
+  EXPECT_GE(abe.remove_subject, 3 * argus.remove_subject);
+}
+
+TEST_F(UpdatingTest, UnknownSubjectThrows) {
+  EXPECT_THROW((void)e_.subject_attrs("ghost"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace argus::baselines

@@ -1,0 +1,67 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace argus {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x10};
+  EXPECT_EQ(to_hex(data), "0001abff10");
+  EXPECT_EQ(from_hex("0001abff10"), data);
+  EXPECT_EQ(from_hex("0001ABFF10"), data);
+}
+
+TEST(BytesTest, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(BytesTest, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, HexRejectsBadDigit) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(BytesTest, StrBytes) {
+  EXPECT_EQ(str_bytes("ab"), (Bytes{'a', 'b'}));
+  EXPECT_TRUE(str_bytes("").empty());
+}
+
+TEST(BytesTest, CtEqual) {
+  EXPECT_TRUE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2}));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(BytesTest, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  const Bytes c = {};
+  EXPECT_EQ(concat({a, b, c}), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(concat({}).empty());
+}
+
+TEST(BytesTest, Append) {
+  Bytes a = {1};
+  append(a, Bytes{2, 3});
+  EXPECT_EQ(a, (Bytes{1, 2, 3}));
+}
+
+TEST(BytesTest, SecureWipe) {
+  Bytes a = {1, 2, 3};
+  secure_wipe(a);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(BytesTest, XorBytes) {
+  EXPECT_EQ(xor_bytes(Bytes{0xF0, 0x0F}, Bytes{0xFF, 0xFF}),
+            (Bytes{0x0F, 0xF0}));
+  EXPECT_THROW(xor_bytes(Bytes{1}, Bytes{1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,80 @@
+#include "common/serde.hpp"
+
+#include <gtest/gtest.h>
+
+namespace argus {
+namespace {
+
+TEST(SerdeTest, IntegersRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ull);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SerdeTest, BigEndianLayout) {
+  ByteWriter w;
+  w.u16(0x0102);
+  EXPECT_EQ(w.data(), (Bytes{0x01, 0x02}));
+}
+
+TEST(SerdeTest, LengthPrefixedBytes) {
+  ByteWriter w;
+  w.bytes16(Bytes{1, 2, 3});
+  w.bytes32(Bytes{4, 5});
+  w.str("hi");
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.bytes16(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.bytes32(), (Bytes{4, 5}));
+  EXPECT_EQ(r.str(), "hi");
+  r.expect_done();
+}
+
+TEST(SerdeTest, EmptyBytes) {
+  ByteWriter w;
+  w.bytes16({});
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.bytes16().empty());
+}
+
+TEST(SerdeTest, TruncatedThrows) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.data());
+  r.u16();
+  EXPECT_THROW(r.u32(), SerdeError);
+}
+
+TEST(SerdeTest, TruncatedLengthPrefixThrows) {
+  Bytes data = {0x00, 0x05, 'a', 'b'};  // claims 5 bytes, has 2
+  ByteReader r(data);
+  EXPECT_THROW(r.bytes16(), SerdeError);
+}
+
+TEST(SerdeTest, TrailingBytesDetected) {
+  Bytes data = {0x01, 0x02};
+  ByteReader r(data);
+  r.u8();
+  EXPECT_THROW(r.expect_done(), SerdeError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(SerdeTest, RawReads) {
+  Bytes data = {9, 8, 7};
+  ByteReader r(data);
+  EXPECT_EQ(r.raw(2), (Bytes{9, 8}));
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace argus

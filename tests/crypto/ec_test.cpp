@@ -1,0 +1,137 @@
+#include "crypto/ec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "crypto/primes.hpp"
+
+namespace argus::crypto {
+namespace {
+
+class EcGroupTest : public ::testing::TestWithParam<Strength> {
+ protected:
+  const EcGroup& g() const { return group_for(GetParam()); }
+};
+
+TEST_P(EcGroupTest, CurveConstantsAreConsistent) {
+  // Validate the hard-coded parameters instead of trusting transcription:
+  // p and n prime, G on curve, n*G = identity.
+  HmacDrbg rng(str_bytes("param-check"));
+  EXPECT_TRUE(is_probable_prime(g().params().p, rng, 8));
+  EXPECT_TRUE(is_probable_prime(g().params().n, rng, 8));
+  EXPECT_TRUE(g().on_curve(g().generator()));
+  EXPECT_TRUE(g().scalar_mul_base(g().params().n).infinity);
+}
+
+TEST_P(EcGroupTest, GeneratorSmallMultiples) {
+  const EcPoint g1 = g().generator();
+  const EcPoint g2 = g().dbl(g1);
+  const EcPoint g3 = g().add(g2, g1);
+  EXPECT_TRUE(g().on_curve(g2));
+  EXPECT_TRUE(g().on_curve(g3));
+  EXPECT_EQ(g().scalar_mul_base(UInt::from_u64(2)), g2);
+  EXPECT_EQ(g().scalar_mul_base(UInt::from_u64(3)), g3);
+  // 3G == 2G + G == G + 2G
+  EXPECT_EQ(g().add(g1, g2), g3);
+}
+
+TEST_P(EcGroupTest, AdditionProperties) {
+  HmacDrbg rng(str_bytes("ec-props"));
+  const UInt a = g().random_scalar(rng);
+  const UInt b = g().random_scalar(rng);
+  const EcPoint pa = g().scalar_mul_base(a);
+  const EcPoint pb = g().scalar_mul_base(b);
+  // Commutativity.
+  EXPECT_EQ(g().add(pa, pb), g().add(pb, pa));
+  // Identity.
+  EXPECT_EQ(g().add(pa, EcPoint::identity()), pa);
+  EXPECT_EQ(g().add(EcPoint::identity(), pb), pb);
+  // Inverse.
+  EXPECT_TRUE(g().add(pa, g().negate(pa)).infinity);
+  // (a+b)G == aG + bG.
+  const UInt sum = addmod(a, b, g().params().n);
+  EXPECT_EQ(g().scalar_mul_base(sum), g().add(pa, pb));
+}
+
+TEST_P(EcGroupTest, ScalarMulDistributes) {
+  HmacDrbg rng(str_bytes("ec-dist"));
+  const UInt a = g().random_scalar(rng);
+  const UInt b = g().random_scalar(rng);
+  const EcPoint pb = g().scalar_mul_base(b);
+  // a*(b*G) == (a*b mod n)*G.
+  const MontCtx& fn = g().order();
+  const UInt ab =
+      fn.from_mont(fn.mul(fn.to_mont(a), fn.to_mont(b)));
+  EXPECT_EQ(g().scalar_mul(pb, a), g().scalar_mul_base(ab));
+}
+
+TEST_P(EcGroupTest, ScalarMulEdgeCases) {
+  EXPECT_TRUE(g().scalar_mul_base(UInt::zero()).infinity);
+  EXPECT_EQ(g().scalar_mul_base(UInt::one()), g().generator());
+  // (n-1)*G == -G.
+  const UInt nm1 = sub(g().params().n, UInt::one());
+  EXPECT_EQ(g().scalar_mul_base(nm1), g().negate(g().generator()));
+  // k and k+n give the same point (reduction mod n).
+  const UInt k = UInt::from_u64(12345);
+  EXPECT_EQ(g().scalar_mul_base(add(k, g().params().n)),
+            g().scalar_mul_base(k));
+}
+
+TEST_P(EcGroupTest, PointCodecRoundTrip) {
+  HmacDrbg rng(str_bytes("ec-codec"));
+  const EcPoint p = g().scalar_mul_base(g().random_scalar(rng));
+  const Bytes enc = g().encode_point(p);
+  EXPECT_EQ(enc.size(), 1 + 2 * g().params().field_bytes);
+  EXPECT_EQ(enc[0], 0x04);
+  const auto dec = g().decode_point(enc);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, p);
+}
+
+TEST_P(EcGroupTest, DecodeRejectsInvalid) {
+  HmacDrbg rng(str_bytes("ec-bad"));
+  const EcPoint p = g().scalar_mul_base(g().random_scalar(rng));
+  Bytes enc = g().encode_point(p);
+  enc.back() ^= 1;  // off-curve Y
+  EXPECT_FALSE(g().decode_point(enc).has_value());
+  EXPECT_FALSE(g().decode_point(Bytes{0x04, 0x01}).has_value());
+  EXPECT_FALSE(g().decode_point({}).has_value());
+  // Identity encoding round-trips.
+  EXPECT_TRUE(g().decode_point(g().encode_point(EcPoint::identity()))
+                  ->infinity);
+}
+
+TEST_P(EcGroupTest, RandomScalarInRange) {
+  HmacDrbg rng(str_bytes("ec-scalar"));
+  for (int i = 0; i < 10; ++i) {
+    const UInt k = g().random_scalar(rng);
+    EXPECT_FALSE(k.is_zero());
+    EXPECT_LT(cmp(k, g().params().n), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrengths, EcGroupTest,
+                         ::testing::Values(Strength::b112, Strength::b128,
+                                           Strength::b192, Strength::b256),
+                         [](const auto& info) {
+                           return std::string("S") +
+                                  std::to_string(strength_bits(info.param));
+                         });
+
+TEST(EcCurveTest, StrengthMapping) {
+  EXPECT_EQ(curve_for(Strength::b112).name, "P-224");
+  EXPECT_EQ(curve_for(Strength::b128).name, "P-256");
+  EXPECT_EQ(curve_for(Strength::b192).name, "P-384");
+  EXPECT_EQ(curve_for(Strength::b256).name, "P-521");
+  EXPECT_EQ(strength_bits(Strength::b192), 192);
+}
+
+TEST(EcCurveTest, FieldSizes) {
+  EXPECT_EQ(curve_p224().field_bytes, 28u);
+  EXPECT_EQ(curve_p256().field_bytes, 32u);
+  EXPECT_EQ(curve_p384().field_bytes, 48u);
+  EXPECT_EQ(curve_p521().field_bytes, 66u);
+}
+
+}  // namespace
+}  // namespace argus::crypto

@@ -1,0 +1,134 @@
+#include "crypto/ecdsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/ecdh.hpp"
+
+namespace argus::crypto {
+namespace {
+
+class EcdsaTest : public ::testing::TestWithParam<Strength> {
+ protected:
+  const EcGroup& g() const { return group_for(GetParam()); }
+};
+
+TEST_P(EcdsaTest, SignVerifyRoundTrip) {
+  HmacDrbg rng(str_bytes("ecdsa"));
+  const EcKeyPair kp = ec_generate(g(), rng);
+  const Bytes msg = str_bytes("QUE2 transcript");
+  const EcdsaSignature sig = ecdsa_sign(g(), kp.priv, msg);
+  EXPECT_TRUE(ecdsa_verify(g(), kp.pub, msg, sig));
+}
+
+TEST_P(EcdsaTest, RejectsTamperedMessage) {
+  HmacDrbg rng(str_bytes("ecdsa2"));
+  const EcKeyPair kp = ec_generate(g(), rng);
+  const EcdsaSignature sig = ecdsa_sign(g(), kp.priv, str_bytes("hello"));
+  EXPECT_FALSE(ecdsa_verify(g(), kp.pub, str_bytes("hellp"), sig));
+}
+
+TEST_P(EcdsaTest, RejectsWrongKey) {
+  HmacDrbg rng(str_bytes("ecdsa3"));
+  const EcKeyPair kp1 = ec_generate(g(), rng);
+  const EcKeyPair kp2 = ec_generate(g(), rng);
+  const Bytes msg = str_bytes("msg");
+  const EcdsaSignature sig = ecdsa_sign(g(), kp1.priv, msg);
+  EXPECT_FALSE(ecdsa_verify(g(), kp2.pub, msg, sig));
+}
+
+TEST_P(EcdsaTest, RejectsTamperedSignature) {
+  HmacDrbg rng(str_bytes("ecdsa4"));
+  const EcKeyPair kp = ec_generate(g(), rng);
+  const Bytes msg = str_bytes("msg");
+  EcdsaSignature sig = ecdsa_sign(g(), kp.priv, msg);
+  sig.r = addmod(sig.r, UInt::one(), g().params().n);
+  EXPECT_FALSE(ecdsa_verify(g(), kp.pub, msg, sig));
+}
+
+TEST_P(EcdsaTest, RejectsZeroComponents) {
+  HmacDrbg rng(str_bytes("ecdsa5"));
+  const EcKeyPair kp = ec_generate(g(), rng);
+  EXPECT_FALSE(ecdsa_verify(g(), kp.pub, str_bytes("m"),
+                            EcdsaSignature{UInt::zero(), UInt::one()}));
+  EXPECT_FALSE(ecdsa_verify(g(), kp.pub, str_bytes("m"),
+                            EcdsaSignature{UInt::one(), UInt::zero()}));
+  EXPECT_FALSE(ecdsa_verify(g(), kp.pub, str_bytes("m"),
+                            EcdsaSignature{g().params().n, UInt::one()}));
+}
+
+TEST_P(EcdsaTest, DeterministicNonces) {
+  // RFC 6979: the same key and message always produce the same signature.
+  HmacDrbg rng(str_bytes("ecdsa6"));
+  const EcKeyPair kp = ec_generate(g(), rng);
+  const Bytes msg = str_bytes("deterministic");
+  const EcdsaSignature s1 = ecdsa_sign(g(), kp.priv, msg);
+  const EcdsaSignature s2 = ecdsa_sign(g(), kp.priv, msg);
+  EXPECT_EQ(s1.r, s2.r);
+  EXPECT_EQ(s1.s, s2.s);
+  // ... and different messages produce different nonces (r differs).
+  const EcdsaSignature s3 = ecdsa_sign(g(), kp.priv, str_bytes("other"));
+  EXPECT_NE(s1.r, s3.r);
+}
+
+TEST_P(EcdsaTest, SignatureCodec) {
+  HmacDrbg rng(str_bytes("ecdsa7"));
+  const EcKeyPair kp = ec_generate(g(), rng);
+  const Bytes msg = str_bytes("codec");
+  const EcdsaSignature sig = ecdsa_sign(g(), kp.priv, msg);
+  const Bytes wire = sig.to_bytes(g());
+  const std::size_t order_bytes = (g().params().n.bit_length() + 7) / 8;
+  EXPECT_EQ(wire.size(), 2 * order_bytes);
+  const auto parsed = EcdsaSignature::from_bytes(g(), wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(ecdsa_verify(g(), kp.pub, msg, *parsed));
+  EXPECT_FALSE(
+      EcdsaSignature::from_bytes(g(), ByteSpan(wire).first(5)).has_value());
+}
+
+TEST_P(EcdsaTest, EcdhAgreement) {
+  HmacDrbg rng(str_bytes("ecdh"));
+  const EcKeyPair alice = ecdh_generate(g(), rng);
+  const EcKeyPair bob = ecdh_generate(g(), rng);
+  const Bytes s1 = ecdh_shared_secret(g(), alice.priv, bob.pub);
+  const Bytes s2 = ecdh_shared_secret(g(), bob.priv, alice.pub);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), g().params().field_bytes);
+}
+
+TEST_P(EcdsaTest, EcdhDistinctPairsDistinctSecrets) {
+  HmacDrbg rng(str_bytes("ecdh2"));
+  const EcKeyPair a = ecdh_generate(g(), rng);
+  const EcKeyPair b = ecdh_generate(g(), rng);
+  const EcKeyPair c = ecdh_generate(g(), rng);
+  EXPECT_NE(ecdh_shared_secret(g(), a.priv, b.pub),
+            ecdh_shared_secret(g(), a.priv, c.pub));
+}
+
+TEST_P(EcdsaTest, EcdhRejectsInvalidPeer) {
+  HmacDrbg rng(str_bytes("ecdh3"));
+  const EcKeyPair a = ecdh_generate(g(), rng);
+  EXPECT_THROW(ecdh_shared_secret(g(), a.priv, EcPoint::identity()),
+               std::invalid_argument);
+  EcPoint bogus = a.pub;
+  bogus.y = addmod(bogus.y, UInt::one(), g().params().p);
+  EXPECT_THROW(ecdh_shared_secret(g(), a.priv, bogus), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrengths, EcdsaTest,
+                         ::testing::Values(Strength::b112, Strength::b128,
+                                           Strength::b192, Strength::b256),
+                         [](const auto& info) {
+                           return std::string("S") +
+                                  std::to_string(strength_bits(info.param));
+                         });
+
+TEST(EcdsaSizeTest, Paper128BitSizes) {
+  // §IX-A: at 128-bit strength KEXM and SIG are 64 B.
+  const EcGroup& g = group_for(Strength::b128);
+  HmacDrbg rng(str_bytes("sizes"));
+  const EcKeyPair kp = ec_generate(g, rng);
+  EXPECT_EQ(ecdsa_sign(g, kp.priv, str_bytes("m")).to_bytes(g).size(), 64u);
+}
+
+}  // namespace
+}  // namespace argus::crypto

@@ -1,0 +1,74 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace argus::crypto {
+namespace {
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, str_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(str_bytes("Jefe"),
+                               str_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, str_bytes("Test Using Larger Than Block-Size Key - "
+                               "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DifferentKeysDifferentMacs) {
+  const Bytes msg = str_bytes("message");
+  EXPECT_NE(hmac_sha256(str_bytes("k1"), msg),
+            hmac_sha256(str_bytes("k2"), msg));
+}
+
+TEST(HmacTest, PrfIsLabelSeparated) {
+  const Bytes secret = str_bytes("secret");
+  const Bytes seed = str_bytes("seed");
+  EXPECT_NE(prf(secret, "session key", seed),
+            prf(secret, "subject finished", seed));
+}
+
+TEST(HmacTest, PrfMatchesManualConcat) {
+  const Bytes secret = str_bytes("s");
+  const Bytes seed = {1, 2, 3};
+  EXPECT_EQ(prf(secret, "lbl", seed),
+            hmac_sha256(secret, concat({str_bytes("lbl"), seed})));
+}
+
+TEST(HmacTest, PrfExpandLengths) {
+  const Bytes secret = str_bytes("secret");
+  for (std::size_t n : {0u, 1u, 31u, 32u, 33u, 48u, 64u, 100u}) {
+    EXPECT_EQ(prf_expand(secret, "x", {}, n).size(), n);
+  }
+}
+
+TEST(HmacTest, PrfExpandPrefixConsistency) {
+  // Counter-mode expansion: longer output extends shorter output.
+  const Bytes secret = str_bytes("secret");
+  const Bytes seed = str_bytes("seed");
+  Bytes a = prf_expand(secret, "x", seed, 16);
+  Bytes b = prf_expand(secret, "x", seed, 48);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+}
+
+}  // namespace
+}  // namespace argus::crypto

@@ -1,0 +1,126 @@
+#include "crypto/mont.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "crypto/primes.hpp"
+
+namespace argus::crypto {
+namespace {
+
+const UInt kP256 = UInt::from_hex(
+    "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+
+TEST(MontTest, RoundTrip) {
+  const MontCtx ctx(kP256);
+  HmacDrbg rng(str_bytes("mont"));
+  for (int i = 0; i < 20; ++i) {
+    const UInt x = mod(UInt::from_bytes_be(rng.generate(32)), kP256);
+    EXPECT_EQ(ctx.from_mont(ctx.to_mont(x)), x);
+  }
+}
+
+TEST(MontTest, MulMatchesSchoolbook) {
+  const MontCtx ctx(kP256);
+  HmacDrbg rng(str_bytes("mont-mul"));
+  for (int i = 0; i < 20; ++i) {
+    const UInt a = mod(UInt::from_bytes_be(rng.generate(32)), kP256);
+    const UInt b = mod(UInt::from_bytes_be(rng.generate(32)), kP256);
+    const UInt expect = mod(mul_full(a, b), kP256);
+    const UInt got =
+        ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(MontTest, MulWorksForFullWidthModulus) {
+  // 512-bit modulus with the top bit set exercises the CIOS overflow word.
+  UInt m = UInt::from_hex(
+      "f000000000000000000000000000000000000000000000000000000000000000"
+      "000000000000000000000000000000000000000000000000000000000000000d");
+  const MontCtx ctx(m);
+  HmacDrbg rng(str_bytes("mont-512"));
+  for (int i = 0; i < 20; ++i) {
+    const UInt a = mod(UInt::from_bytes_be(rng.generate(64)), m);
+    const UInt b = mod(UInt::from_bytes_be(rng.generate(64)), m);
+    EXPECT_EQ(ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b))),
+              mod(mul_full(a, b), m));
+  }
+}
+
+TEST(MontTest, OneIsIdentity) {
+  const MontCtx ctx(kP256);
+  const UInt x_m = ctx.to_mont(UInt::from_u64(12345));
+  EXPECT_EQ(ctx.mul(x_m, ctx.one()), x_m);
+  EXPECT_EQ(ctx.from_mont(ctx.one()), UInt::one());
+}
+
+TEST(MontTest, PowSmallCases) {
+  const MontCtx ctx(UInt::from_u64(1000003));  // prime
+  const UInt b = ctx.to_mont(UInt::from_u64(2));
+  EXPECT_EQ(ctx.from_mont(ctx.pow(b, UInt::from_u64(10))),
+            UInt::from_u64(1024));
+  EXPECT_EQ(ctx.from_mont(ctx.pow(b, UInt::zero())), UInt::one());
+  EXPECT_EQ(ctx.from_mont(ctx.pow(b, UInt::one())), UInt::from_u64(2));
+}
+
+TEST(MontTest, FermatLittleTheorem) {
+  const MontCtx ctx(kP256);
+  HmacDrbg rng(str_bytes("fermat"));
+  const UInt exp = sub(kP256, UInt::one());
+  for (int i = 0; i < 5; ++i) {
+    UInt a = mod(UInt::from_bytes_be(rng.generate(32)), kP256);
+    if (a.is_zero()) a = UInt::from_u64(7);
+    EXPECT_EQ(ctx.from_mont(ctx.pow(ctx.to_mont(a), exp)), UInt::one());
+  }
+}
+
+TEST(MontTest, InvTimesSelfIsOne) {
+  const MontCtx ctx(kP256);
+  HmacDrbg rng(str_bytes("inv"));
+  for (int i = 0; i < 10; ++i) {
+    UInt a = mod(UInt::from_bytes_be(rng.generate(32)), kP256);
+    if (a.is_zero()) a = UInt::from_u64(3);
+    const UInt a_m = ctx.to_mont(a);
+    EXPECT_EQ(ctx.mul(a_m, ctx.inv(a_m)), ctx.one());
+  }
+  EXPECT_THROW((void)ctx.inv(UInt::zero()), std::invalid_argument);
+}
+
+TEST(MontTest, AddSubNeg) {
+  const MontCtx ctx(UInt::from_u64(97));
+  EXPECT_EQ(ctx.add(UInt::from_u64(90), UInt::from_u64(10)),
+            UInt::from_u64(3));
+  EXPECT_EQ(ctx.sub(UInt::from_u64(5), UInt::from_u64(10)),
+            UInt::from_u64(92));
+  EXPECT_EQ(ctx.neg(UInt::from_u64(1)), UInt::from_u64(96));
+  EXPECT_EQ(ctx.neg(UInt::zero()), UInt::zero());
+}
+
+TEST(MontTest, RejectsEvenOrZeroModulus) {
+  EXPECT_THROW(MontCtx(UInt::from_u64(10)), std::invalid_argument);
+  EXPECT_THROW(MontCtx(UInt::zero()), std::invalid_argument);
+}
+
+TEST(PrimesTest, KnownPrimes) {
+  HmacDrbg rng(str_bytes("primes"));
+  EXPECT_TRUE(is_probable_prime(UInt::from_u64(2), rng));
+  EXPECT_TRUE(is_probable_prime(UInt::from_u64(3), rng));
+  EXPECT_TRUE(is_probable_prime(UInt::from_u64(61), rng));
+  EXPECT_TRUE(is_probable_prime(UInt::from_u64(1000003), rng));
+  EXPECT_TRUE(is_probable_prime(kP256, rng, 10));
+}
+
+TEST(PrimesTest, KnownComposites) {
+  HmacDrbg rng(str_bytes("composites"));
+  EXPECT_FALSE(is_probable_prime(UInt::zero(), rng));
+  EXPECT_FALSE(is_probable_prime(UInt::one(), rng));
+  EXPECT_FALSE(is_probable_prime(UInt::from_u64(4), rng));
+  EXPECT_FALSE(is_probable_prime(UInt::from_u64(561), rng));   // Carmichael
+  EXPECT_FALSE(is_probable_prime(UInt::from_u64(65535), rng));
+  // Product of two close primes.
+  EXPECT_FALSE(is_probable_prime(UInt::from_u64(1000003ull * 1000033ull), rng));
+}
+
+}  // namespace
+}  // namespace argus::crypto

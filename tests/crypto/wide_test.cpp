@@ -1,0 +1,145 @@
+#include "crypto/wide.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+
+namespace argus::crypto {
+namespace {
+
+TEST(WideTest, FromToBytes) {
+  const UInt x = UInt::from_hex("0102030405060708090a");
+  EXPECT_EQ(to_hex(x.to_bytes_be(10)), "0102030405060708090a");
+  EXPECT_EQ(to_hex(x.to_bytes_be(12)), "00000102030405060708090a");
+  EXPECT_THROW(x.to_bytes_be(9), std::invalid_argument);
+}
+
+TEST(WideTest, FromHexOddLength) {
+  EXPECT_EQ(UInt::from_hex("f"), UInt::from_u64(15));
+  EXPECT_EQ(UInt::from_hex("100"), UInt::from_u64(256));
+}
+
+TEST(WideTest, BitLength) {
+  EXPECT_EQ(UInt::zero().bit_length(), 0u);
+  EXPECT_EQ(UInt::one().bit_length(), 1u);
+  EXPECT_EQ(UInt::from_u64(255).bit_length(), 8u);
+  EXPECT_EQ(UInt::from_u64(256).bit_length(), 9u);
+  UInt big = UInt::from_hex("1" + std::string(128, '0'));  // 2^512
+  EXPECT_EQ(big.bit_length(), 513u);
+}
+
+TEST(WideTest, WordCount) {
+  EXPECT_EQ(UInt::zero().word_count(), 1u);
+  EXPECT_EQ(UInt::from_u64(1).word_count(), 1u);
+  EXPECT_EQ(UInt::from_hex("10000000000000000").word_count(), 2u);
+}
+
+TEST(WideTest, Cmp) {
+  EXPECT_EQ(cmp(UInt::from_u64(5), UInt::from_u64(5)), 0);
+  EXPECT_LT(cmp(UInt::from_u64(4), UInt::from_u64(5)), 0);
+  EXPECT_GT(cmp(UInt::from_hex("ffffffffffffffffff"), UInt::from_u64(5)), 0);
+}
+
+TEST(WideTest, AddSubInverse) {
+  const UInt a = UInt::from_hex("123456789abcdef0fedcba9876543210");
+  const UInt b = UInt::from_hex("0fedcba987654321123456789abcdef0");
+  bool carry = true;
+  const UInt s = add(a, b, &carry);
+  EXPECT_FALSE(carry);
+  bool borrow = true;
+  EXPECT_EQ(sub(s, b, &borrow), a);
+  EXPECT_FALSE(borrow);
+}
+
+TEST(WideTest, AddCarryPropagation) {
+  UInt a;
+  for (auto& w : a.w) w = ~std::uint64_t{0};  // 2^576 - 1
+  bool carry = false;
+  const UInt s = add(a, UInt::one(), &carry);
+  EXPECT_TRUE(carry);
+  EXPECT_TRUE(s.is_zero());
+}
+
+TEST(WideTest, SubBorrow) {
+  bool borrow = false;
+  const UInt r = sub(UInt::zero(), UInt::one(), &borrow);
+  EXPECT_TRUE(borrow);
+  for (auto w : r.w) EXPECT_EQ(w, ~std::uint64_t{0});
+}
+
+TEST(WideTest, Shifts) {
+  const UInt x = UInt::from_u64(0x8000000000000001ull);
+  const UInt d = shl1(x);
+  EXPECT_EQ(d.w[0], 2u);
+  EXPECT_EQ(d.w[1], 1u);
+  EXPECT_EQ(shr1(d), x);
+}
+
+TEST(WideTest, MulFullSmall) {
+  const UProd p = mul_full(UInt::from_u64(0xFFFFFFFFFFFFFFFFull),
+                           UInt::from_u64(0xFFFFFFFFFFFFFFFFull));
+  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  EXPECT_EQ(p.w[0], 1u);
+  EXPECT_EQ(p.w[1], 0xFFFFFFFFFFFFFFFEull);
+  EXPECT_EQ(p.w[2], 0u);
+}
+
+TEST(WideTest, ModSmall) {
+  EXPECT_EQ(mod(UInt::from_u64(100), UInt::from_u64(7)), UInt::from_u64(2));
+  EXPECT_EQ(mod(UInt::from_u64(5), UInt::from_u64(7)), UInt::from_u64(5));
+}
+
+TEST(WideTest, DivmodIdentity) {
+  HmacDrbg rng(str_bytes("divmod"));
+  for (int i = 0; i < 30; ++i) {
+    const UInt a = UInt::from_bytes_be(rng.generate(40));
+    UInt m = UInt::from_bytes_be(rng.generate(20));
+    if (m.is_zero()) m = UInt::from_u64(13);
+    const DivResult d = divmod(a, m);
+    EXPECT_LT(cmp(d.remainder, m), 0);
+    // a == q*m + r (q*m fits since q <= a)
+    const UProd qm = mul_full(d.quotient, m);
+    UInt qm_lo;
+    for (std::size_t j = 0; j < kMaxWords; ++j) qm_lo.w[j] = qm.w[j];
+    for (std::size_t j = kMaxWords; j < kProdWords; ++j) EXPECT_EQ(qm.w[j], 0u);
+    EXPECT_EQ(add(qm_lo, d.remainder), a);
+  }
+}
+
+TEST(WideTest, ModOfProduct) {
+  HmacDrbg rng(str_bytes("modprod"));
+  const UInt m = UInt::from_hex("ffffffff00000001000000000000000000000000"
+                                "ffffffffffffffffffffffff");
+  for (int i = 0; i < 10; ++i) {
+    const UInt a = mod(UInt::from_bytes_be(rng.generate(32)), m);
+    const UInt b = mod(UInt::from_bytes_be(rng.generate(32)), m);
+    const UInt r = mod(mul_full(a, b), m);
+    EXPECT_LT(cmp(r, m), 0);
+    // (a*b) mod m computed two ways: full product vs incremental addmod.
+    UInt acc = UInt::zero();
+    // acc = a*b mod m via double-and-add over bits of b.
+    UInt base = a;
+    for (std::size_t bit = 0; bit < b.bit_length(); ++bit) {
+      if (b.bit(bit)) acc = addmod(acc, base, m);
+      base = addmod(base, base, m);
+    }
+    EXPECT_EQ(r, acc);
+  }
+}
+
+TEST(WideTest, AddmodSubmod) {
+  const UInt m = UInt::from_u64(101);
+  EXPECT_EQ(addmod(UInt::from_u64(100), UInt::from_u64(5), m),
+            UInt::from_u64(4));
+  EXPECT_EQ(submod(UInt::from_u64(3), UInt::from_u64(10), m),
+            UInt::from_u64(94));
+  EXPECT_EQ(submod(UInt::from_u64(10), UInt::from_u64(3), m),
+            UInt::from_u64(7));
+}
+
+TEST(WideTest, FromBytesTooLongThrows) {
+  EXPECT_THROW(UInt::from_bytes_be(Bytes(73, 0xff)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace argus::crypto

@@ -1,0 +1,253 @@
+// Integration tests across every module: backend issuance -> credential
+// export/import -> protocol engines -> network simulation -> signed
+// revocation propagation -> baselines, in single scenarios.
+#include <gtest/gtest.h>
+
+#include "argus/discovery.hpp"
+#include "backend/credentials_io.hpp"
+#include "baselines/abe_discovery.hpp"
+#include "baselines/pbc_discovery.hpp"
+
+namespace argus {
+namespace {
+
+using backend::AttributeMap;
+using backend::Backend;
+using backend::Level;
+
+TEST(FullStackTest, CredentialsSurviveExportImportAndStillDiscover) {
+  // Provision, serialize to "flash", reload, and run the full protocol
+  // with the reloaded material.
+  Backend be(crypto::Strength::b128, 31337);
+  const auto alice = be.register_subject(
+      "alice", AttributeMap{{"position", "employee"}}, {"support"});
+  const auto kiosk = be.register_object(
+      "kiosk", {}, Level::kL3, {},
+      {{"position=='employee'", "staff", {"use"}}},
+      {{"support", "covert", {"use", "support"}}});
+
+  const auto alice2 = backend::import_subject_credentials(
+      backend::export_subject_credentials(alice, be.group()), be.group());
+  const auto kiosk2 = backend::import_object_credentials(
+      backend::export_object_credentials(kiosk, be.group()), be.group());
+  ASSERT_TRUE(alice2.has_value());
+  ASSERT_TRUE(kiosk2.has_value());
+
+  core::DiscoveryScenario sc;
+  sc.subject = *alice2;
+  sc.admin_pub = be.admin_public_key();
+  sc.epoch = be.now();
+  sc.objects = {{*kiosk2, 1}};
+  const auto report = core::run_discovery(sc);
+  ASSERT_EQ(report.services.size(), 1u);
+  EXPECT_EQ(report.services[0].level, 3);
+}
+
+TEST(FullStackTest, SignedRevocationStopsDiscoveryMidFleet) {
+  Backend be(crypto::Strength::b128, 404);
+  const auto mallory = be.register_subject(
+      "mallory", AttributeMap{{"position", "manager"}});
+  be.add_policy("position=='manager'", "type=='lock'", {"open"});
+  const auto lock = be.register_object(
+      "lock", AttributeMap{{"type", "lock"}}, Level::kL2, {},
+      {{"position=='manager'", "managers", {"open"}}});
+
+  core::ObjectEngineConfig ocfg;
+  ocfg.creds = lock;
+  ocfg.admin_pub = be.admin_public_key();
+  core::ObjectEngine lock_engine(std::move(ocfg));
+
+  const auto run_once = [&](std::uint64_t seed) {
+    core::SubjectEngineConfig scfg;
+    scfg.creds = mallory;
+    scfg.admin_pub = be.admin_public_key();
+    scfg.seed = seed;
+    core::SubjectEngine s(std::move(scfg));
+    const Bytes que1 = s.start_round();
+    const auto res1 = lock_engine.handle(que1, be.now());
+    if (!res1) return false;
+    const auto que2 = s.handle(*res1, be.now());
+    if (!que2) return false;
+    return lock_engine.handle(*que2, be.now()).has_value();
+  };
+
+  EXPECT_TRUE(run_once(1));
+
+  // The backend pushes an admin-signed notice; the object applies it
+  // after verifying the signature and sequence number.
+  const auto rev = be.issue_revocation("mallory");
+  const auto parsed = backend::SignedRevocation::parse(rev.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(lock_engine.apply_signed_revocation(*parsed));
+  EXPECT_FALSE(run_once(2));
+
+  // Replayed or forged notices are not applied.
+  EXPECT_FALSE(lock_engine.apply_signed_revocation(*parsed));
+  auto forged = *parsed;
+  forged.subject_id = "alice";
+  forged.seq = 99;
+  EXPECT_FALSE(lock_engine.apply_signed_revocation(forged));
+  EXPECT_FALSE(lock_engine.is_revoked("alice"));
+}
+
+TEST(FullStackTest, ThreeSchemesAgreeOnAuthorization) {
+  // The same policy enforced by Argus Level 2, the ABE baseline, and —
+  // for group membership — the PBC baseline: authorized parties succeed
+  // everywhere, outsiders fail everywhere.
+  Backend be(crypto::Strength::b128, 500);
+  const AttributeMap mgr_attrs{{"position", "manager"}, {"department", "X"}};
+  const AttributeMap intern_attrs{{"position", "intern"},
+                                  {"department", "X"}};
+  const std::string policy = "position=='manager' && department=='X'";
+
+  // --- Argus ---
+  const auto mgr = be.register_subject("mgr", mgr_attrs);
+  const auto intern = be.register_subject("intern", intern_attrs);
+  const auto tv = be.register_object("tv", {}, Level::kL2, {},
+                                     {{policy, "managers", {"use"}}});
+  const auto argus_try = [&](const backend::SubjectCredentials& c,
+                             std::uint64_t seed) {
+    core::SubjectEngineConfig scfg;
+    scfg.creds = c;
+    scfg.admin_pub = be.admin_public_key();
+    scfg.seed = seed;
+    core::SubjectEngine s(std::move(scfg));
+    core::ObjectEngineConfig ocfg;
+    ocfg.creds = tv;
+    ocfg.admin_pub = be.admin_public_key();
+    ocfg.seed = seed + 1;
+    core::ObjectEngine o(std::move(ocfg));
+    const Bytes que1 = s.start_round();
+    const auto res1 = o.handle(que1, be.now());
+    const auto que2 = s.handle(*res1, be.now());
+    const auto res2 = o.handle(*que2, be.now());
+    if (!res2) return false;
+    (void)s.handle(*res2, be.now());
+    return !s.discovered().empty();
+  };
+  EXPECT_TRUE(argus_try(mgr, 10));
+  EXPECT_FALSE(argus_try(intern, 20));
+
+  // --- ABE baseline ---
+  baselines::AbeDiscoverySystem abe_sys(501);
+  const auto abe_mgr = abe_sys.register_subject("mgr", mgr_attrs);
+  const auto abe_intern = abe_sys.register_subject("intern", intern_attrs);
+  backend::Profile prof;
+  prof.entity_id = "tv";
+  prof.variant_tag = "managers";
+  const auto abe_obj = abe_sys.register_object("tv", {{policy, prof}});
+  EXPECT_TRUE(abe_sys.discover(abe_mgr, abe_obj).has_value());
+  EXPECT_FALSE(abe_sys.discover(abe_intern, abe_obj).has_value());
+
+  // --- PBC baseline (group membership analogue) ---
+  baselines::PbcDiscoverySystem pbc_sys(502);
+  const auto group = pbc_sys.create_group();
+  const auto pbc_mgr = pbc_sys.enroll(group, "mgr");
+  const auto other = pbc_sys.create_group();
+  const auto pbc_intern = pbc_sys.enroll(other, "intern");
+  baselines::PbcDiscoverySystem::CovertObject obj{
+      pbc_sys.enroll(group, "tv"), prof};
+  EXPECT_TRUE(pbc_sys.discover(pbc_mgr, "mgr", obj).prof.has_value());
+  EXPECT_FALSE(pbc_sys.discover(pbc_intern, "intern", obj).prof.has_value());
+}
+
+TEST(FullStackTest, VersionInteropMatrix) {
+  // Engines at different protocol versions never crash and degrade
+  // gracefully: a v1.0 object still serves Level 2 to a v3.0 subject
+  // (the mandatory MAC_{S,3} is simply ignored).
+  Backend be(crypto::Strength::b128, 600);
+  const auto subj = be.register_subject(
+      "s", AttributeMap{{"position", "employee"}}, {"grp"});
+  const auto obj = be.register_object(
+      "o", {}, Level::kL3, {},
+      {{"position=='employee'", "staff", {"use"}}},
+      {{"grp", "covert", {"use"}}});
+
+  using core::ProtocolVersion;
+  for (const auto sv : {ProtocolVersion::kV10, ProtocolVersion::kV20,
+                        ProtocolVersion::kV30}) {
+    for (const auto ov : {ProtocolVersion::kV10, ProtocolVersion::kV20,
+                          ProtocolVersion::kV30}) {
+      core::SubjectEngineConfig scfg;
+      scfg.version = sv;
+      scfg.creds = subj;
+      scfg.admin_pub = be.admin_public_key();
+      core::SubjectEngine s(std::move(scfg));
+      core::ObjectEngineConfig ocfg;
+      ocfg.version = ov;
+      ocfg.creds = obj;
+      ocfg.admin_pub = be.admin_public_key();
+      core::ObjectEngine o(std::move(ocfg));
+
+      const Bytes que1 = s.start_round();
+      const auto res1 = o.handle(que1, be.now());
+      ASSERT_TRUE(res1.has_value());
+      const auto que2 = s.handle(*res1, be.now());
+      ASSERT_TRUE(que2.has_value());
+      const auto res2 = o.handle(*que2, be.now());
+      ASSERT_TRUE(res2.has_value()) << static_cast<int>(sv) << "/"
+                                    << static_cast<int>(ov);
+      (void)s.handle(*res2, be.now());
+      ASSERT_FALSE(s.discovered().empty());
+      const int level = s.discovered().front().level;
+      const bool both_l3_capable = sv != ProtocolVersion::kV10 &&
+                                   ov != ProtocolVersion::kV10;
+      EXPECT_EQ(level, both_l3_capable ? 3 : 2)
+          << "subject v" << static_cast<int>(sv) << " object v"
+          << static_cast<int>(ov);
+    }
+  }
+}
+
+TEST(FullStackTest, LargeMixedCampusScenario) {
+  // 30 objects across levels and hop rings; one multi-group subject; two
+  // discovery rounds. Everything she is entitled to appears, nothing else.
+  Backend be(crypto::Strength::b128, 700);
+  const auto subject = be.register_subject(
+      "grad-student",
+      AttributeMap{{"role", "student"}, {"department", "CS"}},
+      {"counseling", "accessibility"});
+
+  core::DiscoveryScenario sc;
+  sc.subject = subject;
+  sc.admin_pub = be.admin_public_key();
+  sc.epoch = be.now();
+  sc.rounds = 2;
+
+  for (int i = 0; i < 12; ++i) {
+    sc.objects.push_back(
+        {be.register_object("thermo-" + std::to_string(i), {}, Level::kL1,
+                            {"temperature"}),
+         static_cast<unsigned>(1 + i % 3)});
+  }
+  for (int i = 0; i < 10; ++i) {
+    sc.objects.push_back(
+        {be.register_object(
+             "lab-" + std::to_string(i), {}, Level::kL2, {},
+             {{i % 2 == 0 ? "role=='student'" : "role=='faculty'", "inside",
+               {"use"}}}),
+         static_cast<unsigned>(1 + i % 2)});
+  }
+  for (int i = 0; i < 8; ++i) {
+    sc.objects.push_back(
+        {be.register_object(
+             "kiosk-" + std::to_string(i), {}, Level::kL3, {},
+             {{"role=='student'", "regular", {"browse"}}},
+             {{i % 2 == 0 ? "counseling" : "accessibility", "covert",
+               {"support"}}}),
+         1});
+  }
+
+  const auto report = core::run_discovery(sc);
+  EXPECT_EQ(report.count_level(1), 12u);
+  // 5 student-facing labs (faculty labs stay silent) plus each kiosk's
+  // Level 2 cover face from the round where the group key did not match
+  // (8): a kiosk looks like a plain Level 2 object to a non-fellow round.
+  EXPECT_EQ(report.count_level(2), 13u);
+  // Both groups' covert kiosks found across the two rounds (4 + 4).
+  EXPECT_EQ(report.count_level(3), 8u);
+  EXPECT_LT(report.total_ms, 5000);
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,200 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace argus::net {
+namespace {
+
+/// Records deliveries; optionally echoes a reply.
+class Recorder : public SimNode {
+ public:
+  struct Delivery {
+    NodeId from;
+    Bytes payload;
+    SimTime at;
+  };
+  void on_message(NodeId from, const Bytes& payload) override {
+    log.push_back({from, payload, net_->now()});
+    if (compute_ms > 0) net_->consume_compute(node_id(), compute_ms);
+    if (reply) net_->unicast(node_id(), from, *reply);
+  }
+  std::vector<Delivery> log;
+  double compute_ms = 0;
+  std::optional<Bytes> reply;
+};
+
+RadioParams quiet_radio() {
+  RadioParams r;
+  r.jitter_ms = 0;  // deterministic latencies for exact assertions
+  return r;
+}
+
+TEST(NetworkTest, UnicastDeliversWithLatencyAndOccupancy) {
+  Simulator sim;
+  Network net(sim, quiet_radio(), 1);
+  Recorder a, b;
+  const NodeId ida = net.add_node(&a, 0);
+  net.add_node(&b, 1);
+  const Bytes payload(110, 1);  // exactly 1 ms of channel occupancy
+  sim.schedule(0, [&] { net.unicast(ida, b.node_id(), payload); });
+  sim.run();
+  ASSERT_EQ(b.log.size(), 1u);
+  // 1 hop: occupancy (1 ms) + per-hop latency (52 ms).
+  EXPECT_NEAR(b.log[0].at, 53.0, 1e-9);
+  EXPECT_EQ(b.log[0].payload, payload);
+  EXPECT_EQ(net.stats().messages, 1u);
+  EXPECT_EQ(net.stats().bytes, 110u);
+}
+
+TEST(NetworkTest, MultiHopScalesLinearly) {
+  Simulator sim;
+  Network net(sim, quiet_radio(), 1);
+  Recorder a, far;
+  const NodeId ida = net.add_node(&a, 0);
+  net.add_node(&far, 4);
+  sim.schedule(0, [&] { net.unicast(ida, far.node_id(), Bytes(110, 1)); });
+  sim.run();
+  ASSERT_EQ(far.log.size(), 1u);
+  EXPECT_NEAR(far.log[0].at, 4 * 53.0, 1e-9);
+  EXPECT_EQ(net.stats().hop_bytes, 440u);
+}
+
+TEST(NetworkTest, SharedChannelSerializesTransmissions) {
+  Simulator sim;
+  Network net(sim, quiet_radio(), 1);
+  Recorder a, b, c;
+  const NodeId ida = net.add_node(&a, 0);
+  net.add_node(&b, 1);
+  net.add_node(&c, 1);
+  // Two sends at t=0: occupancies must not overlap.
+  sim.schedule(0, [&] {
+    net.unicast(ida, b.node_id(), Bytes(110, 1));
+    net.unicast(ida, c.node_id(), Bytes(110, 2));
+  });
+  sim.run();
+  ASSERT_EQ(b.log.size(), 1u);
+  ASSERT_EQ(c.log.size(), 1u);
+  EXPECT_NEAR(b.log[0].at, 53.0, 1e-9);
+  EXPECT_NEAR(c.log[0].at, 54.0, 1e-9);  // second occupancy starts at 1 ms
+  EXPECT_NEAR(net.stats().channel_busy_ms, 2.0, 1e-9);
+}
+
+TEST(NetworkTest, BroadcastReachesAllRings) {
+  Simulator sim;
+  Network net(sim, quiet_radio(), 1);
+  Recorder subject, near, far;
+  const NodeId ids = net.add_node(&subject, 0);
+  net.add_node(&near, 1);
+  net.add_node(&far, 3);
+  sim.schedule(0, [&] { net.broadcast(ids, Bytes(110, 7)); });
+  sim.run();
+  ASSERT_EQ(near.log.size(), 1u);
+  ASSERT_EQ(far.log.size(), 1u);
+  EXPECT_LT(near.log[0].at, far.log[0].at);  // ring 1 before ring 3
+  EXPECT_TRUE(subject.log.empty());          // sender excluded
+}
+
+TEST(NetworkTest, ComputeDelaysReplies) {
+  Simulator sim;
+  Network net(sim, quiet_radio(), 1);
+  Recorder a, b;
+  const NodeId ida = net.add_node(&a, 0);
+  net.add_node(&b, 1);
+  b.compute_ms = 100;
+  b.reply = Bytes(110, 9);
+  sim.schedule(0, [&] { net.unicast(ida, b.node_id(), Bytes(110, 1)); });
+  sim.run();
+  ASSERT_EQ(a.log.size(), 1u);
+  // 53 (request) + 100 (compute) + 53 (reply).
+  EXPECT_NEAR(a.log[0].at, 206.0, 1e-9);
+}
+
+TEST(NetworkTest, NodeIsSerialProcessor) {
+  Simulator sim;
+  Network net(sim, quiet_radio(), 1);
+  Recorder a, b;
+  const NodeId ida = net.add_node(&a, 0);
+  net.add_node(&b, 1);
+  b.compute_ms = 1000;
+  // Two messages arrive ~1 ms apart; second processes after first's compute.
+  sim.schedule(0, [&] {
+    net.unicast(ida, b.node_id(), Bytes(110, 1));
+    net.unicast(ida, b.node_id(), Bytes(110, 2));
+  });
+  sim.run();
+  ASSERT_EQ(b.log.size(), 2u);
+  EXPECT_NEAR(b.log[0].at, 53.0, 1e-9);
+  EXPECT_NEAR(b.log[1].at, 1053.0, 1e-9);
+}
+
+TEST(NetworkTest, JitterIsBoundedAndSeeded) {
+  Simulator sim;
+  RadioParams radio;  // default 4 ms jitter
+  Network net(sim, radio, 42);
+  Recorder a, b;
+  const NodeId ida = net.add_node(&a, 0);
+  net.add_node(&b, 1);
+  sim.schedule(0, [&] { net.unicast(ida, b.node_id(), Bytes(110, 1)); });
+  sim.run();
+  ASSERT_EQ(b.log.size(), 1u);
+  EXPECT_GE(b.log[0].at, 53.0);
+  EXPECT_LT(b.log[0].at, 57.0);
+}
+
+TEST(NetworkTest, HopsBetweenDefaultsToOne) {
+  Simulator sim;
+  Network net(sim, quiet_radio(), 1);
+  Recorder a, b, c;
+  net.add_node(&a, 2);
+  net.add_node(&b, 2);
+  net.add_node(&c, 4);
+  EXPECT_EQ(net.hops_between(a.node_id(), b.node_id()), 1u);
+  EXPECT_EQ(net.hops_between(a.node_id(), c.node_id()), 2u);
+  EXPECT_THROW((void)net.hops_between(a.node_id(), 999),
+               std::invalid_argument);
+}
+
+TEST(NetworkTest, NegativeComputeRejected) {
+  Simulator sim;
+  Network net(sim, quiet_radio(), 1);
+  Recorder a;
+  net.add_node(&a, 0);
+  EXPECT_THROW(net.consume_compute(a.node_id(), -1), std::invalid_argument);
+}
+
+TEST(ComputeModelTest, PaperAnchors) {
+  const ComputeModel subj = ComputeModel::nexus6();
+  // Level 2/3 subject op sequence: 1 sign + 3 verify + 2 ECDH = 27.4 ms.
+  const double total = subj.cost(CryptoOp::kEcdsaSign) +
+                       3 * subj.cost(CryptoOp::kEcdsaVerify) +
+                       subj.cost(CryptoOp::kEcdhGenerate) +
+                       subj.cost(CryptoOp::kEcdhCompute);
+  EXPECT_NEAR(total, 27.4, 0.05);
+  const ComputeModel obj = ComputeModel::pi3();
+  const double ototal = obj.cost(CryptoOp::kEcdsaSign) +
+                        3 * obj.cost(CryptoOp::kEcdsaVerify) +
+                        obj.cost(CryptoOp::kEcdhGenerate) +
+                        obj.cost(CryptoOp::kEcdhCompute);
+  EXPECT_NEAR(ototal, 78.2, 0.3);
+  EXPECT_NEAR(obj.cost(CryptoOp::kHmac), 0.08, 1e-9);  // §VII Case 9
+}
+
+TEST(ComputeModelTest, StrengthScalingMonotone) {
+  using crypto::Strength;
+  const double c112 = ComputeModel::nexus6(Strength::b112).cost(CryptoOp::kEcdsaSign);
+  const double c128 = ComputeModel::nexus6(Strength::b128).cost(CryptoOp::kEcdsaSign);
+  const double c192 = ComputeModel::nexus6(Strength::b192).cost(CryptoOp::kEcdsaSign);
+  const double c256 = ComputeModel::nexus6(Strength::b256).cost(CryptoOp::kEcdsaSign);
+  EXPECT_LT(c112, c128);
+  EXPECT_LT(c128, c192);
+  EXPECT_LT(c192, c256);
+  // Paper: 4.7 ms at 112-bit, 26.0 ms at 256-bit.
+  EXPECT_NEAR(c112, 4.7, 0.1);
+  EXPECT_NEAR(c256, 26.0, 0.3);
+  // HMAC cost does not scale with strength.
+  EXPECT_EQ(ComputeModel::nexus6(Strength::b256).cost(CryptoOp::kHmac),
+            ComputeModel::nexus6(Strength::b112).cost(CryptoOp::kHmac));
+}
+
+}  // namespace
+}  // namespace argus::net

@@ -1,0 +1,61 @@
+#include "net/sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace argus::net {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 30.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, SameTimeEventsKeepScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsMayScheduleEvents) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule(1, [&] {
+    sim.schedule(2, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 3.0);
+  EXPECT_EQ(sim.executed(), 2u);
+}
+
+TEST(SimulatorTest, RunUntilLeavesLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(50, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.now(), 20.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(-1, [] {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace argus::net

@@ -1,0 +1,98 @@
+#include "pairing/fp2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+
+namespace argus::pairing {
+namespace {
+
+using crypto::HmacDrbg;
+
+// A small p = 3 (mod 4) prime keeps the algebra checkable by hand.
+class Fp2SmallTest : public ::testing::Test {
+ protected:
+  Fp2SmallTest() : fp_(UInt::from_u64(103)), ctx_(fp_) {}
+
+  Fp2 make(std::uint64_t a, std::uint64_t b) const {
+    return {fp_.to_mont(UInt::from_u64(a)), fp_.to_mont(UInt::from_u64(b))};
+  }
+  std::pair<unsigned long long, unsigned long long> plain(const Fp2& x) const {
+    return {fp_.from_mont(x.a).w[0], fp_.from_mont(x.b).w[0]};
+  }
+
+  MontCtx fp_;
+  Fp2Ctx ctx_;
+};
+
+TEST_F(Fp2SmallTest, MulFollowsISquaredMinusOne) {
+  // (1 + i)(1 - i) = 1 - i^2 = 2
+  const Fp2 r = ctx_.mul(make(1, 1), make(1, 102));
+  EXPECT_EQ(plain(r), std::make_pair(2ull, 0ull));
+  // i * i = -1
+  const Fp2 ii = ctx_.mul(make(0, 1), make(0, 1));
+  EXPECT_EQ(plain(ii), std::make_pair(102ull, 0ull));
+}
+
+TEST_F(Fp2SmallTest, AddSubNeg) {
+  const Fp2 x = make(100, 5);
+  const Fp2 y = make(10, 100);
+  EXPECT_EQ(plain(ctx_.add(x, y)), std::make_pair(7ull, 2ull));
+  EXPECT_EQ(plain(ctx_.sub(x, y)), std::make_pair(90ull, 8ull));
+  EXPECT_EQ(plain(ctx_.neg(x)), std::make_pair(3ull, 98ull));
+  EXPECT_TRUE(ctx_.is_zero(ctx_.add(x, ctx_.neg(x))));
+}
+
+TEST_F(Fp2SmallTest, SqrMatchesMul) {
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      const Fp2 x = make(a * 13 % 103, b * 29 % 103);
+      EXPECT_EQ(ctx_.sqr(x), ctx_.mul(x, x));
+    }
+  }
+}
+
+TEST_F(Fp2SmallTest, InverseIsInverse) {
+  for (std::uint64_t a = 0; a < 6; ++a) {
+    for (std::uint64_t b = 0; b < 6; ++b) {
+      if (a == 0 && b == 0) continue;
+      const Fp2 x = make(a, b);
+      EXPECT_TRUE(ctx_.is_one(ctx_.mul(x, ctx_.inv(x))));
+    }
+  }
+  EXPECT_THROW((void)ctx_.inv(ctx_.zero()), std::invalid_argument);
+}
+
+TEST_F(Fp2SmallTest, ConjIsFrobenius) {
+  // x^p == conj(x) for p = 3 (mod 4).
+  const Fp2 x = make(17, 42);
+  EXPECT_EQ(ctx_.pow(x, UInt::from_u64(103)), ctx_.conj(x));
+}
+
+TEST_F(Fp2SmallTest, PowLaws) {
+  const Fp2 x = make(5, 7);
+  EXPECT_TRUE(ctx_.is_one(ctx_.pow(x, UInt::zero())));
+  EXPECT_EQ(ctx_.pow(x, UInt::one()), x);
+  EXPECT_EQ(ctx_.pow(x, UInt::from_u64(5)),
+            ctx_.mul(ctx_.pow(x, UInt::from_u64(2)),
+                     ctx_.pow(x, UInt::from_u64(3))));
+  // Multiplicative group order p^2 - 1 = 10608.
+  EXPECT_TRUE(ctx_.is_one(ctx_.pow(x, UInt::from_u64(10608))));
+}
+
+TEST_F(Fp2SmallTest, FromBaseEmbedding) {
+  const Fp2 x = ctx_.from_base(fp_.to_mont(UInt::from_u64(9)));
+  const Fp2 y = ctx_.from_base(fp_.to_mont(UInt::from_u64(11)));
+  EXPECT_EQ(plain(ctx_.mul(x, y)), std::make_pair(99ull % 103, 0ull));
+}
+
+TEST_F(Fp2SmallTest, SerializeCanonical) {
+  const Fp2 x = make(1, 2);
+  const Bytes s1 = ctx_.serialize(x);
+  EXPECT_EQ(s1.size(), 2u);  // 7-bit modulus -> 1 byte per coordinate
+  EXPECT_EQ(s1, (Bytes{1, 2}));
+  EXPECT_NE(ctx_.serialize(make(2, 1)), s1);
+}
+
+}  // namespace
+}  // namespace argus::pairing

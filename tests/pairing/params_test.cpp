@@ -1,0 +1,46 @@
+#include "pairing/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/primes.hpp"
+#include "pairing/curve.hpp"
+
+namespace argus::pairing {
+namespace {
+
+// Re-validate the hard-coded constants from tools/paramgen on every test
+// run — the constants are never trusted as transcribed.
+TEST(PairingParamsTest, PrimesAndSizes) {
+  const PairingParams& pp = default_params();
+  crypto::HmacDrbg rng(str_bytes("params-check"));
+  EXPECT_EQ(pp.p.bit_length(), 512u);
+  EXPECT_EQ(pp.r.bit_length(), 160u);
+  EXPECT_TRUE(crypto::is_probable_prime(pp.p, rng, 12));
+  EXPECT_TRUE(crypto::is_probable_prime(pp.r, rng, 12));
+}
+
+TEST(PairingParamsTest, PIsThreeModFour) {
+  EXPECT_EQ(default_params().p.w[0] & 3, 3u);
+}
+
+TEST(PairingParamsTest, CofactorRelation) {
+  // p + 1 == h * r exactly.
+  const PairingParams& pp = default_params();
+  const crypto::UProd hr = crypto::mul_full(pp.h, pp.r);
+  crypto::UInt hr_lo;
+  for (std::size_t i = 0; i < crypto::kMaxWords; ++i) hr_lo.w[i] = hr.w[i];
+  for (std::size_t i = crypto::kMaxWords; i < crypto::kProdWords; ++i) {
+    EXPECT_EQ(hr.w[i], 0u);
+  }
+  EXPECT_EQ(crypto::add(pp.p, crypto::UInt::one()), hr_lo);
+}
+
+TEST(PairingParamsTest, GeneratorValid) {
+  const PairingParams& pp = default_params();
+  PairingCurve curve(pp);
+  EXPECT_TRUE(curve.on_curve(curve.generator()));
+  EXPECT_TRUE(curve.scalar_mul(curve.generator(), pp.r).infinity);
+}
+
+}  // namespace
+}  // namespace argus::pairing

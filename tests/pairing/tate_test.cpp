@@ -1,0 +1,109 @@
+#include "pairing/tate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace argus::pairing {
+namespace {
+
+using crypto::HmacDrbg;
+
+class TateTest : public ::testing::Test {
+ protected:
+  TateTest() : curve_(default_params()), e_(curve_) {}
+
+  UInt mul_mod_r(const UInt& a, const UInt& b) const {
+    const MontCtx& fr = curve_.fr();
+    return fr.from_mont(fr.mul(fr.to_mont(a), fr.to_mont(b)));
+  }
+
+  PairingCurve curve_;
+  Pairing e_;
+};
+
+TEST_F(TateTest, NonDegenerate) {
+  const Fp2 g_gt = e_.pair(curve_.generator(), curve_.generator());
+  EXPECT_FALSE(e_.fp2().is_one(g_gt));
+  EXPECT_FALSE(e_.fp2().is_zero(g_gt));
+}
+
+TEST_F(TateTest, TargetGroupHasOrderR) {
+  const Fp2 g_gt = e_.pair(curve_.generator(), curve_.generator());
+  EXPECT_TRUE(e_.fp2().is_one(e_.gt_pow(g_gt, curve_.params().r)));
+}
+
+TEST_F(TateTest, Bilinear) {
+  HmacDrbg rng(crypto::make_rng(10, "tate-bilinear"));
+  const PPoint g = curve_.generator();
+  const Fp2 g_gt = e_.pair(g, g);
+  for (int i = 0; i < 3; ++i) {
+    const UInt a = curve_.random_scalar(rng);
+    const UInt b = curve_.random_scalar(rng);
+    const PPoint ag = curve_.scalar_mul(g, a);
+    const PPoint bg = curve_.scalar_mul(g, b);
+    // e(aG, bG) == e(G, G)^{ab} == e(abG, G)
+    const Fp2 lhs = e_.pair(ag, bg);
+    EXPECT_EQ(lhs, e_.gt_pow(g_gt, mul_mod_r(a, b)));
+    EXPECT_EQ(lhs, e_.pair(curve_.scalar_mul(g, mul_mod_r(a, b)), g));
+  }
+}
+
+TEST_F(TateTest, Symmetric) {
+  // The modified Tate pairing with a distortion map is symmetric.
+  HmacDrbg rng(crypto::make_rng(11, "tate-sym"));
+  const PPoint p = curve_.hash_to_group(str_bytes("P"));
+  const PPoint q = curve_.hash_to_group(str_bytes("Q"));
+  EXPECT_EQ(e_.pair(p, q), e_.pair(q, p));
+  (void)rng;
+}
+
+TEST_F(TateTest, IdentityInputsGiveOne) {
+  const PPoint g = curve_.generator();
+  EXPECT_TRUE(e_.fp2().is_one(e_.pair(PPoint::identity(), g)));
+  EXPECT_TRUE(e_.fp2().is_one(e_.pair(g, PPoint::identity())));
+}
+
+TEST_F(TateTest, LinearInFirstArgument) {
+  const PPoint g = curve_.generator();
+  const PPoint p = curve_.hash_to_group(str_bytes("lin"));
+  // e(P + G, G) == e(P, G) * e(G, G)
+  const Fp2 lhs = e_.pair(curve_.add(p, g), g);
+  const Fp2 rhs = e_.fp2().mul(e_.pair(p, g), e_.pair(g, g));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_F(TateTest, NegationInverts) {
+  const PPoint g = curve_.generator();
+  const PPoint p = curve_.hash_to_group(str_bytes("neg"));
+  const Fp2 e1 = e_.pair(p, g);
+  const Fp2 e2 = e_.pair(curve_.negate(p), g);
+  EXPECT_TRUE(e_.fp2().is_one(e_.fp2().mul(e1, e2)));
+}
+
+TEST_F(TateTest, SokKeyAgreementWorks) {
+  // The SOK pattern used by the PBC baseline: with credentials
+  // C_X = t*H(X), both sides derive e(H(X), H(Y))^t.
+  HmacDrbg rng(crypto::make_rng(12, "tate-sok"));
+  const UInt t = curve_.random_scalar(rng);
+  const PPoint hx = curve_.hash_to_group(str_bytes("member:X"));
+  const PPoint hy = curve_.hash_to_group(str_bytes("member:Y"));
+  const PPoint cx = curve_.scalar_mul(hx, t);
+  const PPoint cy = curve_.scalar_mul(hy, t);
+  const Fp2 kx = e_.pair(cx, hy);  // X's view
+  const Fp2 ky = e_.pair(hx, cy);  // Y's view
+  EXPECT_EQ(kx, ky);
+  EXPECT_EQ(e_.serialize_gt(kx), e_.serialize_gt(ky));
+  // A different master secret yields a different key.
+  const UInt t2 = curve_.random_scalar(rng);
+  EXPECT_NE(e_.pair(curve_.scalar_mul(hx, t2), hy), kx);
+}
+
+TEST_F(TateTest, GtSerializationDistinguishes) {
+  const PPoint g = curve_.generator();
+  const Fp2 a = e_.pair(g, g);
+  const Fp2 b = e_.gt_pow(a, UInt::from_u64(2));
+  EXPECT_NE(e_.serialize_gt(a), e_.serialize_gt(b));
+  EXPECT_EQ(e_.serialize_gt(a).size(), 128u);  // 2 x 64-byte coordinates
+}
+
+}  // namespace
+}  // namespace argus::pairing

@@ -1,0 +1,82 @@
+#include "pbc/sok.hpp"
+
+#include <gtest/gtest.h>
+
+namespace argus::pbc {
+namespace {
+
+class SokTest : public ::testing::Test {
+ protected:
+  SokTest()
+      : scheme_(pairing::default_system()),
+        rng_(crypto::make_rng(7, "sok-test")),
+        group_(scheme_.create_group(rng_)) {}
+
+  SokScheme scheme_;
+  crypto::HmacDrbg rng_;
+  GroupAuthority group_;
+};
+
+TEST_F(SokTest, FellowsDeriveSameKey) {
+  const auto alice = scheme_.issue(group_, "subject:alice");
+  const auto vending = scheme_.issue(group_, "object:vending-42");
+  const Bytes k1 = scheme_.handshake_key(alice, "object:vending-42");
+  const Bytes k2 = scheme_.handshake_key(vending, "subject:alice");
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.size(), 32u);
+}
+
+TEST_F(SokTest, NonFellowDerivesDifferentKey) {
+  const auto alice = scheme_.issue(group_, "subject:alice");
+  const GroupAuthority other = scheme_.create_group(rng_);
+  const auto eve = scheme_.issue(other, "subject:eve");
+  // Eve (different group) handshaking with Alice's id gets a key that does
+  // not match what Alice derives for Eve.
+  EXPECT_NE(scheme_.handshake_key(eve, "subject:alice"),
+            scheme_.handshake_key(alice, "subject:eve"));
+}
+
+TEST_F(SokTest, KeyDependsOnPeerIdentity) {
+  const auto alice = scheme_.issue(group_, "subject:alice");
+  EXPECT_NE(scheme_.handshake_key(alice, "object:a"),
+            scheme_.handshake_key(alice, "object:b"));
+}
+
+TEST_F(SokTest, KeyDependsOnGroup) {
+  const GroupAuthority g2 = scheme_.create_group(rng_);
+  const auto a1 = scheme_.issue(group_, "subject:alice");
+  const auto a2 = scheme_.issue(g2, "subject:alice");
+  EXPECT_NE(scheme_.handshake_key(a1, "object:o"),
+            scheme_.handshake_key(a2, "object:o"));
+}
+
+TEST_F(SokTest, DeterministicIssueAndKey) {
+  const auto c1 = scheme_.issue(group_, "subject:alice");
+  const auto c2 = scheme_.issue(group_, "subject:alice");
+  EXPECT_EQ(c1.credential, c2.credential);
+  EXPECT_EQ(scheme_.handshake_key(c1, "object:o"),
+            scheme_.handshake_key(c2, "object:o"));
+}
+
+TEST_F(SokTest, CredentialIsOnCurveSubgroup) {
+  const auto& curve = scheme_.system().curve;
+  const auto cred = scheme_.issue(group_, "subject:alice");
+  EXPECT_TRUE(curve.on_curve(cred.credential));
+  EXPECT_TRUE(curve.scalar_mul(cred.credential, curve.params().r).infinity);
+}
+
+TEST_F(SokTest, ThreeFellowsPairwiseKeysDistinct) {
+  const auto a = scheme_.issue(group_, "a");
+  const auto b = scheme_.issue(group_, "b");
+  const auto c = scheme_.issue(group_, "c");
+  const Bytes kab = scheme_.handshake_key(a, "b");
+  const Bytes kac = scheme_.handshake_key(a, "c");
+  const Bytes kbc = scheme_.handshake_key(b, "c");
+  EXPECT_NE(kab, kac);
+  EXPECT_NE(kab, kbc);
+  // Consistency both directions.
+  EXPECT_EQ(kbc, scheme_.handshake_key(c, "b"));
+}
+
+}  // namespace
+}  // namespace argus::pbc

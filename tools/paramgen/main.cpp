@@ -1,0 +1,99 @@
+// Parameter search for the type-A pairing setting used by src/pairing.
+//
+// Deterministically finds (r, h, p, G):
+//   r: 160-bit Solinas-style prime (2^159 + 2^17 + 1, or the next
+//      candidate if that were composite),
+//   h: smallest multiple of 4 above 2^512/r such that p = h*r - 1 is a
+//      512-bit prime (h = 0 mod 4 forces p = 3 mod 4),
+//   G: hash-to-curve("argus-generator") with cofactor cleared.
+// The output is pasted into src/pairing/params.cpp and re-validated by
+// tests/pairing/params_test.cpp on every run.
+#include <cstdio>
+
+#include "crypto/primes.hpp"
+#include "pairing/curve.hpp"
+#include "pairing/tate.hpp"
+
+using namespace argus;
+using namespace argus::crypto;
+
+namespace {
+
+UInt pow2(std::size_t bits) {
+  UInt x;
+  x.w[bits / 64] = std::uint64_t{1} << (bits % 64);
+  return x;
+}
+
+}  // namespace
+
+int main() {
+  HmacDrbg rng(str_bytes("argus-paramgen"));
+
+  // --- group order r -------------------------------------------------
+  UInt r = add(add(pow2(159), pow2(17)), UInt::one());
+  while (!is_probable_prime(r, rng)) {
+    r = add(r, UInt::from_u64(2));
+  }
+  std::printf("r  = %s\n", r.to_hex().c_str());
+
+  // --- field prime p = h*r - 1 ---------------------------------------
+  // Start h just above 2^511/r and round up to a multiple of 4, so p lands
+  // in [2^511, 2^512) (exactly 512 bits) with ample headroom.
+  DivResult d = divmod(pow2(511), r);
+  UInt h = d.quotient;
+  // Round up to multiple of 4.
+  while ((h.w[0] & 3) != 0) h = add(h, UInt::one());
+  UInt p;
+  int tries = 0;
+  for (;; h = add(h, UInt::from_u64(4)), ++tries) {
+    const UProd hr = mul_full(h, r);
+    UInt hr_lo;
+    for (std::size_t i = 0; i < kMaxWords; ++i) hr_lo.w[i] = hr.w[i];
+    p = sub(hr_lo, UInt::one());
+    if (p.bit_length() != 512) continue;
+    if (is_probable_prime(p, rng)) break;
+  }
+  std::printf("h  = %s   (tries: %d)\n", h.to_hex().c_str(), tries);
+  std::printf("p  = %s\n", p.to_hex().c_str());
+  std::printf("p mod 4 = %llu\n",
+              static_cast<unsigned long long>(p.w[0] & 3));
+
+  // --- generator ------------------------------------------------------
+  pairing::PairingParams params;
+  params.p = p;
+  params.r = r;
+  params.h = h;
+  params.gx = UInt::zero();
+  params.gy = UInt::zero();
+  pairing::PairingCurve curve(params);
+  const pairing::PPoint g = curve.hash_to_group(str_bytes("argus-generator"));
+  std::printf("gx = %s\n", g.x.to_hex().c_str());
+  std::printf("gy = %s\n", g.y.to_hex().c_str());
+
+  // --- sanity ----------------------------------------------------------
+  params.gx = g.x;
+  params.gy = g.y;
+  const pairing::PairingCurve curve2(params);
+  const bool order_ok = curve2.scalar_mul(g, r).infinity;
+  std::printf("on_curve=%d  rG==inf=%d\n", curve2.on_curve(g) ? 1 : 0,
+              order_ok ? 1 : 0);
+
+  const pairing::Pairing e(curve2);
+  const pairing::Fp2 g_gt = e.pair(g, g);
+  const bool nondegenerate = !e.fp2().is_one(g_gt);
+  const bool order_r = e.fp2().is_one(e.gt_pow(g_gt, r));
+  std::printf("e(G,G)!=1: %d   e(G,G)^r==1: %d\n", nondegenerate ? 1 : 0,
+              order_r ? 1 : 0);
+  // Bilinearity spot check.
+  HmacDrbg check(str_bytes("check"));
+  const UInt a = curve2.random_scalar(check);
+  const UInt b = curve2.random_scalar(check);
+  const pairing::PPoint ag = curve2.scalar_mul(g, a);
+  const pairing::PPoint bg = curve2.scalar_mul(g, b);
+  const MontCtx fr(r);
+  const UInt ab = fr.from_mont(fr.mul(fr.to_mont(a), fr.to_mont(b)));
+  const bool bilinear = e.pair(ag, bg) == e.gt_pow(g_gt, ab);
+  std::printf("bilinear: %d\n", bilinear ? 1 : 0);
+  return (order_ok && nondegenerate && order_r && bilinear) ? 0 : 1;
+}
