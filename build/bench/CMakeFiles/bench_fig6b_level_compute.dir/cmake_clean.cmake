@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_level_compute.dir/bench_fig6b_level_compute.cpp.o"
+  "CMakeFiles/bench_fig6b_level_compute.dir/bench_fig6b_level_compute.cpp.o.d"
+  "bench_fig6b_level_compute"
+  "bench_fig6b_level_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_level_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

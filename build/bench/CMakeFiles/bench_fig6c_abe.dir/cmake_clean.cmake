@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6c_abe.dir/bench_fig6c_abe.cpp.o"
+  "CMakeFiles/bench_fig6c_abe.dir/bench_fig6c_abe.cpp.o.d"
+  "bench_fig6c_abe"
+  "bench_fig6c_abe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_abe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6d_pbc.dir/bench_fig6d_pbc.cpp.o"
+  "CMakeFiles/bench_fig6d_pbc.dir/bench_fig6d_pbc.cpp.o.d"
+  "bench_fig6d_pbc"
+  "bench_fig6d_pbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6d_pbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

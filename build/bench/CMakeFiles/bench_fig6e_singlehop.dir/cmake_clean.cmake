@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6e_singlehop.dir/bench_fig6e_singlehop.cpp.o"
+  "CMakeFiles/bench_fig6e_singlehop.dir/bench_fig6e_singlehop.cpp.o.d"
+  "bench_fig6e_singlehop"
+  "bench_fig6e_singlehop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6e_singlehop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

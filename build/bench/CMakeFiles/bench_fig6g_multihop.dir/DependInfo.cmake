@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6g_multihop.cpp" "bench/CMakeFiles/bench_fig6g_multihop.dir/bench_fig6g_multihop.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6g_multihop.dir/bench_fig6g_multihop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/argus/CMakeFiles/argus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/argus_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/abe/CMakeFiles/argus_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairing/CMakeFiles/argus_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/argus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/argus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

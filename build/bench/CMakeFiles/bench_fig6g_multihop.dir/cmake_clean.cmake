@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6g_multihop.dir/bench_fig6g_multihop.cpp.o"
+  "CMakeFiles/bench_fig6g_multihop.dir/bench_fig6g_multihop.cpp.o.d"
+  "bench_fig6g_multihop"
+  "bench_fig6g_multihop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6g_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_updating.dir/bench_table1_updating.cpp.o"
+  "CMakeFiles/bench_table1_updating.dir/bench_table1_updating.cpp.o.d"
+  "bench_table1_updating"
+  "bench_table1_updating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_updating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

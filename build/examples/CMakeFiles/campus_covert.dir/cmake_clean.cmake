@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_covert.dir/campus_covert.cpp.o"
+  "CMakeFiles/campus_covert.dir/campus_covert.cpp.o.d"
+  "campus_covert"
+  "campus_covert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_covert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_churn.dir/enterprise_churn.cpp.o"
+  "CMakeFiles/enterprise_churn.dir/enterprise_churn.cpp.o.d"
+  "enterprise_churn"
+  "enterprise_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

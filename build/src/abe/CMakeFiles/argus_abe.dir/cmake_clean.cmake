@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_abe.dir/cpabe.cpp.o"
+  "CMakeFiles/argus_abe.dir/cpabe.cpp.o.d"
+  "CMakeFiles/argus_abe.dir/policy.cpp.o"
+  "CMakeFiles/argus_abe.dir/policy.cpp.o.d"
+  "libargus_abe.a"
+  "libargus_abe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_abe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

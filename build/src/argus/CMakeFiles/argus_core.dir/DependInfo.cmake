@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/argus/discovery.cpp" "src/argus/CMakeFiles/argus_core.dir/discovery.cpp.o" "gcc" "src/argus/CMakeFiles/argus_core.dir/discovery.cpp.o.d"
+  "/root/repo/src/argus/messages.cpp" "src/argus/CMakeFiles/argus_core.dir/messages.cpp.o" "gcc" "src/argus/CMakeFiles/argus_core.dir/messages.cpp.o.d"
+  "/root/repo/src/argus/object_engine.cpp" "src/argus/CMakeFiles/argus_core.dir/object_engine.cpp.o" "gcc" "src/argus/CMakeFiles/argus_core.dir/object_engine.cpp.o.d"
+  "/root/repo/src/argus/session.cpp" "src/argus/CMakeFiles/argus_core.dir/session.cpp.o" "gcc" "src/argus/CMakeFiles/argus_core.dir/session.cpp.o.d"
+  "/root/repo/src/argus/subject_engine.cpp" "src/argus/CMakeFiles/argus_core.dir/subject_engine.cpp.o" "gcc" "src/argus/CMakeFiles/argus_core.dir/subject_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backend/CMakeFiles/argus_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/argus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/abe/CMakeFiles/argus_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairing/CMakeFiles/argus_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/argus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

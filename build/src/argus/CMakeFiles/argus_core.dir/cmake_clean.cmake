@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_core.dir/discovery.cpp.o"
+  "CMakeFiles/argus_core.dir/discovery.cpp.o.d"
+  "CMakeFiles/argus_core.dir/messages.cpp.o"
+  "CMakeFiles/argus_core.dir/messages.cpp.o.d"
+  "CMakeFiles/argus_core.dir/object_engine.cpp.o"
+  "CMakeFiles/argus_core.dir/object_engine.cpp.o.d"
+  "CMakeFiles/argus_core.dir/session.cpp.o"
+  "CMakeFiles/argus_core.dir/session.cpp.o.d"
+  "CMakeFiles/argus_core.dir/subject_engine.cpp.o"
+  "CMakeFiles/argus_core.dir/subject_engine.cpp.o.d"
+  "libargus_core.a"
+  "libargus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

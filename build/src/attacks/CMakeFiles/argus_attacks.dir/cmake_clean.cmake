@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_attacks.dir/adversary.cpp.o"
+  "CMakeFiles/argus_attacks.dir/adversary.cpp.o.d"
+  "libargus_attacks.a"
+  "libargus_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/attributes.cpp" "src/backend/CMakeFiles/argus_backend.dir/attributes.cpp.o" "gcc" "src/backend/CMakeFiles/argus_backend.dir/attributes.cpp.o.d"
+  "/root/repo/src/backend/credentials_io.cpp" "src/backend/CMakeFiles/argus_backend.dir/credentials_io.cpp.o" "gcc" "src/backend/CMakeFiles/argus_backend.dir/credentials_io.cpp.o.d"
+  "/root/repo/src/backend/predicate.cpp" "src/backend/CMakeFiles/argus_backend.dir/predicate.cpp.o" "gcc" "src/backend/CMakeFiles/argus_backend.dir/predicate.cpp.o.d"
+  "/root/repo/src/backend/profile.cpp" "src/backend/CMakeFiles/argus_backend.dir/profile.cpp.o" "gcc" "src/backend/CMakeFiles/argus_backend.dir/profile.cpp.o.d"
+  "/root/repo/src/backend/registry.cpp" "src/backend/CMakeFiles/argus_backend.dir/registry.cpp.o" "gcc" "src/backend/CMakeFiles/argus_backend.dir/registry.cpp.o.d"
+  "/root/repo/src/backend/revocation.cpp" "src/backend/CMakeFiles/argus_backend.dir/revocation.cpp.o" "gcc" "src/backend/CMakeFiles/argus_backend.dir/revocation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/argus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/abe/CMakeFiles/argus_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairing/CMakeFiles/argus_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

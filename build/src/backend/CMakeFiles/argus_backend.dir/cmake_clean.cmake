@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_backend.dir/attributes.cpp.o"
+  "CMakeFiles/argus_backend.dir/attributes.cpp.o.d"
+  "CMakeFiles/argus_backend.dir/credentials_io.cpp.o"
+  "CMakeFiles/argus_backend.dir/credentials_io.cpp.o.d"
+  "CMakeFiles/argus_backend.dir/predicate.cpp.o"
+  "CMakeFiles/argus_backend.dir/predicate.cpp.o.d"
+  "CMakeFiles/argus_backend.dir/profile.cpp.o"
+  "CMakeFiles/argus_backend.dir/profile.cpp.o.d"
+  "CMakeFiles/argus_backend.dir/registry.cpp.o"
+  "CMakeFiles/argus_backend.dir/registry.cpp.o.d"
+  "CMakeFiles/argus_backend.dir/revocation.cpp.o"
+  "CMakeFiles/argus_backend.dir/revocation.cpp.o.d"
+  "libargus_backend.a"
+  "libargus_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_baselines.dir/abe_discovery.cpp.o"
+  "CMakeFiles/argus_baselines.dir/abe_discovery.cpp.o.d"
+  "CMakeFiles/argus_baselines.dir/pbc_discovery.cpp.o"
+  "CMakeFiles/argus_baselines.dir/pbc_discovery.cpp.o.d"
+  "CMakeFiles/argus_baselines.dir/updating.cpp.o"
+  "CMakeFiles/argus_baselines.dir/updating.cpp.o.d"
+  "libargus_baselines.a"
+  "libargus_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

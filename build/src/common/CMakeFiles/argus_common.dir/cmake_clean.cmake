@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_common.dir/bytes.cpp.o"
+  "CMakeFiles/argus_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/argus_common.dir/serde.cpp.o"
+  "CMakeFiles/argus_common.dir/serde.cpp.o.d"
+  "CMakeFiles/argus_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/argus_common.dir/thread_pool.cpp.o.d"
+  "libargus_common.a"
+  "libargus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/argus_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/argus_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/cert.cpp" "src/crypto/CMakeFiles/argus_crypto.dir/cert.cpp.o" "gcc" "src/crypto/CMakeFiles/argus_crypto.dir/cert.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/argus_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/argus_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/ec.cpp" "src/crypto/CMakeFiles/argus_crypto.dir/ec.cpp.o" "gcc" "src/crypto/CMakeFiles/argus_crypto.dir/ec.cpp.o.d"
+  "/root/repo/src/crypto/ecdh.cpp" "src/crypto/CMakeFiles/argus_crypto.dir/ecdh.cpp.o" "gcc" "src/crypto/CMakeFiles/argus_crypto.dir/ecdh.cpp.o.d"
+  "/root/repo/src/crypto/ecdsa.cpp" "src/crypto/CMakeFiles/argus_crypto.dir/ecdsa.cpp.o" "gcc" "src/crypto/CMakeFiles/argus_crypto.dir/ecdsa.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/argus_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/argus_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/mont.cpp" "src/crypto/CMakeFiles/argus_crypto.dir/mont.cpp.o" "gcc" "src/crypto/CMakeFiles/argus_crypto.dir/mont.cpp.o.d"
+  "/root/repo/src/crypto/primes.cpp" "src/crypto/CMakeFiles/argus_crypto.dir/primes.cpp.o" "gcc" "src/crypto/CMakeFiles/argus_crypto.dir/primes.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/argus_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/argus_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/wide.cpp" "src/crypto/CMakeFiles/argus_crypto.dir/wide.cpp.o" "gcc" "src/crypto/CMakeFiles/argus_crypto.dir/wide.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

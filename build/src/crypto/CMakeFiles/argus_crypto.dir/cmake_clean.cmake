@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_crypto.dir/aes.cpp.o"
+  "CMakeFiles/argus_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/argus_crypto.dir/cert.cpp.o"
+  "CMakeFiles/argus_crypto.dir/cert.cpp.o.d"
+  "CMakeFiles/argus_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/argus_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/argus_crypto.dir/ec.cpp.o"
+  "CMakeFiles/argus_crypto.dir/ec.cpp.o.d"
+  "CMakeFiles/argus_crypto.dir/ecdh.cpp.o"
+  "CMakeFiles/argus_crypto.dir/ecdh.cpp.o.d"
+  "CMakeFiles/argus_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/argus_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/argus_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/argus_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/argus_crypto.dir/mont.cpp.o"
+  "CMakeFiles/argus_crypto.dir/mont.cpp.o.d"
+  "CMakeFiles/argus_crypto.dir/primes.cpp.o"
+  "CMakeFiles/argus_crypto.dir/primes.cpp.o.d"
+  "CMakeFiles/argus_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/argus_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/argus_crypto.dir/wide.cpp.o"
+  "CMakeFiles/argus_crypto.dir/wide.cpp.o.d"
+  "libargus_crypto.a"
+  "libargus_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_net.dir/compute.cpp.o"
+  "CMakeFiles/argus_net.dir/compute.cpp.o.d"
+  "CMakeFiles/argus_net.dir/network.cpp.o"
+  "CMakeFiles/argus_net.dir/network.cpp.o.d"
+  "CMakeFiles/argus_net.dir/sim.cpp.o"
+  "CMakeFiles/argus_net.dir/sim.cpp.o.d"
+  "libargus_net.a"
+  "libargus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libargus_net.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pairing/curve.cpp" "src/pairing/CMakeFiles/argus_pairing.dir/curve.cpp.o" "gcc" "src/pairing/CMakeFiles/argus_pairing.dir/curve.cpp.o.d"
+  "/root/repo/src/pairing/fp2.cpp" "src/pairing/CMakeFiles/argus_pairing.dir/fp2.cpp.o" "gcc" "src/pairing/CMakeFiles/argus_pairing.dir/fp2.cpp.o.d"
+  "/root/repo/src/pairing/params.cpp" "src/pairing/CMakeFiles/argus_pairing.dir/params.cpp.o" "gcc" "src/pairing/CMakeFiles/argus_pairing.dir/params.cpp.o.d"
+  "/root/repo/src/pairing/tate.cpp" "src/pairing/CMakeFiles/argus_pairing.dir/tate.cpp.o" "gcc" "src/pairing/CMakeFiles/argus_pairing.dir/tate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/argus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_pairing.dir/curve.cpp.o"
+  "CMakeFiles/argus_pairing.dir/curve.cpp.o.d"
+  "CMakeFiles/argus_pairing.dir/fp2.cpp.o"
+  "CMakeFiles/argus_pairing.dir/fp2.cpp.o.d"
+  "CMakeFiles/argus_pairing.dir/params.cpp.o"
+  "CMakeFiles/argus_pairing.dir/params.cpp.o.d"
+  "CMakeFiles/argus_pairing.dir/tate.cpp.o"
+  "CMakeFiles/argus_pairing.dir/tate.cpp.o.d"
+  "libargus_pairing.a"
+  "libargus_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_pbc.dir/sok.cpp.o"
+  "CMakeFiles/argus_pbc.dir/sok.cpp.o.d"
+  "libargus_pbc.a"
+  "libargus_pbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_pbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("pairing")
+subdirs("abe")
+subdirs("pbc")
+subdirs("backend")
+subdirs("net")
+subdirs("argus")
+subdirs("baselines")
+subdirs("attacks")
+subdirs("integration")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_argus.dir/discovery_test.cpp.o"
+  "CMakeFiles/test_argus.dir/discovery_test.cpp.o.d"
+  "CMakeFiles/test_argus.dir/engine_test.cpp.o"
+  "CMakeFiles/test_argus.dir/engine_test.cpp.o.d"
+  "CMakeFiles/test_argus.dir/indistinguishability_test.cpp.o"
+  "CMakeFiles/test_argus.dir/indistinguishability_test.cpp.o.d"
+  "CMakeFiles/test_argus.dir/messages_test.cpp.o"
+  "CMakeFiles/test_argus.dir/messages_test.cpp.o.d"
+  "test_argus"
+  "test_argus.pdb"
+  "test_argus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_argus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/aes_test.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/aes_test.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/aes_test.cpp.o.d"
+  "/root/repo/tests/crypto/cert_test.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/cert_test.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/cert_test.cpp.o.d"
+  "/root/repo/tests/crypto/drbg_test.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/drbg_test.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/drbg_test.cpp.o.d"
+  "/root/repo/tests/crypto/ec_test.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/ec_test.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/ec_test.cpp.o.d"
+  "/root/repo/tests/crypto/ecdsa_test.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/ecdsa_test.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/ecdsa_test.cpp.o.d"
+  "/root/repo/tests/crypto/hmac_test.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/hmac_test.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto/mont_test.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/mont_test.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/mont_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha256_test.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/sha256_test.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/sha256_test.cpp.o.d"
+  "/root/repo/tests/crypto/wide_test.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/wide_test.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/wide_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/argus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

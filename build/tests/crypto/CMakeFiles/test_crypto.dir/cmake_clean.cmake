@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/aes_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/aes_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/cert_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/cert_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/drbg_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/drbg_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/ec_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/ec_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/ecdsa_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/ecdsa_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/hmac_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/hmac_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/mont_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/mont_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/sha256_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/sha256_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/wide_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/wide_test.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pairing/curve_test.cpp" "tests/pairing/CMakeFiles/test_pairing.dir/curve_test.cpp.o" "gcc" "tests/pairing/CMakeFiles/test_pairing.dir/curve_test.cpp.o.d"
+  "/root/repo/tests/pairing/fp2_test.cpp" "tests/pairing/CMakeFiles/test_pairing.dir/fp2_test.cpp.o" "gcc" "tests/pairing/CMakeFiles/test_pairing.dir/fp2_test.cpp.o.d"
+  "/root/repo/tests/pairing/params_test.cpp" "tests/pairing/CMakeFiles/test_pairing.dir/params_test.cpp.o" "gcc" "tests/pairing/CMakeFiles/test_pairing.dir/params_test.cpp.o.d"
+  "/root/repo/tests/pairing/tate_test.cpp" "tests/pairing/CMakeFiles/test_pairing.dir/tate_test.cpp.o" "gcc" "tests/pairing/CMakeFiles/test_pairing.dir/tate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pairing/CMakeFiles/argus_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/argus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

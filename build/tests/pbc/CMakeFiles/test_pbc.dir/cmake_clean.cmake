@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pbc.dir/sok_test.cpp.o"
+  "CMakeFiles/test_pbc.dir/sok_test.cpp.o.d"
+  "test_pbc"
+  "test_pbc.pdb"
+  "test_pbc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
