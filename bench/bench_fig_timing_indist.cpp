@@ -1,48 +1,118 @@
 // Ablation E12 (§VII Case 9 + §VI-B): indistinguishability measures under
 // adversarial measurement — size-distinguisher advantage with and without
-// RES2 padding, and the modeled timing gap with and without equalisation.
+// RES2 padding, the modeled timing gap with and without equalisation, and
+// the trace-backed auditor verdict over the full v3.0 simulation (the
+// paper's §VI argument as a checkable assertion).
+//
+//   bench_fig_timing_indist [TRACE_PREFIX]
+//
+// With TRACE_PREFIX, writes the full-measure run's trace to
+// <prefix>.jsonl (for tools/traceview) and <prefix>.json (for
+// chrome://tracing / Perfetto).
 #include <cstdio>
+#include <fstream>
 
 #include "attacks/adversary.hpp"
 #include "backend/registry.hpp"
+#include "argus/discovery.hpp"
+#include "obs/audit.hpp"
 
 using namespace argus;
 using backend::Level;
 
-int main() {
-  backend::Backend be(crypto::Strength::b128, 9);
-  const auto fellow = be.register_subject(
-      "fellow", backend::AttributeMap{{"position", "employee"}},
-      {"support"});
-  const auto plain = be.register_subject(
-      "plain", backend::AttributeMap{{"position", "employee"}});
-  const auto l2 = be.register_object(
-      "printer", {}, Level::kL2, {},
-      {{"position=='employee'", "staff", {"print"}}});
-  const auto l3 = be.register_object(
-      "kiosk", {}, Level::kL3, {},
-      {{"position=='employee'", "staff", {"browse"}}},
-      {{"support", "covert",
-        {"browse", "counseling resources", "financial aid directory",
-         "peer support meetup calendar", "emergency contact lines",
-         "accessibility services catalog",
-         "confidential appointment booking",
-         "campus policy guidance for students with disabilities"}}});
+namespace {
+
+struct Lab {
+  backend::Backend be{crypto::Strength::b128, 9};
+  backend::SubjectCredentials fellow, plain;
+  backend::ObjectCredentials l2, l3;
+
+  Lab() {
+    // Same-length ids and identical non-sensitive attributes: the pair
+    // differs only in secret-group membership, the §VI-B game.
+    fellow = be.register_subject(
+        "member", backend::AttributeMap{{"position", "employee"}},
+        {"support"});
+    plain = be.register_subject(
+        "nobody", backend::AttributeMap{{"position", "employee"}});
+    l2 = be.register_object(
+        "printer", {}, Level::kL2, {},
+        {{"position=='employee'", "staff", {"print"}}});
+    l3 = be.register_object(
+        "kiosk", {}, Level::kL3, {},
+        {{"position=='employee'", "staff", {"browse"}}},
+        {{"support", "covert",
+          {"browse", "counseling resources", "financial aid directory",
+           "peer support meetup calendar", "emergency contact lines",
+           "accessibility services catalog",
+           "confidential appointment booking",
+           "campus policy guidance for students with disabilities"}}});
+  }
+
+  core::DiscoveryScenario scenario(const backend::SubjectCredentials& s,
+                                   bool pad, bool eq, obs::Tracer* tracer) {
+    core::DiscoveryScenario sc;
+    sc.subject = s;
+    sc.admin_pub = be.admin_public_key();
+    sc.epoch = be.now();
+    sc.objects = {{l2, 1}, {l3, 1}};
+    sc.pad_res2 = pad;
+    sc.equalize_timing = eq;
+    sc.seed = 42;
+    sc.tracer = tracer;
+    return sc;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Lab lab;
 
   std::printf("E12 — indistinguishability under attack (40-trial games)\n\n");
   for (const bool pad : {true, false}) {
     const auto res = attacks::size_distinguisher(
-        fellow, plain, l3, be.admin_public_key(), be.now(), pad, 40, 1234);
+        lab.fellow, lab.plain, lab.l3, lab.be.admin_public_key(),
+        lab.be.now(), pad, 40, 1234);
     std::printf("RES2 size distinguisher, padding %-3s : advantage %.2f\n",
                 pad ? "ON" : "OFF", res.advantage);
   }
   std::printf("\n");
   for (const bool eq : {true, false}) {
     const auto probe = attacks::timing_probe(
-        plain, l2, l3, be.admin_public_key(), be.now(), eq, 77);
+        lab.plain, lab.l2, lab.l3, lab.be.admin_public_key(), lab.be.now(),
+        eq, 77);
     std::printf("response-time gap (L3 - L2), equalisation %-3s : %.3f ms\n",
                 eq ? "ON" : "OFF", probe.gap_ms());
   }
+
+  std::printf("\ntrace-backed auditor over the simulated ground network\n"
+              "(fellow run + cover-up run into one trace per config):\n\n");
+  struct Config {
+    const char* label;
+    bool pad, eq;
+  };
+  for (const Config cfg : {Config{"v3.0 full measures", true, true},
+                           Config{"pad_res2 OFF      ", false, true},
+                           Config{"equalize OFF      ", true, false}}) {
+    obs::Tracer trace;
+    (void)core::run_discovery(
+        lab.scenario(lab.fellow, cfg.pad, cfg.eq, &trace));
+    (void)core::run_discovery(
+        lab.scenario(lab.plain, cfg.pad, cfg.eq, &trace));
+    const auto verdict = obs::audit_indistinguishability(trace);
+    std::printf("%s : %s\n", cfg.label, verdict.summary().c_str());
+    if (cfg.pad && cfg.eq && argc > 1) {
+      const std::string prefix = argv[1];
+      std::ofstream jsonl(prefix + ".jsonl");
+      obs::write_jsonl(trace, jsonl);
+      std::ofstream chrome(prefix + ".json");
+      obs::write_chrome_json(trace, chrome);
+      std::printf("  wrote %s.jsonl and %s.json\n", prefix.c_str(),
+                  prefix.c_str());
+    }
+  }
+
   std::printf("\npaper: with the v3.0 measures, attackers cannot tell\n"
               "Level 3 discovery is happening (advantage ~0, gap 0); the\n"
               "raw gap without equalisation is ~0.08 ms on a Pi — buried\n"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string_view>
 
 namespace argus::core {
 
@@ -19,12 +20,23 @@ const char* wire_type_name(ByteSpan wire) {
   return "?";
 }
 
+bool is_msg(ByteSpan wire, MsgType t) {
+  return !wire.empty() && static_cast<MsgType>(wire[0]) == t;
+}
+
+// Per-run observability context. `metrics` always points at the run-local
+// registry (the single source for the report's traffic accounting);
+// `tracer` is the user's, if any.
 struct Shared {
   DiscoveryReport* report = nullptr;
   std::uint64_t epoch = 0;
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 
   void tally(ByteSpan wire) {
-    report->bytes_by_msg[wire_type_name(wire)] += wire.size();
+    const char* type = wire_type_name(wire);
+    metrics->counter(std::string("net.msg.count.") + type).inc();
+    metrics->counter(std::string("net.msg.bytes.") + type).inc(wire.size());
   }
 };
 
@@ -34,14 +46,34 @@ class ObjectNode final : public net::SimNode {
       : engine_(std::move(cfg)), shared_(shared) {}
 
   void on_message(net::NodeId from, const Bytes& payload) override {
+    obs::Tracer* const tr = shared_->tracer;
+    const std::uint64_t fellows_before = engine_.stats().fellows_confirmed;
+    if (tr) {
+      tr->begin(net_->now(), node_id(),
+                std::string("handle.") + wire_type_name(payload), "phase",
+                payload.size());
+    }
     auto reply = engine_.handle(payload, shared_->epoch);
     const double ms = engine_.take_consumed_ms();
     net_->consume_compute(node_id(), ms);
     shared_->report->object_compute_ms += ms;
+    std::uint64_t reply_level = 0;
     if (reply) {
+      if (is_msg(*reply, MsgType::kRes2)) {
+        reply_level =
+            engine_.stats().fellows_confirmed > fellows_before ? 3 : 2;
+      }
       shared_->tally(*reply);
+      if (tr) {
+        tr->instant(net_->now(), node_id(),
+                    std::string("tx.") + wire_type_name(*reply), "net",
+                    reply->size(), reply_level);
+      }
       net_->unicast(node_id(), from, std::move(*reply));
     }
+    // The span closes when the node's modeled compute drains; its `b`
+    // carries the reply level the auditor partitions faces by.
+    if (tr) tr->end(net_->node_free_at(node_id()), node_id(), 0, reply_level);
   }
 
   ObjectEngine& engine() { return engine_; }
@@ -61,10 +93,21 @@ class SubjectNode final : public net::SimNode {
     Bytes que1 = engine_.start_round();
     (void)engine_.take_consumed_ms();
     shared_->tally(que1);
+    if (obs::Tracer* const tr = shared_->tracer) {
+      tr->instant(net_->now(), node_id(),
+                  std::string("tx.") + wire_type_name(que1), "net",
+                  que1.size(), group_idx);
+    }
     net_->broadcast(node_id(), std::move(que1));
   }
 
   void on_message(net::NodeId from, const Bytes& payload) override {
+    obs::Tracer* const tr = shared_->tracer;
+    if (tr) {
+      tr->begin(net_->now(), node_id(),
+                std::string("handle.") + wire_type_name(payload), "phase",
+                payload.size());
+    }
     const std::size_t before = engine_.discovered().size();
     auto reply = engine_.handle(payload, shared_->epoch);
     const double ms = engine_.take_consumed_ms();
@@ -75,11 +118,21 @@ class SubjectNode final : public net::SimNode {
       shared_->report->timeline.push_back(DiscoveryEvent{
           svc.object_id, svc.level, svc.variant_tag,
           net_->node_free_at(node_id())});
+      if (tr) {
+        tr->instant(net_->now(), node_id(), "discovered", "phase",
+                    static_cast<std::uint64_t>(svc.level), 0, svc.object_id);
+      }
     }
     if (reply) {
       shared_->tally(*reply);
+      if (tr) {
+        tr->instant(net_->now(), node_id(),
+                    std::string("tx.") + wire_type_name(*reply), "net",
+                    reply->size());
+      }
       net_->unicast(node_id(), from, std::move(*reply));
     }
+    if (tr) tr->end(net_->node_free_at(node_id()), node_id());
   }
 
   SubjectEngine& engine() { return engine_; }
@@ -100,9 +153,16 @@ std::size_t DiscoveryReport::count_level(int level) const {
 DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
   net::Simulator sim;
   net::Network net(sim, scenario.radio, scenario.seed);
+  sim.set_tracer(scenario.tracer);
+  net.set_tracer(scenario.tracer);
+  net.set_metrics(scenario.metrics);
 
   DiscoveryReport report;
-  Shared shared{&report, scenario.epoch};
+  // Message tallies always land in a run-local registry (the report is
+  // derived from it below); a user-supplied registry receives a copy at
+  // the end so cross-run accumulation never skews this run's report.
+  obs::MetricsRegistry local_metrics;
+  Shared shared{&report, scenario.epoch, scenario.tracer, &local_metrics};
 
   SubjectEngineConfig scfg;
   scfg.version = scenario.version;
@@ -112,8 +172,13 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
   scfg.seed = scenario.seed;
   scfg.compute = scenario.subject_compute;
   scfg.seek_level3 = scenario.seek_level3;
+  scfg.metrics = scenario.metrics;
   SubjectNode subject(std::move(scfg), &shared);
   net.add_node(&subject, 0);
+  if (scenario.tracer) {
+    scenario.tracer->instant(sim.now(), subject.node_id(), "node", "meta", 0,
+                             0, scenario.subject.id);
+  }
 
   std::vector<std::unique_ptr<ObjectNode>> objects;
   objects.reserve(scenario.objects.size());
@@ -127,8 +192,16 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
     ocfg.compute = scenario.object_compute;
     ocfg.pad_res2 = scenario.pad_res2;
     ocfg.equalize_timing = scenario.equalize_timing;
+    ocfg.metrics = scenario.metrics;
     objects.push_back(std::make_unique<ObjectNode>(std::move(ocfg), &shared));
-    net.add_node(objects.back().get(), std::max(1u, scenario.objects[i].hops));
+    const net::NodeId id =
+        net.add_node(objects.back().get(), std::max(1u, scenario.objects[i].hops));
+    if (scenario.tracer) {
+      scenario.tracer->instant(
+          sim.now(), id, "node", "meta",
+          static_cast<std::uint64_t>(scenario.objects[i].creds.level),
+          scenario.objects[i].hops, scenario.objects[i].creds.id);
+    }
   }
 
   const std::size_t rounds =
@@ -140,7 +213,27 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
   }
 
   report.services = subject.engine().discovered();
+  // Traffic accounting: totals and the per-type split both derive from
+  // the same counters, so they cannot disagree (hop_bytes and channel
+  // occupancy remain radio-model quantities).
   report.net_stats = net.stats();
+  report.net_stats.messages = 0;
+  report.net_stats.bytes = 0;
+  constexpr std::string_view kCountPrefix = "net.msg.count.";
+  constexpr std::string_view kBytesPrefix = "net.msg.bytes.";
+  for (const auto& [name, counter] : local_metrics.counters()) {
+    if (name.starts_with(kBytesPrefix)) {
+      report.bytes_by_msg[name.substr(kBytesPrefix.size())] = counter.value();
+      report.net_stats.bytes += counter.value();
+    } else if (name.starts_with(kCountPrefix)) {
+      report.net_stats.messages += counter.value();
+    }
+  }
+  if (scenario.metrics != nullptr) {
+    for (const auto& [name, counter] : local_metrics.counters()) {
+      scenario.metrics->counter(name).inc(counter.value());
+    }
+  }
   for (const auto& ev : report.timeline) {
     report.total_ms = std::max(report.total_ms, ev.at_ms);
   }

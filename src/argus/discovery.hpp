@@ -7,6 +7,8 @@
 #include "argus/object_engine.hpp"
 #include "argus/subject_engine.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace argus::core {
 
@@ -32,6 +34,15 @@ struct DiscoveryScenario {
   bool pad_res2 = true;
   bool equalize_timing = true;
   bool seek_level3 = true;  // v2.0 subject intent
+
+  /// Observability sinks, both optional and non-owning. The tracer
+  /// records the full event timeline (node metadata, tx/rx, per-message
+  /// handling spans with reply levels — the schema obs/audit.hpp checks).
+  /// The registry accumulates across runs: per-message-type counts/bytes,
+  /// per-hop latency, per-node busy time, per-crypto-op cost. Leaving
+  /// both null costs one pointer test per instrumentation site.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct DiscoveryEvent {
@@ -45,6 +56,11 @@ struct DiscoveryReport {
   double total_ms = 0;  // completion time of the last discovery
   std::vector<DiscoveredService> services;
   std::vector<DiscoveryEvent> timeline;
+  /// Traffic accounting. `messages`/`bytes` and `bytes_by_msg` are both
+  /// derived from the run's metrics registry (counters
+  /// net.msg.{count,bytes}.<TYPE>), so the totals and the per-type split
+  /// can never disagree; `hop_bytes`/`channel_busy_ms` come from the
+  /// radio model, which nodes cannot observe.
   net::Network::Stats net_stats;
   double subject_compute_ms = 0;
   double object_compute_ms = 0;

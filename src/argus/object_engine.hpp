@@ -16,6 +16,7 @@
 #include "backend/revocation.hpp"
 #include "crypto/ecdh.hpp"
 #include "net/compute.hpp"
+#include "obs/metrics.hpp"
 
 namespace argus::core {
 
@@ -29,6 +30,9 @@ struct ObjectEngineConfig {
   /// v3.0 indistinguishability measures — ablatable for E12.
   bool pad_res2 = true;
   bool equalize_timing = true;
+  /// Optional sink for per-crypto-op modeled cost (null = no accounting,
+  /// no overhead beyond one pointer test per op).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ObjectEngine {
@@ -78,7 +82,14 @@ class ObjectEngine {
   std::optional<Bytes> handle_que1(const Que1& msg, const Bytes& wire);
   std::optional<Bytes> handle_que2(const Que2& msg, std::uint64_t now);
 
-  void charge(net::CryptoOp op) { consumed_ms_ += cfg_.compute.cost(op); }
+  void charge(net::CryptoOp op) {
+    const double ms = cfg_.compute.cost(op);
+    consumed_ms_ += ms;
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->histogram(std::string("crypto.ms.") + net::op_name(op))
+          .observe(ms);
+    }
+  }
 
   /// Padded plaintext for RES2: bytes16(prof wire) + zeros to the fixed
   /// per-object plaintext size (constant RES2 length, §VI-B).

@@ -15,6 +15,7 @@
 #include "backend/registry.hpp"
 #include "crypto/ecdh.hpp"
 #include "net/compute.hpp"
+#include "obs/metrics.hpp"
 
 namespace argus::core {
 
@@ -28,6 +29,9 @@ struct SubjectEngineConfig {
   /// v2.0 only: whether this round seeks Level 3 services (v3.0 always
   /// does; v1.0 never does).
   bool seek_level3 = true;
+  /// Optional sink for per-crypto-op modeled cost (null = no accounting,
+  /// no overhead beyond one pointer test per op).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct DiscoveredService {
@@ -85,7 +89,14 @@ class SubjectEngine {
                                    std::uint64_t now);
   std::optional<Bytes> handle_res2(const Res2& msg);
 
-  void charge(net::CryptoOp op) { consumed_ms_ += cfg_.compute.cost(op); }
+  void charge(net::CryptoOp op) {
+    const double ms = cfg_.compute.cost(op);
+    consumed_ms_ += ms;
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->histogram(std::string("crypto.ms.") + net::op_name(op))
+          .observe(ms);
+    }
+  }
   void record(DiscoveredService svc);
 
   SubjectEngineConfig cfg_;

@@ -2,6 +2,18 @@
 
 namespace argus::net {
 
+const char* op_name(CryptoOp op) {
+  switch (op) {
+    case CryptoOp::kEcdsaSign: return "ecdsa_sign";
+    case CryptoOp::kEcdsaVerify: return "ecdsa_verify";
+    case CryptoOp::kEcdhGenerate: return "ecdh_generate";
+    case CryptoOp::kEcdhCompute: return "ecdh_compute";
+    case CryptoOp::kHmac: return "hmac";
+    case CryptoOp::kAesBlockOp: return "aes_block";
+  }
+  return "?";
+}
+
 double ComputeModel::cost(CryptoOp op) const {
   switch (op) {
     case CryptoOp::kEcdsaSign: return sign_ms * strength_factor;

@@ -25,6 +25,9 @@ enum class CryptoOp {
   kAesBlockOp,  // one CBC encrypt/decrypt of a whole profile
 };
 
+/// Stable metric/trace label, e.g. "ecdsa_sign".
+const char* op_name(CryptoOp op);
+
 struct ComputeModel {
   // Costs in virtual milliseconds at 128-bit strength.
   double sign_ms = 0;

@@ -1,6 +1,10 @@
 #include "net/network.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace argus::net {
 
@@ -44,6 +48,9 @@ SimTime Network::reserve_channel(unsigned ring, SimTime earliest,
 
 void Network::deliver(NodeId from, NodeId to, Bytes payload, SimTime arrival) {
   sim_.schedule_at(arrival, [this, from, to, payload = std::move(payload)] {
+    if (tracer_) {
+      tracer_->instant(sim_.now(), to, "rx", "net", payload.size(), from);
+    }
     auto& slot = nodes_.at(to);
     // The node is a serial processor: processing starts when it frees up.
     const SimTime start = std::max(sim_.now(), slot.busy_until);
@@ -71,7 +78,14 @@ void Network::unicast(NodeId from, NodeId to, Bytes payload) {
   SimTime arrival = ready;
   for (unsigned h = 0; h < hops; ++h) {
     const SimTime start = reserve_channel(base + h, arrival, occupancy);
-    arrival = start + occupancy + radio_.per_hop_latency_ms + jitter();
+    const SimTime leg_end = start + occupancy + radio_.per_hop_latency_ms + jitter();
+    if (metrics_) {
+      metrics_->histogram("net.hop_latency_ms").observe(leg_end - arrival);
+    }
+    arrival = leg_end;
+  }
+  if (metrics_) {
+    metrics_->histogram("net.msg_latency_ms").observe(arrival - ready);
   }
   deliver(from, to, std::move(payload), arrival);
 }
@@ -92,6 +106,9 @@ void Network::broadcast(NodeId from, Bytes payload) {
   for (unsigned h = 1; h <= max_hops; ++h) {
     const SimTime start = reserve_channel(h - 1, prev, occupancy);
     ring_arrival[h] = start + occupancy + radio_.per_hop_latency_ms + jitter();
+    if (metrics_) {
+      metrics_->histogram("net.hop_latency_ms").observe(ring_arrival[h] - prev);
+    }
     prev = ring_arrival[h];
     stats_.channel_busy_ms += 0;  // occupancy already counted
     stats_.hop_bytes += payload.size();
@@ -109,7 +126,16 @@ void Network::broadcast(NodeId from, Bytes payload) {
 void Network::consume_compute(NodeId node, double ms) {
   if (ms < 0) throw std::invalid_argument("consume_compute: negative time");
   auto& slot = nodes_.at(node);
-  slot.busy_until = std::max(slot.busy_until, sim_.now()) + ms;
+  const SimTime start = std::max(slot.busy_until, sim_.now());
+  slot.busy_until = start + ms;
+  if (tracer_ && ms > 0) {
+    tracer_->begin(start, node, "compute", "compute");
+    tracer_->end(start + ms, node);
+  }
+  if (metrics_) {
+    metrics_->histogram("net.compute_ms").observe(ms);
+    metrics_->histogram("node.busy_ms." + std::to_string(node)).observe(ms);
+  }
 }
 
 }  // namespace argus::net

@@ -22,6 +22,11 @@
 #include "net/compute.hpp"
 #include "net/sim.hpp"
 
+namespace argus::obs {
+class MetricsRegistry;
+class Tracer;
+}
+
 namespace argus::net {
 
 using NodeId = std::uint32_t;
@@ -90,6 +95,14 @@ class Network {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Attach observability sinks (null detaches). With no sinks the only
+  /// added cost is one pointer test per send/compute call. The tracer
+  /// receives "rx" instants at delivery and "compute" spans on busy
+  /// nodes; the registry receives per-hop latency, per-message latency,
+  /// and per-node busy-time distributions.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   struct NodeSlot {
     SimNode* node = nullptr;
@@ -112,6 +125,8 @@ class Network {
   NodeId next_id_ = 1;
   std::vector<SimTime> ring_free_;  // per-hop-ring contention domains
   Stats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace argus::net

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace argus::net {
 
 void Simulator::schedule(SimTime delay, std::function<void()> fn) {
@@ -15,6 +17,8 @@ void Simulator::schedule_at(SimTime when, std::function<void()> fn) {
 }
 
 SimTime Simulator::run() {
+  if (tracer_) tracer_->begin(now_, 0, "sim.run", "sim", queue_.size());
+  const std::uint64_t before = executed_;
   while (!queue_.empty()) {
     // Copy out before pop: fn may schedule new events.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
@@ -23,10 +27,13 @@ SimTime Simulator::run() {
     ++executed_;
     ev.fn();
   }
+  if (tracer_) tracer_->end(now_, 0, executed_ - before);
   return now_;
 }
 
 SimTime Simulator::run_until(SimTime deadline) {
+  if (tracer_) tracer_->begin(now_, 0, "sim.run", "sim", queue_.size());
+  const std::uint64_t before = executed_;
   while (!queue_.empty() && queue_.top().time <= deadline) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
@@ -35,6 +42,7 @@ SimTime Simulator::run_until(SimTime deadline) {
     ev.fn();
   }
   now_ = std::max(now_, deadline);
+  if (tracer_) tracer_->end(now_, 0, executed_ - before);
   return now_;
 }
 

@@ -12,6 +12,10 @@
 #include <queue>
 #include <vector>
 
+namespace argus::obs {
+class Tracer;
+}
+
 namespace argus::net {
 
 using SimTime = double;  // virtual milliseconds
@@ -33,6 +37,11 @@ class Simulator {
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  /// Attach an event tracer (null detaches). With no tracer the only
+  /// overhead is one pointer test per run()/run_until() call — never
+  /// per event.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Event {
     SimTime time;
@@ -50,6 +59,7 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace argus::net

@@ -1,0 +1,139 @@
+#include "obs/audit.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace argus::obs {
+
+namespace {
+
+struct NodeView {
+  std::uint64_t declared_level = 0;       // from "node" meta instants
+  std::set<std::uint64_t> res2_sizes;     // distinct RES2 wire lengths
+  std::vector<double> covert_ms;          // QUE2 response times, b == 3
+  std::vector<double> cover_ms;           // QUE2 response times, b == 2
+};
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double s = 0;
+  for (const double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+std::string fmt(const char* f, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), f, a, b);
+  return buf;
+}
+
+}  // namespace
+
+IndistReport audit_indistinguishability(const Tracer& trace,
+                                        const IndistAuditOptions& opts) {
+  IndistReport rep;
+  std::map<std::uint32_t, NodeView> nodes;
+  std::set<std::uint64_t> que2_sizes;
+
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.name != "handle.QUE2") continue;
+    if (span.b == 0) continue;  // dropped exchange: no observable reply
+    ++rep.que2_spans;
+    NodeView& nv = nodes[span.node];
+    (span.b == 3 ? nv.covert_ms : nv.cover_ms).push_back(span.dur);
+  }
+  for (const TraceEvent& ev : trace.events()) {
+    if (ev.kind != EventKind::kInstant) continue;
+    if (ev.cat == "meta" && ev.name == "node") {
+      nodes[ev.node].declared_level = ev.a;
+    } else if (ev.name == "tx.RES2") {
+      ++rep.res2_count;
+      nodes[ev.node].res2_sizes.insert(ev.a);
+    } else if (ev.name == "tx.QUE2") {
+      que2_sizes.insert(ev.a);
+    }
+  }
+
+  if (rep.que2_spans == 0) {
+    rep.violations.push_back(
+        {"no-data", 0, "trace holds no completed QUE2/RES2 exchanges"});
+  }
+
+  std::vector<double> covert_all, cover_all, l2_all, l3_all;
+  for (const auto& [id, nv] : nodes) {
+    if (nv.res2_sizes.size() > 1) {
+      std::string sizes;
+      for (const std::uint64_t s : nv.res2_sizes) {
+        if (!sizes.empty()) sizes += " vs ";
+        sizes += std::to_string(s);
+      }
+      rep.violations.push_back(
+          {"res2-length", id, "RES2 wire lengths differ: " + sizes + " B"});
+    }
+    if (!nv.covert_ms.empty() && !nv.cover_ms.empty()) {
+      const double m3 = mean(nv.covert_ms);
+      const double m2 = mean(nv.cover_ms);
+      if (std::abs(m3 - m2) > opts.timing_tolerance_ms) {
+        rep.violations.push_back(
+            {"timing-face", id,
+             fmt("covert face mean %.4f ms vs cover face %.4f ms", m3, m2)});
+      }
+    }
+    covert_all.insert(covert_all.end(), nv.covert_ms.begin(),
+                      nv.covert_ms.end());
+    cover_all.insert(cover_all.end(), nv.cover_ms.begin(), nv.cover_ms.end());
+    auto* pool = nv.declared_level == 2   ? &l2_all
+                 : nv.declared_level == 3 ? &l3_all
+                                          : nullptr;
+    if (pool != nullptr) {
+      pool->insert(pool->end(), nv.covert_ms.begin(), nv.covert_ms.end());
+      pool->insert(pool->end(), nv.cover_ms.begin(), nv.cover_ms.end());
+    }
+  }
+
+  rep.covert_mean_ms = mean(covert_all);
+  rep.cover_mean_ms = mean(cover_all);
+  rep.l2_mean_ms = mean(l2_all);
+  rep.l3_mean_ms = mean(l3_all);
+
+  if (opts.check_que2_length && que2_sizes.size() > 1) {
+    std::string sizes;
+    for (const std::uint64_t s : que2_sizes) {
+      if (!sizes.empty()) sizes += " vs ";
+      sizes += std::to_string(s);
+    }
+    rep.violations.push_back(
+        {"que2-length", 0, "QUE2 wire lengths differ: " + sizes + " B"});
+  }
+  if (!l2_all.empty() && !l3_all.empty() &&
+      std::abs(rep.l2_mean_ms - rep.l3_mean_ms) > opts.timing_tolerance_ms) {
+    rep.violations.push_back(
+        {"timing-level", 0,
+         fmt("Level 2 nodes respond in %.4f ms vs Level 3 nodes %.4f ms",
+             rep.l2_mean_ms, rep.l3_mean_ms)});
+  }
+
+  rep.passed = rep.violations.empty();
+  return rep;
+}
+
+std::string IndistReport::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s — %zu exchanges, %zu RES2; response means: covert %.4f ms"
+                " / cover %.4f ms, L2 %.4f ms / L3 %.4f ms, %zu violation(s)",
+                passed ? "PASS" : "FAIL", que2_spans, res2_count,
+                covert_mean_ms, cover_mean_ms, l2_mean_ms, l3_mean_ms,
+                violations.size());
+  std::string out = buf;
+  for (const IndistViolation& v : violations) {
+    out += "\n  [" + v.check + "]";
+    if (v.node != 0) out += " node " + std::to_string(v.node);
+    out += ": " + v.detail;
+  }
+  return out;
+}
+
+}  // namespace argus::obs

@@ -1,0 +1,68 @@
+// Timing-indistinguishability auditor (§VI-B / §VII Case 7-9, as a
+// trace-checkable assertion).
+//
+// The auditor consumes a protocol trace (obs/trace.hpp) and verifies the
+// v3.0 claims *from the recorded observables*, not from trust in the
+// engines:
+//
+//   1. res2-length  — per object node, every RES2 has the same wire
+//      length, whichever face (covert or cover-up) produced it.
+//   2. que2-length  — every QUE2 has the same wire length, whichever
+//      subject (fellow or cover-up-key holder) sent it. Meaningful when
+//      the compared subjects differ only in secret-group membership —
+//      the §VI-B game; run the paired scenarios into one tracer.
+//   3. timing-face  — per object node that served both faces, the mean
+//      QUE2->RES2 response time of covert replies equals that of cover
+//      replies within tolerance.
+//   4. timing-level — pooled response times of declared Level 2 nodes
+//      equal those of declared Level 3 nodes within tolerance (the
+//      paper's response-time equalisation, Case 9).
+//
+// Event conventions (produced by core::run_discovery instrumentation):
+//   instant "node"/"meta"  : a = declared level (0 = subject), arg = id
+//   span "handle.QUE2"     : end's b = reply level (0 drop, 2 cover,
+//                            3 covert); dur = modeled response time
+//   instant "tx.RES2"      : a = bytes, b = reply level
+//   instant "tx.QUE2"      : a = bytes
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace argus::obs {
+
+struct IndistAuditOptions {
+  /// Max tolerated |mean difference| of response times, virtual ms.
+  double timing_tolerance_ms = 0.01;
+  /// Check 2 assumes the trace pairs subjects that differ only in group
+  /// membership; disable for traces of heterogeneous subjects.
+  bool check_que2_length = true;
+};
+
+struct IndistViolation {
+  std::string check;       // "res2-length" | "que2-length" | "timing-face"
+                           // | "timing-level" | "no-data"
+  std::uint32_t node = 0;  // 0 for global checks
+  std::string detail;
+};
+
+struct IndistReport {
+  bool passed = false;
+  std::size_t que2_spans = 0;   // audited exchanges (with a RES2 reply)
+  std::size_t res2_count = 0;   // RES2 transmissions seen
+  double covert_mean_ms = 0;    // pooled mean response time, covert face
+  double cover_mean_ms = 0;     // pooled mean response time, cover face
+  double l2_mean_ms = 0;        // pooled mean, declared Level 2 nodes
+  double l3_mean_ms = 0;        // pooled mean, declared Level 3 nodes
+  std::vector<IndistViolation> violations;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+IndistReport audit_indistinguishability(const Tracer& trace,
+                                        const IndistAuditOptions& opts = {});
+
+}  // namespace argus::obs

@@ -1,0 +1,114 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace argus::obs {
+
+const std::vector<double>& Histogram::default_bounds() {
+  static const std::vector<double> kBounds{
+      0.005, 0.01, 0.02, 0.05, 0.1,  0.2,  0.5,  1.0,   2.0,   5.0,
+      10.0,  20.0, 50.0, 100., 200., 500., 1e3,  2e3,   5e3,   1e4};
+  return kBounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: empty bucket bounds");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must strictly increase");
+    }
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  double cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (cum + in_bucket < rank || in_bucket == 0) {
+      cum += in_bucket;
+      continue;
+    }
+    // Interpolate within bucket i; clamp edges to observed min/max so
+    // quantiles never leave the data range.
+    const double lo = i == 0 ? min_ : bounds_[i - 1];
+    const double hi = i == bounds_.size() ? max_ : bounds_[i];
+    const double frac = in_bucket > 0 ? (rank - cum) / in_bucket : 0;
+    return std::clamp(lo + (hi - lo) * frac, min_, max_);
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram()).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(bounds))).first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::render() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "counter %-36s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "hist    %-36s count=%llu sum=%.3f min=%.3f max=%.3f "
+                  "p50=%.3f p95=%.3f p99=%.3f\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count()),
+                  h.sum(), h.min(), h.max(), h.p50(), h.p95(), h.p99());
+    out += buf;
+  }
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+}  // namespace argus::obs

@@ -1,0 +1,96 @@
+// Counters and fixed-bucket histograms for the simulation layer.
+//
+// A MetricsRegistry owns named instruments; instrumentation sites look
+// them up by name ("net.msg.bytes.QUE2", "crypto.ms.ecdsa_verify",
+// "node.busy_ms.3"). Histograms use fixed bucket boundaries chosen at
+// creation, so percentile estimates (p50/p95/p99) are bucket-interpolated
+// — cheap, mergeable, and deterministic. All values here are virtual-time
+// milliseconds or byte/message counts; nothing reads a wall clock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace argus::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Histogram {
+ public:
+  /// Millisecond-scale exponential boundaries, 5µs .. 10s.
+  static const std::vector<double>& default_bounds();
+
+  /// `bounds` must be strictly increasing; bucket i covers
+  /// (bounds[i-1], bounds[i]], with an underflow bucket below bounds[0]
+  /// and an overflow bucket above bounds.back().
+  explicit Histogram(std::vector<double> bounds = default_bounds());
+
+  void observe(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0;
+  }
+
+  /// Bucket-interpolated quantile, q in [0,1]; clamped to [min, max].
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p95() const { return percentile(0.95); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries (last = overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. The first `histogram(name, bounds)` call fixes the
+  /// bucket layout; later calls with the same name reuse it.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Deterministic text dump (one instrument per line, sorted by name).
+  [[nodiscard]] std::string render() const;
+
+  void clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace argus::obs

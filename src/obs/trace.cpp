@@ -1,0 +1,369 @@
+#include "obs/trace.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <system_error>
+
+namespace argus::obs {
+
+namespace {
+
+// Shortest round-trip formatting: exports are byte-identical for
+// identical runs and read_jsonl recovers the exact double.
+void put_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void put_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20) {
+      static const char* hex = "0123456789abcdef";
+      out.append("\\u00");
+      out.push_back(hex[u >> 4]);
+      out.push_back(hex[u & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+const char* kind_letter(EventKind k) {
+  switch (k) {
+    case EventKind::kBegin: return "B";
+    case EventKind::kEnd: return "E";
+    case EventKind::kInstant: return "i";
+  }
+  return "?";
+}
+
+void append_json_fields(std::string& line, const TraceEvent& ev) {
+  line.append("\"ts\":");
+  put_double(line, ev.ts);
+  line.append(",\"n\":");
+  line.append(std::to_string(ev.node));
+  if (!ev.name.empty()) {
+    line.append(",\"name\":");
+    put_escaped(line, ev.name);
+  }
+  if (!ev.cat.empty()) {
+    line.append(",\"cat\":");
+    put_escaped(line, ev.cat);
+  }
+  if (ev.a != 0) {
+    line.append(",\"a\":");
+    line.append(std::to_string(ev.a));
+  }
+  if (ev.b != 0) {
+    line.append(",\"b\":");
+    line.append(std::to_string(ev.b));
+  }
+  if (!ev.arg.empty()) {
+    line.append(",\"arg\":");
+    put_escaped(line, ev.arg);
+  }
+}
+
+}  // namespace
+
+void Tracer::begin(double ts, std::uint32_t node, std::string name,
+                   std::string cat, std::uint64_t a, std::uint64_t b,
+                   std::string arg) {
+  open_[node].push_back(events_.size());
+  events_.push_back(TraceEvent{EventKind::kBegin, ts, node, std::move(name),
+                               std::move(cat), a, b, std::move(arg)});
+}
+
+void Tracer::end(double ts, std::uint32_t node, std::uint64_t a,
+                 std::uint64_t b) {
+  TraceEvent ev{EventKind::kEnd, ts, node, {}, {}, a, b, {}};
+  auto it = open_.find(node);
+  if (it == open_.end() || it->second.empty()) {
+    balanced_ = false;  // orphan end
+  } else {
+    const TraceEvent& opener = events_[it->second.back()];
+    ev.name = opener.name;
+    ev.cat = opener.cat;
+    if (ts < opener.ts) balanced_ = false;
+    it->second.pop_back();
+  }
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(double ts, std::uint32_t node, std::string name,
+                     std::string cat, std::uint64_t a, std::uint64_t b,
+                     std::string arg) {
+  events_.push_back(TraceEvent{EventKind::kInstant, ts, node, std::move(name),
+                               std::move(cat), a, b, std::move(arg)});
+}
+
+void Tracer::append(TraceEvent ev) {
+  switch (ev.kind) {
+    case EventKind::kBegin:
+      begin(ev.ts, ev.node, std::move(ev.name), std::move(ev.cat), ev.a, ev.b,
+            std::move(ev.arg));
+      break;
+    case EventKind::kEnd:
+      end(ev.ts, ev.node, ev.a, ev.b);
+      break;
+    case EventKind::kInstant:
+      events_.push_back(std::move(ev));
+      break;
+  }
+}
+
+void Tracer::clear() {
+  events_.clear();
+  open_.clear();
+  balanced_ = true;
+}
+
+std::size_t Tracer::open_spans() const {
+  std::size_t n = 0;
+  for (const auto& [node, stack] : open_) n += stack.size();
+  return n;
+}
+
+bool Tracer::well_formed() const { return balanced_ && open_spans() == 0; }
+
+std::vector<TraceSpan> Tracer::spans() const {
+  std::vector<TraceSpan> out;
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> stacks;
+  std::vector<std::size_t> begin_to_span(events_.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    if (ev.kind == EventKind::kBegin) {
+      stacks[ev.node].push_back(i);
+    } else if (ev.kind == EventKind::kEnd) {
+      auto& stack = stacks[ev.node];
+      if (stack.empty()) continue;  // orphan end
+      const TraceEvent& op = events_[stack.back()];
+      TraceSpan span;
+      span.ts = op.ts;
+      span.dur = ev.ts - op.ts;
+      span.node = op.node;
+      span.name = op.name;
+      span.cat = op.cat;
+      span.arg = op.arg;
+      span.a = op.a;
+      span.b = ev.b != 0 ? ev.b : op.b;
+      begin_to_span[stack.back()] = out.size();
+      out.push_back(std::move(span));
+      stack.pop_back();
+    }
+  }
+  // Re-emit in begin order (the matching loop emits in end order).
+  std::vector<TraceSpan> ordered;
+  ordered.reserve(out.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (begin_to_span[i] != SIZE_MAX) ordered.push_back(out[begin_to_span[i]]);
+  }
+  return ordered;
+}
+
+void write_jsonl(const Tracer& tracer, std::ostream& os) {
+  std::string line;
+  for (const TraceEvent& ev : tracer.events()) {
+    line.clear();
+    line.append("{\"k\":\"");
+    line.append(kind_letter(ev.kind));
+    line.append("\",");
+    append_json_fields(line, ev);
+    line.append("}\n");
+    os.write(line.data(), static_cast<std::streamsize>(line.size()));
+  }
+}
+
+void write_chrome_json(const Tracer& tracer, std::ostream& os) {
+  std::string out;
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out.append(",\n");
+    first = false;
+  };
+  // Thread-name metadata from "node" meta instants.
+  for (const TraceEvent& ev : tracer.events()) {
+    if (ev.kind != EventKind::kInstant || ev.cat != "meta" ||
+        ev.name != "node") {
+      continue;
+    }
+    comma();
+    out.append("{\"ph\":\"M\",\"pid\":1,\"tid\":");
+    out.append(std::to_string(ev.node));
+    out.append(",\"name\":\"thread_name\",\"args\":{\"name\":");
+    std::string label = ev.arg;
+    if (ev.a != 0) label += " (L" + std::to_string(ev.a) + ")";
+    put_escaped(out, label);
+    out.append("}}");
+  }
+  for (const TraceEvent& ev : tracer.events()) {
+    comma();
+    out.append("{\"ph\":\"");
+    out.append(kind_letter(ev.kind));
+    out.append("\",\"pid\":1,\"tid\":");
+    out.append(std::to_string(ev.node));
+    out.append(",\"ts\":");
+    put_double(out, ev.ts * 1000.0);  // chrome wants microseconds
+    if (!ev.name.empty()) {
+      out.append(",\"name\":");
+      put_escaped(out, ev.name);
+    }
+    if (!ev.cat.empty()) {
+      out.append(",\"cat\":");
+      put_escaped(out, ev.cat);
+    }
+    if (ev.kind == EventKind::kInstant) out.append(",\"s\":\"t\"");
+    out.append(",\"args\":{\"a\":");
+    out.append(std::to_string(ev.a));
+    out.append(",\"b\":");
+    out.append(std::to_string(ev.b));
+    if (!ev.arg.empty()) {
+      out.append(",\"arg\":");
+      put_escaped(out, ev.arg);
+    }
+    out.append("}}");
+  }
+  out.append("\n]}\n");
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+namespace {
+
+// Minimal parser for the flat single-line objects write_jsonl emits.
+struct LineParser {
+  const char* p;
+  const char* endp;
+
+  void skip_ws() {
+    while (p < endp && (*p == ' ' || *p == '\t')) ++p;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (p < endp && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (p >= endp || *p != '"') return false;
+    ++p;
+    out.clear();
+    while (p < endp && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= endp) return false;
+        switch (*p) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'u': {
+            if (endp - p < 5) return false;
+            unsigned v = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char c = p[i];
+              v <<= 4;
+              if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+              else return false;
+            }
+            if (v > 0xFF) return false;  // we only emit \u00XX
+            out.push_back(static_cast<char>(v));
+            p += 4;
+            break;
+          }
+          default: return false;
+        }
+        ++p;
+      } else {
+        out.push_back(*p++);
+      }
+    }
+    if (p >= endp) return false;
+    ++p;  // closing quote
+    return true;
+  }
+  bool parse_double(double& out) {
+    skip_ws();
+    const auto res = std::from_chars(p, endp, out);
+    if (res.ec != std::errc{}) return false;
+    p = res.ptr;
+    return true;
+  }
+  bool parse_u64(std::uint64_t& out) {
+    skip_ws();
+    const auto res = std::from_chars(p, endp, out);
+    if (res.ec != std::errc{}) return false;
+    p = res.ptr;
+    return true;
+  }
+};
+
+bool parse_line(const std::string& line, TraceEvent& ev) {
+  LineParser lp{line.data(), line.data() + line.size()};
+  if (!lp.eat('{')) return false;
+  std::string key, sval;
+  bool have_kind = false;
+  while (true) {
+    if (!lp.parse_string(key) || !lp.eat(':')) return false;
+    if (key == "k") {
+      if (!lp.parse_string(sval)) return false;
+      if (sval == "B") ev.kind = EventKind::kBegin;
+      else if (sval == "E") ev.kind = EventKind::kEnd;
+      else if (sval == "i") ev.kind = EventKind::kInstant;
+      else return false;
+      have_kind = true;
+    } else if (key == "ts") {
+      if (!lp.parse_double(ev.ts)) return false;
+    } else if (key == "n") {
+      std::uint64_t n = 0;
+      if (!lp.parse_u64(n) || n > UINT32_MAX) return false;
+      ev.node = static_cast<std::uint32_t>(n);
+    } else if (key == "name") {
+      if (!lp.parse_string(ev.name)) return false;
+    } else if (key == "cat") {
+      if (!lp.parse_string(ev.cat)) return false;
+    } else if (key == "a") {
+      if (!lp.parse_u64(ev.a)) return false;
+    } else if (key == "b") {
+      if (!lp.parse_u64(ev.b)) return false;
+    } else if (key == "arg") {
+      if (!lp.parse_string(ev.arg)) return false;
+    } else {
+      return false;  // unknown key: not our schema
+    }
+    if (lp.eat(',')) continue;
+    if (lp.eat('}')) break;
+    return false;
+  }
+  return have_kind;
+}
+
+}  // namespace
+
+bool read_jsonl(std::istream& is, Tracer& tracer) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    TraceEvent ev;
+    if (!parse_line(line, ev)) return false;
+    tracer.append(std::move(ev));
+  }
+  return true;
+}
+
+}  // namespace argus::obs

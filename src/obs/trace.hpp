@@ -1,0 +1,103 @@
+// Structured tracing for the simulated testbed.
+//
+// Events are keyed by *virtual* time (the simulator's millisecond clock),
+// so a trace is a deterministic function of the scenario + seed: same run,
+// byte-identical export. Spans use begin/end pairs with per-node stack
+// discipline (a node is a serial processor, so its spans nest); instants
+// mark point events (message tx/rx, discoveries, node metadata).
+//
+// The trace *is* the observable: the indistinguishability auditor
+// (obs/audit.hpp) proves the paper's §VI claims from these events rather
+// than from trust in the implementation. Instrumentation sites hold a
+// `Tracer*` and skip all work when it is null — tracing off costs one
+// pointer test per site.
+//
+// Exporters: Chrome trace_event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev) and a line-oriented JSONL form that
+// `read_jsonl` and `tools/traceview` can load back.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace argus::obs {
+
+enum class EventKind : std::uint8_t { kBegin, kEnd, kInstant };
+
+struct TraceEvent {
+  EventKind kind = EventKind::kInstant;
+  double ts = 0;           // virtual milliseconds
+  std::uint32_t node = 0;  // simulated node id; 0 = simulator/global
+  std::string name;        // e.g. "handle.QUE2", "tx.RES2", "compute"
+  std::string cat;         // "phase", "net", "compute", "crypto", "meta", "sim"
+  std::uint64_t a = 0;     // primary numeric arg (bytes, level, count, ...)
+  std::uint64_t b = 0;     // secondary numeric arg (hops, reply level, ...)
+  std::string arg;         // free-form annotation (entity id, ...)
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// A begin/end pair reconstructed by Tracer::spans().
+struct TraceSpan {
+  double ts = 0;   // begin time
+  double dur = 0;  // end - begin
+  std::uint32_t node = 0;
+  std::string name;
+  std::string cat;
+  std::string arg;
+  std::uint64_t a = 0;  // from the begin event
+  std::uint64_t b = 0;  // from the end event if nonzero, else the begin
+};
+
+class Tracer {
+ public:
+  void begin(double ts, std::uint32_t node, std::string name, std::string cat,
+             std::uint64_t a = 0, std::uint64_t b = 0, std::string arg = {});
+  /// Close the innermost open span on `node`. Nonzero a/b attach *result*
+  /// arguments decided during the span (e.g. the reply level).
+  void end(double ts, std::uint32_t node, std::uint64_t a = 0,
+           std::uint64_t b = 0);
+  void instant(double ts, std::uint32_t node, std::string name,
+               std::string cat, std::uint64_t a = 0, std::uint64_t b = 0,
+               std::string arg = {});
+
+  /// Append a raw event (used by read_jsonl); routes kBegin/kEnd through
+  /// the span-matching machinery so names and well-formedness survive a
+  /// round trip.
+  void append(TraceEvent ev);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  void clear();
+
+  /// Spans still open (begun, not ended).
+  [[nodiscard]] std::size_t open_spans() const;
+  /// True iff every end matched a begin on its node, no end precedes its
+  /// begin, and nothing is left open.
+  [[nodiscard]] bool well_formed() const;
+  /// Matched begin/end pairs, in begin order. Unmatched begins/ends are
+  /// skipped.
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> open_;
+  bool balanced_ = true;  // no orphan end, no negative duration so far
+};
+
+/// One event per line; load back with read_jsonl.
+void write_jsonl(const Tracer& tracer, std::ostream& os);
+/// Chrome trace_event format ("traceEvents" array; ts in microseconds;
+/// node ids become thread ids, "node" meta instants become thread names).
+void write_chrome_json(const Tracer& tracer, std::ostream& os);
+/// Parse write_jsonl output, appending into `tracer`. Returns false (and
+/// stops) on the first malformed line.
+bool read_jsonl(std::istream& is, Tracer& tracer);
+
+}  // namespace argus::obs

@@ -1,0 +1,111 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace argus::obs {
+namespace {
+
+TEST(CounterTest, IncrementsByDelta) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(4.0);
+  h.observe(10.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  // underflow, (1,2], (2,5], overflow
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(HistogramTest, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneAndClamped) {
+  Histogram h({0.1, 0.2, 0.5, 1.0, 2.0, 5.0});
+  for (int i = 1; i <= 100; ++i) h.observe(0.03 * i);  // 0.03 .. 3.0
+  const double p50 = h.p50(), p95 = h.p95(), p99 = h.p99();
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  // True median is ~1.5; bucket interpolation should land in (1.0, 2.0].
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+}
+
+TEST(HistogramTest, SingleValuePercentile) {
+  Histogram h;
+  h.observe(0.08);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.08);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.08);
+}
+
+TEST(HistogramTest, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateSemantics) {
+  MetricsRegistry reg;
+  reg.counter("a").inc(3);
+  reg.counter("a").inc(4);
+  EXPECT_EQ(reg.counter("a").value(), 7u);
+
+  reg.histogram("h", {1.0, 2.0}).observe(1.5);
+  reg.histogram("h").observe(1.7);  // reuses the fixed layout
+  EXPECT_EQ(reg.histogram("h").count(), 2u);
+  EXPECT_EQ(reg.histogram("h").bounds().size(), 2u);
+
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+  ASSERT_NE(reg.find_counter("a"), nullptr);
+  EXPECT_EQ(reg.find_counter("a")->value(), 7u);
+}
+
+TEST(MetricsRegistryTest, RenderIsDeterministicAndSorted) {
+  MetricsRegistry reg;
+  reg.counter("z.last").inc(1);
+  reg.counter("a.first").inc(2);
+  reg.histogram("m.mid").observe(0.5);
+  const std::string r1 = reg.render();
+  const std::string r2 = reg.render();
+  EXPECT_EQ(r1, r2);
+  EXPECT_LT(r1.find("a.first"), r1.find("z.last"));
+  EXPECT_NE(r1.find("m.mid"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ClearEmpties) {
+  MetricsRegistry reg;
+  reg.counter("c").inc();
+  reg.histogram("h").observe(1);
+  reg.clear();
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.histograms().empty());
+}
+
+}  // namespace
+}  // namespace argus::obs

@@ -1,0 +1,142 @@
+// traceview — summarise a JSONL protocol trace (obs/trace.hpp schema).
+//
+//   traceview [--audit] [--chrome OUT.json] TRACE.jsonl
+//
+// Prints totals, a per-category event census, traffic by message type,
+// per-phase span timing, and the indistinguishability auditor's verdict.
+// `--audit` makes a FAIL verdict the exit status (2), for CI gating;
+// `--chrome OUT.json` additionally converts the trace for
+// chrome://tracing / Perfetto.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "obs/audit.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--audit] [--chrome OUT.json] TRACE.jsonl\n",
+               argv0);
+  return 1;
+}
+
+struct Acc {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+  double total_ms = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gate_on_audit = false;
+  const char* chrome_out = nullptr;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--audit") == 0) {
+      gate_on_audit = true;
+    } else if (std::strcmp(argv[i], "--chrome") == 0 && i + 1 < argc) {
+      chrome_out = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path == nullptr) return usage(argv[0]);
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "traceview: cannot open %s\n", path);
+    return 1;
+  }
+  argus::obs::Tracer trace;
+  if (!argus::obs::read_jsonl(in, trace)) {
+    std::fprintf(stderr, "traceview: %s: malformed JSONL trace\n", path);
+    return 1;
+  }
+
+  double t_min = 0, t_max = 0;
+  bool first_ev = true;
+  std::map<std::string, std::uint64_t> by_cat;
+  std::map<std::string, Acc> traffic;  // tx.* instants
+  for (const auto& ev : trace.events()) {
+    if (first_ev) {
+      t_min = t_max = ev.ts;
+      first_ev = false;
+    }
+    t_min = std::min(t_min, ev.ts);
+    t_max = std::max(t_max, ev.ts);
+    ++by_cat[ev.cat.empty() ? "(none)" : ev.cat];
+    if (ev.kind == argus::obs::EventKind::kInstant &&
+        ev.name.rfind("tx.", 0) == 0) {
+      Acc& acc = traffic[ev.name.substr(3)];
+      ++acc.count;
+      acc.bytes += ev.a;
+    }
+  }
+  const auto spans = trace.spans();
+  std::map<std::string, Acc> phases;
+  for (const auto& span : spans) {
+    Acc& acc = phases[span.name];
+    ++acc.count;
+    acc.total_ms += span.dur;
+  }
+
+  std::printf("%s\n", path);
+  std::printf("  events %zu (spans %zu, %s), virtual time %.3f .. %.3f ms\n",
+              trace.size(), spans.size(),
+              trace.well_formed() ? "well-formed" : "NOT WELL-FORMED", t_min,
+              t_max);
+  std::printf("\n  events by category\n");
+  for (const auto& [cat, n] : by_cat) {
+    std::printf("    %-12s %8llu\n", cat.c_str(),
+                static_cast<unsigned long long>(n));
+  }
+  if (!traffic.empty()) {
+    std::printf("\n  traffic by message type\n");
+    std::uint64_t tot_count = 0, tot_bytes = 0;
+    for (const auto& [type, acc] : traffic) {
+      std::printf("    %-12s %6llu msgs %10llu B\n", type.c_str(),
+                  static_cast<unsigned long long>(acc.count),
+                  static_cast<unsigned long long>(acc.bytes));
+      tot_count += acc.count;
+      tot_bytes += acc.bytes;
+    }
+    std::printf("    %-12s %6llu msgs %10llu B\n", "total",
+                static_cast<unsigned long long>(tot_count),
+                static_cast<unsigned long long>(tot_bytes));
+  }
+  if (!phases.empty()) {
+    std::printf("\n  span timing by phase\n");
+    for (const auto& [name, acc] : phases) {
+      std::printf("    %-16s %6llu spans %10.3f ms total %8.3f ms mean\n",
+                  name.c_str(), static_cast<unsigned long long>(acc.count),
+                  acc.total_ms,
+                  acc.total_ms / static_cast<double>(acc.count));
+    }
+  }
+
+  const auto verdict = argus::obs::audit_indistinguishability(trace);
+  std::printf("\n  indistinguishability audit: %s\n",
+              verdict.summary().c_str());
+
+  if (chrome_out != nullptr) {
+    std::ofstream out(chrome_out);
+    if (!out) {
+      std::fprintf(stderr, "traceview: cannot write %s\n", chrome_out);
+      return 1;
+    }
+    argus::obs::write_chrome_json(trace, out);
+    std::printf("\n  wrote %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                chrome_out);
+  }
+  return gate_on_audit && !verdict.passed ? 2 : 0;
+}
