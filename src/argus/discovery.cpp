@@ -33,10 +33,17 @@ struct Shared {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
 
-  void tally(ByteSpan wire) {
-    const char* type = wire_type_name(wire);
-    metrics->counter(std::string("net.msg.count.") + type).inc();
-    metrics->counter(std::string("net.msg.bytes.") + type).inc(wire.size());
+  // Offered counts every send attempt; the delivered counters (the ones
+  // the report's messages/bytes derive from) only count copies the radio
+  // let through, so a lossy run's report never claims traffic the peer
+  // never saw. On a clean channel the two families are equal.
+  void tally(const char* type, std::size_t size, bool delivered) {
+    metrics->counter(std::string("net.msg.offered.count.") + type).inc();
+    metrics->counter(std::string("net.msg.offered.bytes.") + type).inc(size);
+    if (delivered) {
+      metrics->counter(std::string("net.msg.count.") + type).inc();
+      metrics->counter(std::string("net.msg.bytes.") + type).inc(size);
+    }
   }
 };
 
@@ -63,13 +70,14 @@ class ObjectNode final : public net::SimNode {
         reply_level =
             engine_.stats().fellows_confirmed > fellows_before ? 3 : 2;
       }
-      shared_->tally(*reply);
+      const char* type = wire_type_name(*reply);
+      const std::size_t size = reply->size();
       if (tr) {
-        tr->instant(net_->now(), node_id(),
-                    std::string("tx.") + wire_type_name(*reply), "net",
-                    reply->size(), reply_level);
+        tr->instant(net_->now(), node_id(), std::string("tx.") + type, "net",
+                    size, reply_level);
       }
-      net_->unicast(node_id(), from, std::move(*reply));
+      const auto sent = net_->unicast(node_id(), from, std::move(*reply));
+      shared_->tally(type, size, sent.delivered);
     }
     // The span closes when the node's modeled compute drains; its `b`
     // carries the reply level the auditor partitions faces by.
@@ -88,17 +96,55 @@ class SubjectNode final : public net::SimNode {
   SubjectNode(SubjectEngineConfig cfg, Shared* shared)
       : engine_(std::move(cfg)), shared_(shared) {}
 
+  /// Per-object exchange the retry driver tracks. Phases advance
+  /// QUE1-sent -> (RES1 seen, QUE2 sent) -> done; a round deadline or an
+  /// exhausted retry budget parks the exchange at kTimedOut.
+  struct Exchange {
+    enum Phase { kIdle, kAwaitRes1, kAwaitRes2, kDone, kTimedOut };
+    std::string object_id;
+    Phase phase = kIdle;
+    unsigned que2_attempts = 0;    // this round
+    unsigned retransmits = 0;      // cumulative, for the report
+    Bytes que2_wire;               // cached wire for timer-driven resends
+    net::TimerId timer = 0;
+    bool timer_live = false;
+  };
+
+  void configure_retries(const RetryPolicy& policy, bool enabled) {
+    policy_ = policy;
+    retries_ = enabled;
+  }
+
+  void track_object(net::NodeId node, std::string object_id) {
+    Exchange ex;
+    ex.object_id = std::move(object_id);
+    exchanges_[node] = std::move(ex);
+  }
+
   void begin_round(std::size_t group_idx) {
     engine_.set_group_key_index(group_idx);
-    Bytes que1 = engine_.start_round();
+    group_idx_ = group_idx;
+    que1_wire_ = engine_.start_round();
     (void)engine_.take_consumed_ms();
-    shared_->tally(que1);
-    if (obs::Tracer* const tr = shared_->tracer) {
-      tr->instant(net_->now(), node_id(),
-                  std::string("tx.") + wire_type_name(que1), "net",
-                  que1.size(), group_idx);
+    que1_attempts_ = 0;
+    for (auto& [node, ex] : exchanges_) {
+      ex.phase = Exchange::kAwaitRes1;
+      ex.que2_attempts = 0;
+      ex.que2_wire.clear();
     }
-    net_->broadcast(node_id(), std::move(que1));
+    send_que1();
+  }
+
+  /// Close out the round: cancel every live timer (so stale retries never
+  /// leak into the next round) and park unresolved exchanges.
+  void finish_round() {
+    cancel_que1_timer();
+    for (auto& [node, ex] : exchanges_) {
+      cancel_timer(ex);
+      if (ex.phase == Exchange::kAwaitRes1 || ex.phase == Exchange::kAwaitRes2) {
+        ex.phase = Exchange::kTimedOut;
+      }
+    }
   }
 
   void on_message(net::NodeId from, const Bytes& payload) override {
@@ -122,24 +168,154 @@ class SubjectNode final : public net::SimNode {
         tr->instant(net_->now(), node_id(), "discovered", "phase",
                     static_cast<std::uint64_t>(svc.level), 0, svc.object_id);
       }
+      resolve(from);
     }
     if (reply) {
-      shared_->tally(*reply);
+      const char* type = wire_type_name(*reply);
+      const std::size_t size = reply->size();
       if (tr) {
-        tr->instant(net_->now(), node_id(),
-                    std::string("tx.") + wire_type_name(*reply), "net",
-                    reply->size());
+        tr->instant(net_->now(), node_id(), std::string("tx.") + type, "net",
+                    size);
       }
-      net_->unicast(node_id(), from, std::move(*reply));
+      if (const auto it = exchanges_.find(from);
+          it != exchanges_.end() && it->second.phase == Exchange::kAwaitRes1 &&
+          is_msg(*reply, MsgType::kQue2)) {
+        it->second.phase = Exchange::kAwaitRes2;
+        it->second.que2_wire = *reply;
+        arm_que2_timer(from, it->second);
+      }
+      const auto sent = net_->unicast(node_id(), from, std::move(*reply));
+      shared_->tally(type, size, sent.delivered);
     }
     if (tr) tr->end(net_->node_free_at(node_id()), node_id());
   }
 
   SubjectEngine& engine() { return engine_; }
+  [[nodiscard]] const std::map<net::NodeId, Exchange>& exchanges() const {
+    return exchanges_;
+  }
 
  private:
+  double backoff_delay(double base, unsigned attempt) const {
+    double d = base;
+    for (unsigned i = 0; i < attempt; ++i) d *= policy_.backoff;
+    return d;
+  }
+
+  [[nodiscard]] bool awaiting_res1() const {
+    for (const auto& [node, ex] : exchanges_) {
+      if (ex.phase == Exchange::kAwaitRes1) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool all_resolved() const {
+    for (const auto& [node, ex] : exchanges_) {
+      if (ex.phase == Exchange::kAwaitRes1 || ex.phase == Exchange::kAwaitRes2) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void send_que1() {
+    if (obs::Tracer* const tr = shared_->tracer) {
+      tr->instant(net_->now(), node_id(),
+                  std::string("tx.") + wire_type_name(que1_wire_), "net",
+                  que1_wire_.size(), group_idx_);
+    }
+    const auto sent = net_->broadcast(node_id(), que1_wire_);
+    // A broadcast with no receivers loses nothing; count it delivered.
+    shared_->tally(wire_type_name(que1_wire_), que1_wire_.size(),
+                   sent.delivered || sent.drops == 0);
+    if (retries_ && que1_attempts_ < policy_.max_retries && awaiting_res1()) {
+      que1_timer_ = net_->sim().schedule_timer(
+          backoff_delay(policy_.que1_timeout_ms, que1_attempts_),
+          [this] { on_que1_timeout(); });
+      que1_timer_live_ = true;
+    }
+  }
+
+  void on_que1_timeout() {
+    que1_timer_live_ = false;
+    if (!awaiting_res1()) return;
+    ++que1_attempts_;
+    ++shared_->report->que1_retransmits;
+    send_que1();  // same bytes: receivers treat the duplicate idempotently
+  }
+
+  void arm_que2_timer(net::NodeId node, Exchange& ex) {
+    if (!retries_) return;
+    ex.timer = net_->sim().schedule_timer(
+        backoff_delay(policy_.que2_timeout_ms, ex.que2_attempts),
+        [this, node] { on_que2_timeout(node); });
+    ex.timer_live = true;
+  }
+
+  void on_que2_timeout(net::NodeId node) {
+    auto& ex = exchanges_.at(node);
+    ex.timer_live = false;
+    if (ex.phase != Exchange::kAwaitRes2) return;
+    if (ex.que2_attempts >= policy_.max_retries) {
+      ex.phase = Exchange::kTimedOut;
+      maybe_quiesce();
+      return;
+    }
+    ++ex.que2_attempts;
+    ++ex.retransmits;
+    ++shared_->report->que2_retransmits;
+    const char* type = wire_type_name(ex.que2_wire);
+    const std::size_t size = ex.que2_wire.size();
+    if (obs::Tracer* const tr = shared_->tracer) {
+      tr->instant(net_->now(), node_id(), std::string("tx.") + type, "net",
+                  size);
+    }
+    const auto sent = net_->unicast(node_id(), node, ex.que2_wire);
+    shared_->tally(type, size, sent.delivered);
+    arm_que2_timer(node, ex);
+  }
+
+  /// The exchange with `node` finished (a discovery landed); stop its
+  /// timer and, if nothing is pending anymore, cancel the QUE1 watchdog
+  /// so the round can end at the true completion time.
+  void resolve(net::NodeId node) {
+    const auto it = exchanges_.find(node);
+    if (it == exchanges_.end()) return;
+    it->second.phase = Exchange::kDone;
+    cancel_timer(it->second);
+    maybe_quiesce();
+  }
+
+  void maybe_quiesce() {
+    if (!all_resolved()) return;
+    cancel_que1_timer();
+    for (auto& [node, ex] : exchanges_) cancel_timer(ex);
+  }
+
+  void cancel_timer(Exchange& ex) {
+    if (ex.timer_live) {
+      net_->sim().cancel_timer(ex.timer);
+      ex.timer_live = false;
+    }
+  }
+
+  void cancel_que1_timer() {
+    if (que1_timer_live_) {
+      net_->sim().cancel_timer(que1_timer_);
+      que1_timer_live_ = false;
+    }
+  }
+
   SubjectEngine engine_;
   Shared* shared_;
+  RetryPolicy policy_{};
+  bool retries_ = false;
+  std::size_t group_idx_ = 0;
+  Bytes que1_wire_;
+  unsigned que1_attempts_ = 0;
+  net::TimerId que1_timer_ = 0;
+  bool que1_timer_live_ = false;
+  std::map<net::NodeId, Exchange> exchanges_;
 };
 
 }  // namespace
@@ -181,7 +357,9 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
   }
 
   std::vector<std::unique_ptr<ObjectNode>> objects;
+  std::vector<net::NodeId> object_ids;
   objects.reserve(scenario.objects.size());
+  object_ids.reserve(scenario.objects.size());
   for (std::size_t i = 0; i < scenario.objects.size(); ++i) {
     ObjectEngineConfig ocfg;
     ocfg.version = scenario.version;
@@ -196,6 +374,8 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
     objects.push_back(std::make_unique<ObjectNode>(std::move(ocfg), &shared));
     const net::NodeId id =
         net.add_node(objects.back().get(), std::max(1u, scenario.objects[i].hops));
+    object_ids.push_back(id);
+    subject.track_object(id, scenario.objects[i].creds.id);
     if (scenario.tracer) {
       scenario.tracer->instant(
           sim.now(), id, "node", "meta",
@@ -204,12 +384,30 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
     }
   }
 
+  // Retries default to kAuto: armed only when the radio can actually lose
+  // or duplicate frames, so a lossless run never schedules a timer and its
+  // event sequence (and therefore every derived number) is unchanged.
+  const bool lossy =
+      scenario.radio.drop_prob > 0.0 || scenario.radio.dup_prob > 0.0;
+  const bool retries =
+      scenario.retry.mode == RetryMode::kOn ||
+      (scenario.retry.mode == RetryMode::kAuto && lossy);
+  subject.configure_retries(scenario.retry, retries);
+
   const std::size_t rounds =
       std::min<std::size_t>(std::max<std::size_t>(1, scenario.rounds),
                             subject.engine().group_key_count());
   for (std::size_t round = 0; round < rounds; ++round) {
     sim.schedule(0, [&subject, round] { subject.begin_round(round); });
-    sim.run();
+    if (retries) {
+      // Bounded round: the deadline guarantees termination even if every
+      // retransmission is lost; pending (cancelled) retry timers past the
+      // deadline are discarded by finish_round below.
+      sim.drain_until(sim.now() + scenario.retry.round_deadline_ms);
+    } else {
+      sim.run();
+    }
+    subject.finish_round();
   }
 
   report.services = subject.engine().discovered();
@@ -221,8 +419,14 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
   report.net_stats.bytes = 0;
   constexpr std::string_view kCountPrefix = "net.msg.count.";
   constexpr std::string_view kBytesPrefix = "net.msg.bytes.";
+  constexpr std::string_view kOfferedCountPrefix = "net.msg.offered.count.";
+  constexpr std::string_view kOfferedBytesPrefix = "net.msg.offered.bytes.";
   for (const auto& [name, counter] : local_metrics.counters()) {
-    if (name.starts_with(kBytesPrefix)) {
+    if (name.starts_with(kOfferedBytesPrefix)) {
+      report.offered_bytes += counter.value();
+    } else if (name.starts_with(kOfferedCountPrefix)) {
+      report.offered_messages += counter.value();
+    } else if (name.starts_with(kBytesPrefix)) {
       report.bytes_by_msg[name.substr(kBytesPrefix.size())] = counter.value();
       report.net_stats.bytes += counter.value();
     } else if (name.starts_with(kCountPrefix)) {
@@ -234,8 +438,42 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
       scenario.metrics->counter(name).inc(counter.value());
     }
   }
+
+  // Receiver-side delivery ratio: copies the radio let through over copies
+  // it was asked to carry. 1.0 on a clean channel (or an empty run).
+  const std::uint64_t attempted =
+      report.net_stats.deliveries + report.net_stats.dropped;
+  report.delivery_ratio =
+      attempted == 0 ? 1.0
+                     : static_cast<double>(report.net_stats.deliveries) /
+                           static_cast<double>(attempted);
+
+  // Graceful degradation: one verdict per scenario object, in input order.
+  // "Discovered" means any variant of the object landed in any round; the
+  // retransmit count is the cumulative timer-driven QUE2 resends to it.
+  for (std::size_t i = 0; i < scenario.objects.size(); ++i) {
+    ObjectOutcome out;
+    out.object_id = scenario.objects[i].creds.id;
+    for (const auto& svc : report.services) {
+      if (svc.object_id == out.object_id) {
+        out.discovered = true;
+        break;
+      }
+    }
+    if (const auto it = subject.exchanges().find(object_ids[i]);
+        it != subject.exchanges().end()) {
+      out.que2_retransmits = it->second.retransmits;
+    }
+    report.outcomes.push_back(std::move(out));
+  }
+
   for (const auto& ev : report.timeline) {
     report.total_ms = std::max(report.total_ms, ev.at_ms);
+  }
+  if (report.timeline.empty()) {
+    // Nothing discovered (silent-by-policy fleet or total loss): report how
+    // long the run actually took instead of a misleading zero.
+    report.total_ms = sim.now();
   }
   return report;
 }

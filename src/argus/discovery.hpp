@@ -17,6 +17,27 @@ struct ScenarioObject {
   unsigned hops = 1;  // distance from the subject (paper: 1..4)
 };
 
+/// When the subject-side retransmission driver is active.
+enum class RetryMode {
+  kAuto,  // retries iff the radio is lossy (drop_prob or dup_prob > 0)
+  kOn,
+  kOff,
+};
+
+/// Subject-side recovery under loss: re-broadcast QUE1 while responders
+/// are missing, retransmit QUE2 per object, both with exponential backoff
+/// and a capped budget; the whole round has a hard deadline. Engines are
+/// idempotent under the duplicates this creates (cached byte-identical
+/// resends), so retransmission never desynchronizes a session.
+struct RetryPolicy {
+  RetryMode mode = RetryMode::kAuto;
+  unsigned max_retries = 3;          // per exchange (and per-round QUE1)
+  double que1_timeout_ms = 600.0;    // before the first QUE1 re-broadcast
+  double que2_timeout_ms = 400.0;    // before a per-object QUE2 resend
+  double backoff = 2.0;              // timeout multiplier per attempt
+  double round_deadline_ms = 8000.0; // hard cap on one round's duration
+};
+
 struct DiscoveryScenario {
   ProtocolVersion version = ProtocolVersion::kV30;
   crypto::Strength strength = crypto::Strength::b128;
@@ -29,6 +50,9 @@ struct DiscoveryScenario {
   /// Number of group keys to cycle through (multi-sensitive-attribute
   /// discovery, §VI-C). Clamped to the subject's key count.
   std::size_t rounds = 1;
+  /// Loss recovery (see RetryPolicy). The kAuto default keeps lossless
+  /// runs byte-identical to the no-retry driver: no timers are armed.
+  RetryPolicy retry{};
   std::uint64_t seed = 1;
   std::uint64_t epoch = 1'000'000;  // wall-clock for cert validity
   bool pad_res2 = true;
@@ -52,8 +76,21 @@ struct DiscoveryEvent {
   double at_ms = 0;  // virtual time the subject completed this discovery
 };
 
+/// Graceful-degradation verdict for one scenario object: either the
+/// subject discovered at least one of its variants (in any round), or the
+/// exchange explicitly ran out of retry budget / round deadline. Objects
+/// that are silent by policy (no authorized variant) also read as
+/// undiscovered — the subject cannot tell policy silence from loss.
+struct ObjectOutcome {
+  std::string object_id;
+  bool discovered = false;
+  unsigned que2_retransmits = 0;  // timer-driven QUE2 resends to this object
+};
+
 struct DiscoveryReport {
-  double total_ms = 0;  // completion time of the last discovery
+  /// Completion time of the last discovery; if nothing was discovered,
+  /// the final virtual time of the run (never a misleading zero).
+  double total_ms = 0;
   std::vector<DiscoveredService> services;
   std::vector<DiscoveryEvent> timeline;
   /// Traffic accounting. `messages`/`bytes` and `bytes_by_msg` are both
@@ -65,6 +102,18 @@ struct DiscoveryReport {
   double subject_compute_ms = 0;
   double object_compute_ms = 0;
   std::map<std::string, std::uint64_t> bytes_by_msg;  // per message type
+
+  /// Loss accounting. `messages`/`bytes` above count protocol traffic that
+  /// was actually delivered; `offered_*` count every send attempt
+  /// (derived from the net.msg.offered.* counters), so under loss
+  /// offered >= delivered. delivery_ratio is receiver-side:
+  /// deliveries / (deliveries + dropped), 1.0 on a clean channel.
+  std::uint64_t offered_messages = 0;
+  std::uint64_t offered_bytes = 0;
+  double delivery_ratio = 1.0;
+  std::uint64_t que1_retransmits = 0;  // timer-driven QUE1 re-broadcasts
+  std::uint64_t que2_retransmits = 0;  // timer-driven QUE2 resends (total)
+  std::vector<ObjectOutcome> outcomes;  // one per scenario object, in order
 
   [[nodiscard]] std::size_t count_level(int level) const;
 };

@@ -71,9 +71,23 @@ std::optional<Bytes> ObjectEngine::handle(ByteSpan wire, std::uint64_t now) {
 
 std::optional<Bytes> ObjectEngine::handle_que1(const Que1& msg,
                                                const Bytes& wire) {
-  // Freshness: duplicate R_S means a replayed or echoed query (§IV-B).
+  // Freshness: duplicate R_S means a replayed/echoed query or a lossy-link
+  // duplicate (§IV-B). Either way the response is idempotent: while the
+  // exchange is open, resend the cached RES1 byte-for-byte (no fresh
+  // crypto, so a duplicate cannot desynchronize the session); once the
+  // exchange completed, stay silent — a replayed QUE1 learns nothing new.
   if (!seen_rs_.insert(msg.r_s).second) {
     ++stats_.replays_detected;
+    if (cfg_.creds.level == Level::kL1) {
+      // Level 1 is stateless public plaintext: always safe to resend.
+      ++stats_.retransmissions;
+      return encode(Res1Level1{cfg_.creds.public_prof.serialize()});
+    }
+    const auto sit = sessions_.find(msg.r_s);
+    if (sit != sessions_.end()) {
+      ++stats_.retransmissions;
+      return sit->second.res1_wire;
+    }
     return std::nullopt;
   }
   ++stats_.que1_handled;
@@ -106,6 +120,7 @@ std::optional<Bytes> ObjectEngine::handle_que1(const Que1& msg,
   const Bytes res_wire = encode(Message{res});
   sess.transcript.absorb(wire);
   sess.transcript.absorb(res_wire);
+  sess.res1_wire = res_wire;
   sessions_[sess.r_s] = std::move(sess);
   ++stats_.replies_sent;
   return res_wire;
@@ -113,13 +128,23 @@ std::optional<Bytes> ObjectEngine::handle_que1(const Que1& msg,
 
 std::optional<Bytes> ObjectEngine::handle_que2(const Que2& msg,
                                                std::uint64_t now) {
+  // Duplicate QUE2 after a completed exchange: resend the cached RES2
+  // byte-for-byte. Identical bytes carry no new information (the same
+  // nonces seal the same plaintext), and the retransmitted copy lets a
+  // subject whose first RES2 was lost finish the handshake.
+  if (const auto cit = res2_cache_.find(msg.r_s); cit != res2_cache_.end()) {
+    ++stats_.replays_detected;
+    ++stats_.retransmissions;
+    return cit->second;
+  }
   const auto sit = sessions_.find(msg.r_s);
   if (sit == sessions_.end()) {
     ++stats_.drops;
     return std::nullopt;
   }
-  Session sess = std::move(sit->second);
-  sessions_.erase(sit);
+  // Work on a copy: a QUE2 that fails verification must leave the session
+  // untouched so a later (possibly retransmitted) QUE2 can still complete.
+  Session sess = sit->second;
   ++stats_.que2_handled;
 
   // 1. Subject certificate: admin-signed, within validity.
@@ -244,7 +269,12 @@ std::optional<Bytes> ObjectEngine::handle_que2(const Que2& msg,
   res.mac_o = object_mac(level3_reply ? k3 : k2, sess.transcript.digest());
   charge(net::CryptoOp::kHmac);
   ++stats_.replies_sent;
-  return encode(Message{res});
+  Bytes res_wire = encode(Message{res});
+  // Exchange complete: retire the session and remember the exact reply so
+  // duplicate QUE2s get a byte-identical resend instead of fresh crypto.
+  sessions_.erase(msg.r_s);
+  res2_cache_[msg.r_s] = res_wire;
+  return res_wire;
 }
 
 }  // namespace argus::core

@@ -68,6 +68,7 @@ class ObjectEngine {
     std::uint64_t replies_sent = 0;
     std::uint64_t drops = 0;            // malformed / failed verification
     std::uint64_t replays_detected = 0;
+    std::uint64_t retransmissions = 0;  // cached resends of RES1/RES2
     std::uint64_t fellows_confirmed = 0;  // Level 3 successes
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -77,6 +78,7 @@ class ObjectEngine {
     Bytes r_s, r_o;
     crypto::EcKeyPair eph;
     Transcript transcript;
+    Bytes res1_wire;  // cached reply: duplicate QUE1 resends it unchanged
   };
 
   std::optional<Bytes> handle_que1(const Que1& msg, const Bytes& wire);
@@ -99,6 +101,7 @@ class ObjectEngine {
   const crypto::EcGroup& group_;
   crypto::HmacDrbg rng_;
   std::map<Bytes, Session> sessions_;  // keyed by R_S
+  std::map<Bytes, Bytes> res2_cache_;  // R_S -> RES2 wire of a completed exchange
   std::set<Bytes> seen_rs_;            // replay/duplicate detection
   std::set<std::string> revoked_;
   std::uint64_t last_revocation_seq_ = 0;

@@ -35,6 +35,7 @@ double SubjectEngine::take_consumed_ms() {
 Bytes SubjectEngine::start_round() {
   r_s_ = rng_.generate(kNonceSize);
   sessions_.clear();
+  completed_.clear();
   ++stats_.rounds;
   que1_wire_ = encode(Que1{r_s_});
   return que1_wire_;
@@ -89,6 +90,15 @@ std::optional<Bytes> SubjectEngine::handle_res1(const Res1& msg,
   if (msg.r_s != r_s_) {
     ++stats_.drops;  // stale round or mismatched session
     return std::nullopt;
+  }
+  // Duplicate RES1 (lossy link or object-side resend): reply with the
+  // cached QUE2 byte-for-byte instead of opening a second session — fresh
+  // ECDH here would desynchronize the key schedule both sides agreed on.
+  // After the exchange completed, duplicates are silently ignored.
+  if (completed_.contains(msg.r_o)) return std::nullopt;
+  if (const auto sit = sessions_.find(msg.r_o); sit != sessions_.end()) {
+    ++stats_.retransmissions;
+    return sit->second.que2_wire;
   }
   // 1. Object certificate.
   const auto cert = crypto::Certificate::parse(msg.cert);
@@ -163,18 +173,23 @@ std::optional<Bytes> SubjectEngine::handle_res1(const Res1& msg,
 
   sess.k2 = k2;
   sess.k3 = k3;
+  Bytes que2_wire = encode(Message{que2});
+  sess.que2_wire = que2_wire;
   sessions_[msg.r_o] = std::move(sess);
-  return encode(Message{que2});
+  return que2_wire;
 }
 
 std::optional<Bytes> SubjectEngine::handle_res2(const Res2& msg) {
+  // Duplicate RES2 for a finished exchange: benign under loss; ignore.
+  if (completed_.contains(msg.r_o)) return std::nullopt;
   const auto sit = sessions_.find(msg.r_o);
   if (sit == sessions_.end()) {
     ++stats_.drops;
     return std::nullopt;
   }
-  Session sess = std::move(sit->second);
-  sessions_.erase(sit);
+  // Work on a copy: a RES2 that fails verification leaves the session
+  // open so a retransmitted (intact) RES2 can still complete it.
+  Session sess = sit->second;
 
   sess.transcript.absorb(msg.sealed_prof);
   const Bytes digest = sess.transcript.digest();
@@ -224,6 +239,8 @@ std::optional<Bytes> SubjectEngine::handle_res2(const Res2& msg) {
   ++stats_.res2;
   record(DiscoveredService{prof->entity_id, level, prof->variant_tag,
                            prof->services, prof->attributes});
+  sessions_.erase(msg.r_o);
+  completed_.insert(msg.r_o);
   return std::nullopt;
 }
 

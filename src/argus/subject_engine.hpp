@@ -9,6 +9,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 
 #include "argus/messages.hpp"
 #include "argus/session.hpp"
@@ -74,6 +75,7 @@ class SubjectEngine {
     std::uint64_t res1 = 0;
     std::uint64_t res2 = 0;
     std::uint64_t drops = 0;
+    std::uint64_t retransmissions = 0;  // cached QUE2 resends
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -82,6 +84,7 @@ class SubjectEngine {
     std::string object_id;
     Bytes k2, k3;
     Transcript transcript;
+    Bytes que2_wire;  // cached reply: duplicate RES1 resends it unchanged
   };
 
   std::optional<Bytes> handle_res1_l1(const Res1Level1& msg);
@@ -106,6 +109,7 @@ class SubjectEngine {
   Bytes que1_wire_;    // current round QUE1 bytes (transcript prefix)
   std::size_t group_idx_ = 0;
   std::map<Bytes, Session> sessions_;  // keyed by R_O
+  std::set<Bytes> completed_;          // R_O of finished exchanges this round
   std::vector<DiscoveredService> discovered_;
   double consumed_ms_ = 0;
   Stats stats_;

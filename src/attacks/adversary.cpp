@@ -156,7 +156,11 @@ bool object_impostor_succeeds(SubjectEngine& victim,
 
 bool replay_que2_succeeds(ObjectEngine& object, const CapturedTrace& trace,
                           std::uint64_t now) {
-  return object.handle(trace.que2, now).has_value();
+  const auto reply = object.handle(trace.que2, now);
+  // Freshness violation = a *new* response. The idempotent cached resend
+  // (byte-identical to the RES2 the attacker already captured) is the
+  // loss-recovery path and discloses nothing.
+  return reply.has_value() && *reply != trace.res2;
 }
 
 DistinguishResult size_distinguisher(

@@ -54,7 +54,10 @@ bool object_impostor_succeeds(SubjectEngine& victim,
                               std::uint64_t seed);
 
 /// Case 5 replay: re-send a captured QUE2 to the same object. Returns
-/// true iff the object answered (freshness violation).
+/// true iff the object revealed anything the eavesdropper did not already
+/// hold — i.e. it answered with bytes other than the RES2 already on the
+/// wire. (A byte-identical resend is the loss-recovery path and leaks
+/// nothing: same nonces sealing the same plaintext.)
 bool replay_que2_succeeds(ObjectEngine& object, const CapturedTrace& trace,
                           std::uint64_t now);
 

@@ -37,6 +37,12 @@ double Network::jitter() {
          (static_cast<double>(rng_.uniform(1000)) / 1000.0);
 }
 
+bool Network::chance(double p) {
+  if (p <= 0) return false;  // lossless: no draw, RNG stream unchanged
+  if (p >= 1) return true;
+  return static_cast<double>(rng_.uniform(1'000'000)) < p * 1e6;
+}
+
 SimTime Network::reserve_channel(unsigned ring, SimTime earliest,
                                  double occupancy) {
   if (ring_free_.size() <= ring) ring_free_.resize(ring + 1, 0);
@@ -51,17 +57,26 @@ void Network::deliver(NodeId from, NodeId to, Bytes payload, SimTime arrival) {
     if (tracer_) {
       tracer_->instant(sim_.now(), to, "rx", "net", payload.size(), from);
     }
-    auto& slot = nodes_.at(to);
-    // The node is a serial processor: processing starts when it frees up.
-    const SimTime start = std::max(sim_.now(), slot.busy_until);
-    slot.busy_until = start;
-    sim_.schedule_at(start, [this, from, to, payload] {
-      nodes_.at(to).node->on_message(from, payload);
-    });
+    ++stats_.deliveries;
+    process(from, to, payload);
   });
 }
 
-void Network::unicast(NodeId from, NodeId to, Bytes payload) {
+void Network::process(NodeId from, NodeId to, const Bytes& payload) {
+  auto& slot = nodes_.at(to);
+  // The node is a serial processor: if it is mid-compute, try again once
+  // it frees up. busy_until may have moved again by then (another queued
+  // message's handler ran first), so the check repeats at fire time
+  // rather than trusting a snapshot taken at arrival.
+  if (slot.busy_until > sim_.now()) {
+    sim_.schedule_at(slot.busy_until,
+                     [this, from, to, payload] { process(from, to, payload); });
+    return;
+  }
+  slot.node->on_message(from, payload);
+}
+
+SendOutcome Network::unicast(NodeId from, NodeId to, Bytes payload) {
   auto& src = nodes_.at(from);
   const unsigned hops = hops_between(from, to);
   const double occupancy =
@@ -69,13 +84,14 @@ void Network::unicast(NodeId from, NodeId to, Bytes payload) {
 
   stats_.messages += 1;
   stats_.bytes += payload.size();
-  stats_.hop_bytes += payload.size() * hops;
 
   // The sender cannot transmit before it finishes computing.
   // The ring index of each traversed hop: between rings min..max-1.
   const unsigned base = std::min(nodes_.at(from).hops, nodes_.at(to).hops);
   SimTime ready = std::max(sim_.now(), src.busy_until);
   SimTime arrival = ready;
+  bool lost = false;
+  unsigned extra = 0;
   for (unsigned h = 0; h < hops; ++h) {
     const SimTime start = reserve_channel(base + h, arrival, occupancy);
     const SimTime leg_end = start + occupancy + radio_.per_hop_latency_ms + jitter();
@@ -83,20 +99,47 @@ void Network::unicast(NodeId from, NodeId to, Bytes payload) {
       metrics_->histogram("net.hop_latency_ms").observe(leg_end - arrival);
     }
     arrival = leg_end;
+    stats_.hop_bytes += payload.size();  // this leg was transmitted
+    // A lost copy still occupied the channel up to the dropping hop; the
+    // remaining legs never happen.
+    if (chance(radio_.drop_prob)) {
+      lost = true;
+      break;
+    }
+    if (chance(radio_.dup_prob)) ++extra;
+  }
+  SendOutcome out;
+  if (lost) {
+    out.drops = 1;
+    ++stats_.dropped;
+    if (metrics_) metrics_->counter("net.msg.dropped").inc();
+    if (tracer_) {
+      tracer_->instant(arrival, to, "drop", "net", payload.size(), from);
+    }
+    return out;
   }
   if (metrics_) {
     metrics_->histogram("net.msg_latency_ms").observe(arrival - ready);
   }
+  out.delivered = true;
+  out.duplicates = extra;
+  for (unsigned c = 0; c < extra; ++c) {
+    ++stats_.duplicates;
+    if (metrics_) metrics_->counter("net.msg.duplicated").inc();
+    deliver(from, to, payload, arrival);
+  }
   deliver(from, to, std::move(payload), arrival);
+  return out;
 }
 
-void Network::broadcast(NodeId from, Bytes payload) {
+SendOutcome Network::broadcast(NodeId from, Bytes payload) {
   auto& src = nodes_.at(from);
   const double occupancy =
       static_cast<double>(payload.size()) / radio_.bandwidth_bytes_per_ms;
 
   // Flooding: the hop-h ring re-broadcasts once; ring k's transmission
-  // happens after ring k-1 received the message.
+  // happens after ring k-1 received the message. Channel occupancy is
+  // counted once per ring, inside reserve_channel.
   unsigned max_hops = 0;
   for (const auto& [id, slot] : nodes_) max_hops = std::max(max_hops, slot.hops);
 
@@ -110,17 +153,46 @@ void Network::broadcast(NodeId from, Bytes payload) {
       metrics_->histogram("net.hop_latency_ms").observe(ring_arrival[h] - prev);
     }
     prev = ring_arrival[h];
-    stats_.channel_busy_ms += 0;  // occupancy already counted
     stats_.hop_bytes += payload.size();
   }
   stats_.messages += 1;
   stats_.bytes += payload.size();
 
+  // Each receiver's copy crosses its own `hops` legs; a drop on any leg
+  // loses that receiver's copy (the ring relays themselves carry on).
+  SendOutcome out;
   for (const auto& [id, slot] : nodes_) {
     if (id == from) continue;
     const unsigned h = std::max(1u, slot.hops);
-    deliver(from, id, payload, ring_arrival[std::min<unsigned>(h, max_hops)]);
+    const SimTime arrival = ring_arrival[std::min<unsigned>(h, max_hops)];
+    bool lost = false;
+    unsigned extra = 0;
+    for (unsigned leg = 0; leg < h && !lost; ++leg) {
+      if (chance(radio_.drop_prob)) {
+        lost = true;
+      } else if (chance(radio_.dup_prob)) {
+        ++extra;
+      }
+    }
+    if (lost) {
+      ++out.drops;
+      ++stats_.dropped;
+      if (metrics_) metrics_->counter("net.msg.dropped").inc();
+      if (tracer_) {
+        tracer_->instant(arrival, id, "drop", "net", payload.size(), from);
+      }
+      continue;
+    }
+    out.delivered = true;
+    out.duplicates += extra;
+    deliver(from, id, payload, arrival);
+    for (unsigned c = 0; c < extra; ++c) {
+      ++stats_.duplicates;
+      if (metrics_) metrics_->counter("net.msg.duplicated").inc();
+      deliver(from, id, payload, arrival);
+    }
   }
+  return out;
 }
 
 void Network::consume_compute(NodeId node, double ms) {

@@ -35,9 +35,22 @@ struct RadioParams {
   double bandwidth_bytes_per_ms = 110.0;  // effective app-layer throughput
   double per_hop_latency_ms = 52.0;       // per message per hop, overlapping
   double jitter_ms = 4.0;                 // uniform [0, jitter) extra latency
+  /// Per-hop loss model, drawn from the network's seeded DRBG so lossy
+  /// runs stay deterministic. Both default to 0, in which case no random
+  /// draws happen at all and the zero-loss event/RNG stream is unchanged.
+  double drop_prob = 0.0;  // P(a copy is lost on one hop)
+  double dup_prob = 0.0;   // P(a hop delivers an extra copy)
 };
 
 class Network;
+
+/// What the radio did with one send (tx-side view, decided at send time;
+/// the copies themselves still arrive via scheduled deliveries).
+struct SendOutcome {
+  bool delivered = false;   // at least one receiver will get a copy
+  unsigned drops = 0;       // copies lost in flight
+  unsigned duplicates = 0;  // extra copies delivered
+};
 
 /// Base class for protocol endpoints attached to the network.
 class SimNode {
@@ -66,9 +79,9 @@ class Network {
   [[nodiscard]] unsigned hops_between(NodeId a, NodeId b) const;
 
   /// Point-to-point send from the node currently processing (or idle).
-  void unicast(NodeId from, NodeId to, Bytes payload);
+  SendOutcome unicast(NodeId from, NodeId to, Bytes payload);
   /// Flooded broadcast: reaches every node; each hop ring re-transmits.
-  void broadcast(NodeId from, Bytes payload);
+  SendOutcome broadcast(NodeId from, Bytes payload);
 
   /// Charge compute time to a node (extends its busy window; subsequent
   /// sends and deliveries queue behind it).
@@ -87,10 +100,15 @@ class Network {
   }
 
   struct Stats {
+    // tx side: sends the nodes attempted.
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;          // payload bytes offered
     std::uint64_t hop_bytes = 0;      // bytes x hops actually carried
     double channel_busy_ms = 0;
+    // rx side: what the loss model let through.
+    std::uint64_t deliveries = 0;     // copies handed to on_message
+    std::uint64_t dropped = 0;        // copies lost in flight
+    std::uint64_t duplicates = 0;     // extra copies delivered
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -116,7 +134,12 @@ class Network {
   /// hops out does not block fresh transmissions at the subject.
   SimTime reserve_channel(unsigned ring, SimTime earliest, double occupancy);
   void deliver(NodeId from, NodeId to, Bytes payload, SimTime arrival);
+  /// Run the receiver's handler, or re-queue behind its compute window.
+  void process(NodeId from, NodeId to, const Bytes& payload);
   double jitter();
+  /// One Bernoulli draw from the network DRBG; p <= 0 draws nothing, so
+  /// lossless runs consume an unchanged RNG stream.
+  bool chance(double p);
 
   Simulator& sim_;
   RadioParams radio_;

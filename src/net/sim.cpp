@@ -13,16 +13,37 @@ void Simulator::schedule(SimTime delay, std::function<void()> fn) {
 
 void Simulator::schedule_at(SimTime when, std::function<void()> fn) {
   if (when < now_) throw std::invalid_argument("Simulator: time in the past");
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  queue_.push(Event{when, next_seq_++, std::move(fn), 0});
+}
+
+TimerId Simulator::schedule_timer(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
+  const TimerId id = next_timer_++;
+  live_timers_.insert(id);
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), id});
+  return id;
+}
+
+bool Simulator::cancel_timer(TimerId id) {
+  return live_timers_.erase(id) > 0;
+}
+
+void Simulator::prune() {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.timer == 0 || live_timers_.contains(top.timer)) return;
+    queue_.pop();  // cancelled: drop without firing or advancing the clock
+  }
 }
 
 SimTime Simulator::run() {
   if (tracer_) tracer_->begin(now_, 0, "sim.run", "sim", queue_.size());
   const std::uint64_t before = executed_;
-  while (!queue_.empty()) {
+  for (prune(); !queue_.empty(); prune()) {
     // Copy out before pop: fn may schedule new events.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    if (ev.timer != 0) live_timers_.erase(ev.timer);
     now_ = ev.time;
     ++executed_;
     ev.fn();
@@ -34,14 +55,30 @@ SimTime Simulator::run() {
 SimTime Simulator::run_until(SimTime deadline) {
   if (tracer_) tracer_->begin(now_, 0, "sim.run", "sim", queue_.size());
   const std::uint64_t before = executed_;
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  for (prune(); !queue_.empty() && queue_.top().time <= deadline; prune()) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    if (ev.timer != 0) live_timers_.erase(ev.timer);
     now_ = ev.time;
     ++executed_;
     ev.fn();
   }
   now_ = std::max(now_, deadline);
+  if (tracer_) tracer_->end(now_, 0, executed_ - before);
+  return now_;
+}
+
+SimTime Simulator::drain_until(SimTime deadline) {
+  if (tracer_) tracer_->begin(now_, 0, "sim.run", "sim", queue_.size());
+  const std::uint64_t before = executed_;
+  for (prune(); !queue_.empty() && queue_.top().time <= deadline; prune()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (ev.timer != 0) live_timers_.erase(ev.timer);
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
   if (tracer_) tracer_->end(now_, 0, executed_ - before);
   return now_;
 }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace argus::obs {
@@ -20,6 +21,9 @@ namespace argus::net {
 
 using SimTime = double;  // virtual milliseconds
 
+/// Handle for a cancellable timer; 0 is never a valid id.
+using TimerId = std::uint64_t;
+
 class Simulator {
  public:
   [[nodiscard]] SimTime now() const { return now_; }
@@ -29,10 +33,22 @@ class Simulator {
   /// Schedule at an absolute virtual time (>= now).
   void schedule_at(SimTime when, std::function<void()> fn);
 
+  /// Schedule a cancellable callback `delay` ms from now. A cancelled
+  /// timer's slot is skipped on pop without firing, advancing the clock,
+  /// or counting toward executed().
+  TimerId schedule_timer(SimTime delay, std::function<void()> fn);
+  /// Cancel a pending timer. Returns false if it already fired (or was
+  /// already cancelled); cancelling is idempotent either way.
+  bool cancel_timer(TimerId id);
+
   /// Run until the event queue drains. Returns the final virtual time.
   SimTime run();
   /// Run until `deadline` (events after it stay queued).
   SimTime run_until(SimTime deadline);
+  /// Like run(), but stop before any event later than `deadline`; unlike
+  /// run_until the clock is NOT forced forward to the deadline, so the
+  /// return value is the time of the last event actually fired.
+  SimTime drain_until(SimTime deadline);
 
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
@@ -47,6 +63,7 @@ class Simulator {
     SimTime time;
     std::uint64_t seq;
     std::function<void()> fn;
+    TimerId timer = 0;  // 0: plain event; else cancellable
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -55,10 +72,17 @@ class Simulator {
     }
   };
 
+  /// Discard cancelled timers sitting at the head of the queue, so the
+  /// next top() is live. Skipped slots do not advance the clock or count
+  /// as executed.
+  void prune();
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  TimerId next_timer_ = 1;
+  std::unordered_set<TimerId> live_timers_;
   obs::Tracer* tracer_ = nullptr;
 };
 

@@ -2,6 +2,8 @@
 // up to 20 objects, 1-4 hops) on the discrete-event ground network.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "argus/discovery.hpp"
 
 namespace argus::core {
@@ -195,6 +197,138 @@ TEST(DiscoveryTest, DeterministicGivenSeed) {
   const auto r2 = run_discovery(scenario_for(f));
   EXPECT_EQ(r1.total_ms, r2.total_ms);
   EXPECT_EQ(r1.net_stats.bytes, r2.net_stats.bytes);
+}
+
+TEST(DiscoveryTest, LossyDiscoveryCompletesWithRetries) {
+  // At 10% per-hop loss the retry driver (kAuto) must still terminate and
+  // the loss accounting must be internally consistent.
+  const Fleet f = make_fleet(10, Level::kL2);
+  DiscoveryScenario sc = scenario_for(f);
+  sc.radio.drop_prob = 0.10;
+  const auto report = run_discovery(sc);
+  ASSERT_EQ(report.outcomes.size(), 10u);
+  for (const auto& out : report.outcomes) {
+    // Each object either made it or explicitly ran out of budget/deadline.
+    if (!out.discovered) {
+      EXPECT_TRUE(report.net_stats.dropped > 0);
+    }
+  }
+  EXPECT_EQ(report.services.size(),
+            static_cast<std::size_t>(
+                std::count_if(report.outcomes.begin(), report.outcomes.end(),
+                              [](const ObjectOutcome& o) { return o.discovered; })));
+  // Delivery ratio must match the raw rx counters.
+  const auto& ns = report.net_stats;
+  if (ns.deliveries + ns.dropped > 0) {
+    EXPECT_DOUBLE_EQ(report.delivery_ratio,
+                     static_cast<double>(ns.deliveries) /
+                         static_cast<double>(ns.deliveries + ns.dropped));
+  }
+  EXPECT_LE(report.delivery_ratio, 1.0);
+  // Offered >= delivered under loss; equality only on a clean channel.
+  EXPECT_GE(report.offered_messages, report.net_stats.messages);
+  EXPECT_GE(report.offered_bytes, report.net_stats.bytes);
+  // The round deadline bounds the run even in the worst case.
+  EXPECT_LE(report.total_ms, sc.retry.round_deadline_ms);
+}
+
+TEST(DiscoveryTest, LossyDiscoveryIsDeterministic) {
+  // Same seed + same RadioParams -> byte-identical report, drops included.
+  const Fleet f = make_fleet(8, Level::kL3);
+  DiscoveryScenario sc = scenario_for(f);
+  sc.radio.drop_prob = 0.15;
+  sc.radio.dup_prob = 0.05;
+  const auto r1 = run_discovery(sc);
+  const auto r2 = run_discovery(sc);
+  EXPECT_EQ(r1.total_ms, r2.total_ms);
+  EXPECT_EQ(r1.services.size(), r2.services.size());
+  EXPECT_EQ(r1.net_stats.messages, r2.net_stats.messages);
+  EXPECT_EQ(r1.net_stats.bytes, r2.net_stats.bytes);
+  EXPECT_EQ(r1.net_stats.dropped, r2.net_stats.dropped);
+  EXPECT_EQ(r1.net_stats.duplicates, r2.net_stats.duplicates);
+  EXPECT_EQ(r1.offered_messages, r2.offered_messages);
+  EXPECT_EQ(r1.offered_bytes, r2.offered_bytes);
+  EXPECT_EQ(r1.que1_retransmits, r2.que1_retransmits);
+  EXPECT_EQ(r1.que2_retransmits, r2.que2_retransmits);
+  EXPECT_EQ(r1.delivery_ratio, r2.delivery_ratio);
+  ASSERT_EQ(r1.timeline.size(), r2.timeline.size());
+  for (std::size_t i = 0; i < r1.timeline.size(); ++i) {
+    EXPECT_EQ(r1.timeline[i].object_id, r2.timeline[i].object_id);
+    EXPECT_EQ(r1.timeline[i].at_ms, r2.timeline[i].at_ms);
+  }
+  ASSERT_EQ(r1.outcomes.size(), r2.outcomes.size());
+  for (std::size_t i = 0; i < r1.outcomes.size(); ++i) {
+    EXPECT_EQ(r1.outcomes[i].discovered, r2.outcomes[i].discovered);
+    EXPECT_EQ(r1.outcomes[i].que2_retransmits, r2.outcomes[i].que2_retransmits);
+  }
+}
+
+TEST(DiscoveryTest, CleanChannelReportUnchangedByRetryLayer) {
+  // kAuto on a lossless radio must leave the legacy driver untouched:
+  // no retransmits, offered == delivered, ratio exactly 1.
+  const Fleet f = make_fleet(6, Level::kL2);
+  const auto report = run_discovery(scenario_for(f));
+  EXPECT_EQ(report.que1_retransmits, 0u);
+  EXPECT_EQ(report.que2_retransmits, 0u);
+  EXPECT_EQ(report.offered_messages, report.net_stats.messages);
+  EXPECT_EQ(report.offered_bytes, report.net_stats.bytes);
+  EXPECT_DOUBLE_EQ(report.delivery_ratio, 1.0);
+  for (const auto& out : report.outcomes) EXPECT_TRUE(out.discovered);
+}
+
+TEST(DiscoveryTest, TotalLossTimesOutGracefully) {
+  // A fully opaque channel must not hang: the QUE1 retries burn their
+  // budget, the deadline closes the round, every outcome reads timed-out,
+  // and total_ms reports the real end of the run, not zero.
+  const Fleet f = make_fleet(3, Level::kL2);
+  DiscoveryScenario sc = scenario_for(f);
+  sc.radio.drop_prob = 1.0;
+  const auto report = run_discovery(sc);
+  EXPECT_TRUE(report.services.empty());
+  EXPECT_TRUE(report.timeline.empty());
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  for (const auto& out : report.outcomes) EXPECT_FALSE(out.discovered);
+  EXPECT_GT(report.total_ms, 0.0);
+  EXPECT_LE(report.total_ms, sc.retry.round_deadline_ms);
+  EXPECT_EQ(report.que1_retransmits, sc.retry.max_retries);
+  EXPECT_DOUBLE_EQ(report.delivery_ratio, 0.0);
+  EXPECT_EQ(report.net_stats.messages, 0u);  // nothing was ever delivered
+  EXPECT_GT(report.offered_messages, 0u);
+}
+
+TEST(DiscoveryTest, EmptyRoundReportsElapsedTime) {
+  // Satellite fix: a round that discovers nothing (silent-by-policy fleet)
+  // used to report total_ms == 0 even though virtual time passed.
+  Backend be(crypto::Strength::b128, 21);
+  auto subject = be.register_subject("eve", AttributeMap{{"position", "guest"}});
+  std::vector<ScenarioObject> objs;
+  objs.push_back({be.register_object(
+                      "locked", {}, Level::kL2, {},
+                      {{"position=='employee'", "staff", {"use"}}}),
+                  1});
+  DiscoveryScenario sc;
+  sc.subject = subject;
+  sc.admin_pub = be.admin_public_key();
+  sc.objects = objs;
+  sc.epoch = be.now();
+  const auto report = run_discovery(sc);
+  EXPECT_TRUE(report.services.empty());
+  EXPECT_GT(report.total_ms, 0.0);  // QUE1 + RES1 + QUE2 still traversed air
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_FALSE(report.outcomes[0].discovered);
+}
+
+TEST(DiscoveryTest, RetryModeOffDisablesRecovery) {
+  // Explicit kOff on a lossy channel: the run still terminates (nothing
+  // retransmits, the queue simply drains) and losses go unrepaired.
+  const Fleet f = make_fleet(5, Level::kL2);
+  DiscoveryScenario sc = scenario_for(f);
+  sc.radio.drop_prob = 0.4;
+  sc.retry.mode = RetryMode::kOff;
+  const auto report = run_discovery(sc);
+  EXPECT_EQ(report.que1_retransmits, 0u);
+  EXPECT_EQ(report.que2_retransmits, 0u);
+  EXPECT_LT(report.delivery_ratio, 1.0);
 }
 
 TEST(DiscoveryTest, MultiRoundFindsServicesAcrossGroups) {

@@ -163,13 +163,82 @@ TEST_F(EngineFixture, RevokedSubjectRejected) {
   EXPECT_EQ(o.stats().drops, 1u);
 }
 
-TEST_F(EngineFixture, ReplayedQue1Dropped) {
+TEST_F(EngineFixture, ReplayedQue1AnsweredIdempotently) {
+  // A duplicate QUE1 (replay or lossy-link retransmit) is detected and
+  // answered with the cached RES1 byte-for-byte: the subject can recover
+  // from a lost reply, and the duplicate triggers no fresh crypto.
   auto s = make_subject(alice_);
-  auto o = make_object(thermo_);
+  auto o = make_object(tv_);
   const Bytes que1 = s.start_round();
-  EXPECT_TRUE(o.handle(que1, be_.now()).has_value());
+  const auto first = o.handle(que1, be_.now());
+  ASSERT_TRUE(first.has_value());
+  const auto dup = o.handle(que1, be_.now());
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_EQ(*dup, *first);
+  EXPECT_EQ(o.stats().replays_detected, 1u);
+  EXPECT_EQ(o.stats().retransmissions, 1u);
+  EXPECT_EQ(o.stats().que1_handled, 1u);  // only the fresh one opened state
+}
+
+TEST_F(EngineFixture, ReplayedQue1AfterCompletionStaysSilent) {
+  // Once the exchange finished, a replayed QUE1 earns no response at all:
+  // the session is gone and nothing new can be disclosed.
+  auto s = make_subject(alice_);
+  auto o = make_object(tv_);
+  const Bytes que1 = s.start_round();
+  const auto res1 = o.handle(que1, be_.now());
+  ASSERT_TRUE(res1.has_value());
+  const auto que2 = s.handle(*res1, be_.now());
+  ASSERT_TRUE(que2.has_value());
+  ASSERT_TRUE(o.handle(*que2, be_.now()).has_value());
   EXPECT_FALSE(o.handle(que1, be_.now()).has_value());
   EXPECT_EQ(o.stats().replays_detected, 1u);
+}
+
+TEST_F(EngineFixture, DuplicateQue2ResentByteIdentically) {
+  // Loss recovery on the last leg: if RES2 was lost, the subject resends
+  // QUE2 and must get back exactly the bytes it missed — same nonces, same
+  // ciphertext — so an eavesdropper of both copies learns nothing new.
+  auto s = make_subject(alice_);
+  auto o = make_object(tv_);
+  const Bytes que1 = s.start_round();
+  const auto res1 = o.handle(que1, be_.now());
+  ASSERT_TRUE(res1.has_value());
+  const auto que2 = s.handle(*res1, be_.now());
+  ASSERT_TRUE(que2.has_value());
+  const auto res2 = o.handle(*que2, be_.now());
+  ASSERT_TRUE(res2.has_value());
+  const auto res2_again = o.handle(*que2, be_.now());
+  ASSERT_TRUE(res2_again.has_value());
+  EXPECT_EQ(*res2_again, *res2);
+  EXPECT_EQ(o.stats().retransmissions, 1u);
+  // The subject accepts whichever copy arrives; the duplicate is benign.
+  ASSERT_FALSE(s.handle(*res2, be_.now()).has_value());
+  ASSERT_EQ(s.discovered().size(), 1u);
+  EXPECT_FALSE(s.handle(*res2_again, be_.now()).has_value());
+  EXPECT_EQ(s.discovered().size(), 1u);
+}
+
+TEST_F(EngineFixture, DuplicateRes1ResendsCachedQue2) {
+  // Object-side RES1 retransmits must not fork the subject's session: the
+  // duplicate gets the cached QUE2 byte-for-byte, not a fresh ECDH.
+  auto s = make_subject(alice_);
+  auto o = make_object(tv_);
+  const Bytes que1 = s.start_round();
+  const auto res1 = o.handle(que1, be_.now());
+  ASSERT_TRUE(res1.has_value());
+  const auto que2 = s.handle(*res1, be_.now());
+  ASSERT_TRUE(que2.has_value());
+  const auto que2_again = s.handle(*res1, be_.now());
+  ASSERT_TRUE(que2_again.has_value());
+  EXPECT_EQ(*que2_again, *que2);
+  EXPECT_EQ(s.stats().retransmissions, 1u);
+  // After completion the duplicate RES1 is silently ignored.
+  const auto res2 = o.handle(*que2, be_.now());
+  ASSERT_TRUE(res2.has_value());
+  ASSERT_FALSE(s.handle(*res2, be_.now()).has_value());
+  EXPECT_FALSE(s.handle(*res1, be_.now()).has_value());
+  EXPECT_EQ(s.discovered().size(), 1u);
 }
 
 TEST_F(EngineFixture, MalformedMessagesDropped) {

@@ -57,5 +57,53 @@ TEST(SimulatorTest, RejectsPastScheduling) {
   EXPECT_THROW(sim.schedule(-1, [] {}), std::invalid_argument);
 }
 
+TEST(SimulatorTest, TimersFireUnlessCancelled) {
+  Simulator sim;
+  int fired = 0;
+  const TimerId keep = sim.schedule_timer(10, [&] { ++fired; });
+  const TimerId drop = sim.schedule_timer(20, [&] { ++fired; });
+  EXPECT_NE(keep, drop);
+  EXPECT_TRUE(sim.cancel_timer(drop));
+  EXPECT_FALSE(sim.cancel_timer(drop));  // second cancel is a no-op
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, CancelledTimerDoesNotAdvanceClock) {
+  // A cancelled timer's queue entry must vanish without a trace: the clock
+  // ends at the last *live* event, not at the dead timer's deadline.
+  Simulator sim;
+  sim.schedule(5, [] {});
+  const TimerId t = sim.schedule_timer(100, [] {});
+  sim.cancel_timer(t);
+  EXPECT_EQ(sim.run(), 5.0);
+  EXPECT_EQ(sim.executed(), 1u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, TimerMayCancelLaterTimer) {
+  Simulator sim;
+  bool late_fired = false;
+  const TimerId late = sim.schedule_timer(50, [&] { late_fired = true; });
+  sim.schedule_timer(10, [&] { sim.cancel_timer(late); });
+  EXPECT_EQ(sim.run(), 10.0);
+  EXPECT_FALSE(late_fired);
+}
+
+TEST(SimulatorTest, DrainUntilDoesNotForceClockForward) {
+  // run_until pins now() to the deadline; drain_until reports where the
+  // work actually stopped — a bounded round that finishes early ends early.
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(50, [&] { ++fired; });
+  EXPECT_EQ(sim.drain_until(30), 10.0);
+  EXPECT_EQ(sim.now(), 10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
 }  // namespace
 }  // namespace argus::net
