@@ -1,0 +1,29 @@
+// Shared flag parsing for the harness-driven figure benches:
+//   --smoke      reduced grid + hard assertions (the ctest mode)
+//   --threads N  sweep worker threads (default 0 = hardware concurrency)
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace argus::bench {
+
+struct Args {
+  bool smoke = false;
+  std::size_t threads = 0;
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
+  return args;
+}
+
+}  // namespace argus::bench

@@ -1,33 +1,64 @@
 // Fig 6(e): overall discovery time vs number of single-hop objects, per
 // level. Paper anchors: 20 Level 1 objects ~0.25 s; 20 Level 2/3 objects
 // ~0.63 s; Level 2 and Level 3 curves overlap.
+//
+// Runs the grid through the sweep harness (one simulation per cell,
+// sharded across threads, merged in grid order). `--smoke` runs a reduced
+// grid with hard assertions for ctest; `--threads N` overrides the worker
+// count (default: hardware concurrency).
+#include <cmath>
 #include <cstdio>
 
-#include "fleet.hpp"
+#include "bench_args.hpp"
+#include "harness/spec.hpp"
 
 using namespace argus;
-using backend::Level;
 
-int main() {
-  std::printf("Fig 6(e) — single-hop discovery time vs object count\n");
-  std::printf("paper: L1 ~0.25 s @20, L2/L3 ~0.63 s @20 (curves overlap)\n\n");
-  std::printf("%7s | %10s %10s %10s\n", "objects", "Level 1", "Level 2",
-              "Level 3");
-  std::printf("--------+---------------------------------\n");
-  for (std::size_t n : {1u, 2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u, 18u, 20u}) {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  harness::GridSpec spec = harness::builtin_grids().at("fig6e");
+  if (args.smoke) spec.objects = {1, 4};
+
+  const auto grid = harness::expand(spec);
+  const auto results =
+      harness::SweepRunner({.threads = args.threads}).run(grid);
+
+  if (!args.smoke) {
+    std::printf("Fig 6(e) — single-hop discovery time vs object count\n");
+    std::printf("paper: L1 ~0.25 s @20, L2/L3 ~0.63 s @20 (curves overlap)\n\n");
+    std::printf("%7s | %10s %10s %10s\n", "objects", "Level 1", "Level 2",
+                "Level 3");
+    std::printf("--------+---------------------------------\n");
+  }
+  // Grid order: objects outer, levels inner (see harness::expand).
+  for (std::size_t row = 0; row < spec.objects.size(); ++row) {
     double t[3] = {0, 0, 0};
-    int i = 0;
-    for (Level level : {Level::kL1, Level::kL2, Level::kL3}) {
-      const auto fleet = bench::make_fleet(n, level);
-      const auto report = core::run_discovery(fleet.scenario());
-      if (report.services.size() != n) {
-        std::fprintf(stderr, "discovery incomplete: %zu/%zu\n",
-                     report.services.size(), n);
+    for (std::size_t col = 0; col < 3; ++col) {
+      const std::size_t i = row * 3 + col;
+      const auto& report = results[i].report();
+      if (report.services.size() != grid[i].objects) {
+        std::fprintf(stderr, "discovery incomplete at %s: %zu/%zu\n",
+                     results[i].label.c_str(), report.services.size(),
+                     grid[i].objects);
         return 1;
       }
-      t[i++] = report.total_ms;
+      t[col] = report.total_ms;
     }
-    std::printf("%7zu | %8.0fms %8.0fms %8.0fms\n", n, t[0], t[1], t[2]);
+    if (args.smoke) {
+      // Level 1 skips the QUE2/RES2 exchange, so it must be fastest, and
+      // the L2/L3 curves must overlap (the timing face of §VI-B) — equal
+      // up to per-message jitter draws.
+      if (!(t[0] < t[1]) || std::abs(t[1] - t[2]) > 0.01 * t[1]) {
+        std::fprintf(stderr, "smoke: level ordering broken at n=%zu "
+                             "(%.0f / %.0f / %.0f ms)\n",
+                     spec.objects[row], t[0], t[1], t[2]);
+        return 1;
+      }
+    } else {
+      std::printf("%7zu | %8.0fms %8.0fms %8.0fms\n", spec.objects[row], t[0],
+                  t[1], t[2]);
+    }
   }
+  if (args.smoke) std::printf("smoke OK: %zu runs\n", results.size());
   return 0;
 }

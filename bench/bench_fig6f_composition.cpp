@@ -1,28 +1,56 @@
 // Fig 6(f): time composition (computation vs transmission) when
 // discovering ONE single-hop object, per level. Paper: Level 1 is ~89%
 // transmission; Level 2/3 spend a much larger computation share.
+//
+// Harness-driven: the three single-object runs execute through the sweep
+// runner. `--smoke` asserts the composition shape for ctest.
+#include <cmath>
 #include <cstdio>
 
-#include "fleet.hpp"
+#include "bench_args.hpp"
+#include "harness/spec.hpp"
 
 using namespace argus;
-using backend::Level;
 
-int main() {
-  std::printf("Fig 6(f) — time composition, one single-hop object\n\n");
-  std::printf("%-8s | %9s %12s %13s | %s\n", "level", "total",
-              "computation", "transmission", "trans share");
-  std::printf("---------+-------------------------------------+------------\n");
-  for (Level level : {Level::kL1, Level::kL2, Level::kL3}) {
-    const auto fleet = bench::make_fleet(1, level);
-    const auto report = core::run_discovery(fleet.scenario());
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const auto grid = harness::expand(harness::builtin_grids().at("fig6f"));
+  const auto results =
+      harness::SweepRunner({.threads = args.threads}).run(grid);
+
+  if (!args.smoke) {
+    std::printf("Fig 6(f) — time composition, one single-hop object\n\n");
+    std::printf("%-8s | %9s %12s %13s | %s\n", "level", "total",
+                "computation", "transmission", "trans share");
+    std::printf(
+        "---------+-------------------------------------+------------\n");
+  }
+  double share[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& report = results[i].report();
     const double compute =
         report.subject_compute_ms + report.object_compute_ms;
     const double total = report.total_ms;
     const double trans = total - compute;
-    std::printf("%-8s | %7.0fms %10.1fms %11.1fms | %9.0f%%\n",
-                bench::level_name(level), total, compute, trans,
-                100.0 * trans / total);
+    share[i] = trans / total;
+    if (!args.smoke) {
+      std::printf("Level %d  | %7.0fms %10.1fms %11.1fms | %9.0f%%\n",
+                  grid[i].level, total, compute, trans, 100.0 * share[i]);
+    }
+  }
+  if (args.smoke) {
+    // Level 1 is transmission-dominated; Level 2/3 shift a large share to
+    // computation and split identically up to jitter.
+    if (!(share[0] > 0.75) || !(share[1] < share[0]) ||
+        std::abs(share[1] - share[2]) > 0.01) {
+      std::fprintf(stderr, "smoke: composition shape broken "
+                           "(%.2f / %.2f / %.2f trans share)\n",
+                   share[0], share[1], share[2]);
+      return 1;
+    }
+    std::printf("smoke OK: trans share %.0f%% / %.0f%% / %.0f%%\n",
+                100 * share[0], 100 * share[1], 100 * share[2]);
+    return 0;
   }
   std::printf("\n(computation = modeled Nexus6/Pi3 crypto time; the\n"
               "remainder of the critical path is radio transmission)\n");

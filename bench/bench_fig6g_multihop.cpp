@@ -1,36 +1,74 @@
 // Fig 6(g): multi-hop discovery time — 20 objects split 5/5/5/5 across
 // 1..4 hops. Paper anchors: Level 1 ~0.72 s, Level 2/3 ~1.15 s.
+//
+// Harness-driven. `--smoke` runs the 5-object column twice — once on one
+// thread, once on two — and asserts the golden digests match, making
+// thread-count invariance of the sweep harness a ctest gate.
 #include <cstdio>
 
-#include "fleet.hpp"
+#include "bench_args.hpp"
+#include "harness/spec.hpp"
 
 using namespace argus;
-using backend::Level;
 
-int main() {
+namespace {
+
+int smoke(std::size_t threads) {
+  harness::GridSpec spec = harness::builtin_grids().at("fig6g");
+  spec.objects = {5};
+  const auto grid = harness::expand(spec);
+  const auto serial = harness::SweepRunner({.threads = 1}).run(grid);
+  const auto parallel =
+      harness::SweepRunner({.threads = threads == 0 ? 2 : threads}).run(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (serial[i].digest != parallel[i].digest) {
+      std::fprintf(stderr, "smoke: digest differs across thread counts at "
+                           "%s\n  1 thread : %s\n  N threads: %s\n",
+                   serial[i].label.c_str(), serial[i].digest.c_str(),
+                   parallel[i].digest.c_str());
+      return 1;
+    }
+    if (serial[i].report().services.size() != grid[i].objects) {
+      std::fprintf(stderr, "smoke: discovery incomplete at %s\n",
+                   serial[i].label.c_str());
+      return 1;
+    }
+  }
+  std::printf("smoke OK: %zu runs, digests thread-invariant\n", grid.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  if (args.smoke) return smoke(args.threads);
+
+  const harness::GridSpec spec = harness::builtin_grids().at("fig6g");
+  const auto grid = harness::expand(spec);
+  const auto results =
+      harness::SweepRunner({.threads = args.threads}).run(grid);
+
   std::printf("Fig 6(g) — multi-hop discovery time (20 objects, 5 per ring"
               " at 1-4 hops)\n");
   std::printf("paper: L1 ~0.72 s, L2/L3 ~1.15 s\n\n");
-  const auto ring = [](std::size_t i) {
-    return static_cast<unsigned>(1 + i / 5);
-  };
   std::printf("%7s | %10s %10s %10s\n", "objects", "Level 1", "Level 2",
               "Level 3");
   std::printf("--------+---------------------------------\n");
-  for (std::size_t n : {5u, 10u, 15u, 20u}) {
+  for (std::size_t row = 0; row < spec.objects.size(); ++row) {
     double t[3] = {0, 0, 0};
-    int i = 0;
-    for (Level level : {Level::kL1, Level::kL2, Level::kL3}) {
-      const auto fleet = bench::make_fleet(n, level, ring);
-      const auto report = core::run_discovery(fleet.scenario());
-      if (report.services.size() != n) {
+    for (std::size_t col = 0; col < 3; ++col) {
+      const std::size_t i = row * 3 + col;
+      const auto& report = results[i].report();
+      if (report.services.size() != grid[i].objects) {
         std::fprintf(stderr, "discovery incomplete: %zu/%zu\n",
-                     report.services.size(), n);
+                     report.services.size(), grid[i].objects);
         return 1;
       }
-      t[i++] = report.total_ms;
+      t[col] = report.total_ms;
     }
-    std::printf("%7zu | %8.0fms %8.0fms %8.0fms\n", n, t[0], t[1], t[2]);
+    std::printf("%7zu | %8.0fms %8.0fms %8.0fms\n", spec.objects[row], t[0],
+                t[1], t[2]);
   }
   return 0;
 }

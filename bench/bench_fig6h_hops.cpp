@@ -1,28 +1,53 @@
 // Fig 6(h): latency of discovering a single object at 1..4 hops, per
 // level. Paper anchors: Level 1 0.13 s (1 hop) -> 0.53 s (4 hops);
 // Level 2/3 0.32 s -> 0.92 s; transmission grows linearly with hops.
+//
+// Harness-driven. `--smoke` checks monotone growth over a reduced grid.
 #include <cstdio>
 
-#include "fleet.hpp"
+#include "bench_args.hpp"
+#include "harness/spec.hpp"
 
 using namespace argus;
-using backend::Level;
 
-int main() {
-  std::printf("Fig 6(h) — single-object discovery latency vs hop count\n");
-  std::printf("paper: L1 0.13->0.53 s; L2/3 0.32->0.92 s over 1->4 hops\n\n");
-  std::printf("%5s | %10s %10s %10s\n", "hops", "Level 1", "Level 2",
-              "Level 3");
-  std::printf("------+---------------------------------\n");
-  for (unsigned hops = 1; hops <= 4; ++hops) {
-    double t[3] = {0, 0, 0};
-    int i = 0;
-    for (Level level : {Level::kL1, Level::kL2, Level::kL3}) {
-      const auto fleet = bench::make_fleet(1, level, hops);
-      const auto report = core::run_discovery(fleet.scenario());
-      t[i++] = report.total_ms;
-    }
-    std::printf("%5u | %8.0fms %8.0fms %8.0fms\n", hops, t[0], t[1], t[2]);
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  harness::GridSpec spec = harness::builtin_grids().at("fig6h");
+  if (args.smoke) spec.hops = {1, 3};
+
+  const auto grid = harness::expand(spec);
+  const auto results =
+      harness::SweepRunner({.threads = args.threads}).run(grid);
+
+  if (!args.smoke) {
+    std::printf("Fig 6(h) — single-object discovery latency vs hop count\n");
+    std::printf("paper: L1 0.13->0.53 s; L2/3 0.32->0.92 s over 1->4 hops\n\n");
+    std::printf("%5s | %10s %10s %10s\n", "hops", "Level 1", "Level 2",
+                "Level 3");
+    std::printf("------+---------------------------------\n");
   }
+  // Grid order: hops outer, levels inner.
+  double prev[3] = {0, 0, 0};
+  for (std::size_t row = 0; row < spec.hops.size(); ++row) {
+    double t[3] = {0, 0, 0};
+    for (std::size_t col = 0; col < 3; ++col) {
+      t[col] = results[row * 3 + col].report().total_ms;
+    }
+    if (args.smoke) {
+      for (std::size_t col = 0; col < 3; ++col) {
+        if (t[col] <= prev[col]) {
+          std::fprintf(stderr, "smoke: latency not growing with hops at "
+                               "L%zu (%.0f -> %.0f ms)\n",
+                       col + 1, prev[col], t[col]);
+          return 1;
+        }
+        prev[col] = t[col];
+      }
+    } else {
+      std::printf("%5u | %8.0fms %8.0fms %8.0fms\n", spec.hops[row], t[0],
+                  t[1], t[2]);
+    }
+  }
+  if (args.smoke) std::printf("smoke OK: %zu runs\n", results.size());
   return 0;
 }

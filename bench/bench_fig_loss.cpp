@@ -7,93 +7,81 @@
 // rate; completeness decays only once the per-exchange retry budget is
 // exhausted faster than the channel delivers.
 //
-// `--smoke` runs a reduced sweep with hard assertions (for CI/ctest):
-// zero loss must be complete with no retransmits, 10% loss must
-// terminate within the round deadline with self-consistent accounting,
-// and the lossy run must be deterministic across repeats.
+// Harness-driven: the full sweep shards across threads. `--smoke` runs a
+// reduced sweep with hard assertions (for CI/ctest): zero loss must be
+// complete with no retransmits, 10% loss must terminate within the round
+// deadline with self-consistent accounting, and the lossy run must be
+// deterministic across replays — asserted as golden-digest equality.
 #include <cstdio>
-#include <cstring>
 
-#include "fleet.hpp"
+#include "bench_args.hpp"
+#include "harness/spec.hpp"
 
 using namespace argus;
-using backend::Level;
 
 namespace {
 
-struct Point {
-  double drop = 0;
-  double total_ms = 0;
-  std::size_t found = 0;
-  std::size_t fleet = 0;
-  double delivery_ratio = 1;
-  std::uint64_t que1_rtx = 0;
-  std::uint64_t que2_rtx = 0;
-  std::uint64_t dropped = 0;
-};
-
-Point run_point(double drop_prob, std::size_t n, Level level) {
-  const auto fleet = bench::make_fleet(n, level);
-  auto sc = fleet.scenario();
-  sc.radio.drop_prob = drop_prob;
-  const auto report = core::run_discovery(sc);
-  Point p;
-  p.drop = drop_prob;
-  p.total_ms = report.total_ms;
-  p.found = report.services.size();
-  p.fleet = n;
-  p.delivery_ratio = report.delivery_ratio;
-  p.que1_rtx = report.que1_retransmits;
-  p.que2_rtx = report.que2_retransmits;
-  p.dropped = report.net_stats.dropped;
+harness::SweepPoint loss_point(double drop, std::size_t n, int level) {
+  harness::SweepPoint p;
+  p.level = level;
+  p.objects = n;
+  p.drop = drop;
   return p;
 }
 
-int smoke() {
-  // Clean channel: the retry layer must be invisible.
-  const Point clean = run_point(0.0, 6, Level::kL2);
-  if (clean.found != clean.fleet || clean.que1_rtx != 0 ||
-      clean.que2_rtx != 0 || clean.delivery_ratio != 1.0) {
-    std::fprintf(stderr, "smoke: clean channel regressed (found %zu/%zu, "
+int smoke(std::size_t threads) {
+  const harness::SweepRunner runner({.threads = threads});
+  // Clean channel, 10% loss, and a replay of the lossy point, as one grid.
+  const std::vector<harness::SweepPoint> grid = {
+      loss_point(0.0, 6, 2), loss_point(0.10, 6, 2), loss_point(0.10, 6, 2)};
+  const auto results = runner.run(grid);
+  const auto& clean = results[0].report();
+  if (clean.services.size() != 6 || clean.que1_retransmits != 0 ||
+      clean.que2_retransmits != 0 || clean.delivery_ratio != 1.0) {
+    std::fprintf(stderr, "smoke: clean channel regressed (found %zu/6, "
                          "rtx %llu/%llu, ratio %f)\n",
-                 clean.found, clean.fleet,
-                 static_cast<unsigned long long>(clean.que1_rtx),
-                 static_cast<unsigned long long>(clean.que2_rtx),
+                 clean.services.size(),
+                 static_cast<unsigned long long>(clean.que1_retransmits),
+                 static_cast<unsigned long long>(clean.que2_retransmits),
                  clean.delivery_ratio);
     return 1;
   }
-  // 10% per-hop loss: must terminate inside the deadline, and the loss
-  // accounting must be internally consistent.
-  const Point lossy = run_point(0.10, 6, Level::kL2);
+  const auto& lossy = results[1].report();
   if (lossy.total_ms > core::RetryPolicy{}.round_deadline_ms) {
     std::fprintf(stderr, "smoke: lossy round blew the deadline (%f ms)\n",
                  lossy.total_ms);
     return 1;
   }
-  if (lossy.dropped > 0 && lossy.delivery_ratio >= 1.0) {
+  if (lossy.net_stats.dropped > 0 && lossy.delivery_ratio >= 1.0) {
     std::fprintf(stderr, "smoke: drops recorded but delivery ratio is 1\n");
     return 1;
   }
-  // Determinism: the same seeded scenario must reproduce exactly.
-  const Point again = run_point(0.10, 6, Level::kL2);
-  if (again.total_ms != lossy.total_ms || again.found != lossy.found ||
-      again.dropped != lossy.dropped || again.que2_rtx != lossy.que2_rtx) {
-    std::fprintf(stderr, "smoke: lossy run is not deterministic\n");
+  // Determinism: the replayed lossy cell must reproduce the exact trace,
+  // counters and report — one digest compare covers all of it.
+  if (results[1].digest != results[2].digest) {
+    std::fprintf(stderr, "smoke: lossy run is not deterministic\n"
+                         "  first : %s\n  replay: %s\n",
+                 results[1].digest.c_str(), results[2].digest.c_str());
     return 1;
   }
-  std::printf("smoke OK: clean %zu/%zu, 10%% loss %zu/%zu in %.0f ms "
-              "(ratio %.3f, %llu+%llu retransmits)\n",
-              clean.found, clean.fleet, lossy.found, lossy.fleet,
-              lossy.total_ms, lossy.delivery_ratio,
-              static_cast<unsigned long long>(lossy.que1_rtx),
-              static_cast<unsigned long long>(lossy.que2_rtx));
+  std::printf("smoke OK: clean 6/6, 10%% loss %zu/6 in %.0f ms "
+              "(ratio %.3f, %llu+%llu retransmits), replay digest equal\n",
+              lossy.services.size(), lossy.total_ms, lossy.delivery_ratio,
+              static_cast<unsigned long long>(lossy.que1_retransmits),
+              static_cast<unsigned long long>(lossy.que2_retransmits));
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return smoke();
+  const bench::Args args = bench::parse_args(argc, argv);
+  if (args.smoke) return smoke(args.threads);
+
+  const harness::GridSpec spec = harness::builtin_grids().at("loss");
+  const auto grid = harness::expand(spec);
+  const auto results =
+      harness::SweepRunner({.threads = args.threads}).run(grid);
 
   std::printf("Loss sweep — discovery under per-hop drop probability\n");
   std::printf("fleet: 10 Level 2 + 10 Level 3 objects, single hop; "
@@ -102,18 +90,21 @@ int main(int argc, char** argv) {
               "L2 found", "L3 time", "L3 found", "dlv", "rtx1", "rtx2");
   std::printf("-------+---------------------+---------------------+"
               "--------------------\n");
-  for (const double drop : {0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30}) {
-    const Point l2 = run_point(drop, 10, Level::kL2);
-    const Point l3 = run_point(drop, 10, Level::kL3);
+  // Grid order: drop outer, levels (2, 3) inner.
+  for (std::size_t row = 0; row < spec.drop.size(); ++row) {
+    const auto& l2 = results[row * 2 + 0].report();
+    const auto& l3 = results[row * 2 + 1].report();
     std::printf("%5.0f%% | %7.0fms %6zu/%zu | %7.0fms %6zu/%zu | "
                 "%7.1f%% %5llu %5llu\n",
-                drop * 100, l2.total_ms, l2.found, l2.fleet, l3.total_ms,
-                l3.found, l3.fleet, l2.delivery_ratio * 100,
-                static_cast<unsigned long long>(l2.que1_rtx),
-                static_cast<unsigned long long>(l2.que2_rtx));
+                spec.drop[row] * 100, l2.total_ms, l2.services.size(),
+                l2.outcomes.size(), l3.total_ms, l3.services.size(),
+                l3.outcomes.size(), l2.delivery_ratio * 100,
+                static_cast<unsigned long long>(l2.que1_retransmits),
+                static_cast<unsigned long long>(l2.que2_retransmits));
     // Discovery must terminate at every loss rate; completeness may decay.
     if (l2.total_ms <= 0 || l3.total_ms <= 0) {
-      std::fprintf(stderr, "degenerate run at %.0f%% loss\n", drop * 100);
+      std::fprintf(stderr, "degenerate run at %.0f%% loss\n",
+                   spec.drop[row] * 100);
       return 1;
     }
   }

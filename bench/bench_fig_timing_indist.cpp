@@ -4,17 +4,25 @@
 // the trace-backed auditor verdict over the full v3.0 simulation (the
 // paper's §VI argument as a checkable assertion).
 //
-//   bench_fig_timing_indist [TRACE_PREFIX]
+//   bench_fig_timing_indist [TRACE_PREFIX] [--smoke] [--threads N]
+//
+// The three auditor configs run through the sweep harness (each config is
+// one run: fellow + cover-up discovery into that run's private tracer),
+// so they shard across threads while the traces stay per-run isolated.
+// `--smoke` asserts the expected verdicts (PASS with the full measures,
+// FAIL with pad_res2 or equalize_timing off) for ctest.
 //
 // With TRACE_PREFIX, writes the full-measure run's trace to
 // <prefix>.jsonl (for tools/traceview) and <prefix>.json (for
 // chrome://tracing / Perfetto).
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "attacks/adversary.hpp"
 #include "backend/registry.hpp"
-#include "argus/discovery.hpp"
+#include "bench_args.hpp"
+#include "harness/sweep.hpp"
 #include "obs/audit.hpp"
 
 using namespace argus;
@@ -50,7 +58,7 @@ struct Lab {
   }
 
   core::DiscoveryScenario scenario(const backend::SubjectCredentials& s,
-                                   bool pad, bool eq, obs::Tracer* tracer) {
+                                   bool pad, bool eq) const {
     core::DiscoveryScenario sc;
     sc.subject = s;
     sc.admin_pub = be.admin_public_key();
@@ -59,58 +67,93 @@ struct Lab {
     sc.pad_res2 = pad;
     sc.equalize_timing = eq;
     sc.seed = 42;
-    sc.tracer = tracer;
     return sc;
   }
 };
 
+struct Config {
+  const char* label;
+  bool pad, eq;
+};
+
+constexpr Config kConfigs[] = {{"v3.0 full measures", true, true},
+                               {"pad_res2 OFF      ", false, true},
+                               {"equalize OFF      ", true, false}};
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  std::string trace_prefix;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-' &&
+        (i == 1 || std::strcmp(argv[i - 1], "--threads") != 0)) {
+      trace_prefix = argv[i];
+    }
+  }
   Lab lab;
 
-  std::printf("E12 — indistinguishability under attack (40-trial games)\n\n");
-  for (const bool pad : {true, false}) {
-    const auto res = attacks::size_distinguisher(
-        lab.fellow, lab.plain, lab.l3, lab.be.admin_public_key(),
-        lab.be.now(), pad, 40, 1234);
-    std::printf("RES2 size distinguisher, padding %-3s : advantage %.2f\n",
-                pad ? "ON" : "OFF", res.advantage);
-  }
-  std::printf("\n");
-  for (const bool eq : {true, false}) {
-    const auto probe = attacks::timing_probe(
-        lab.plain, lab.l2, lab.l3, lab.be.admin_public_key(), lab.be.now(),
-        eq, 77);
-    std::printf("response-time gap (L3 - L2), equalisation %-3s : %.3f ms\n",
-                eq ? "ON" : "OFF", probe.gap_ms());
+  if (!args.smoke) {
+    std::printf("E12 — indistinguishability under attack (40-trial games)\n\n");
+    for (const bool pad : {true, false}) {
+      const auto res = attacks::size_distinguisher(
+          lab.fellow, lab.plain, lab.l3, lab.be.admin_public_key(),
+          lab.be.now(), pad, 40, 1234);
+      std::printf("RES2 size distinguisher, padding %-3s : advantage %.2f\n",
+                  pad ? "ON" : "OFF", res.advantage);
+    }
+    std::printf("\n");
+    for (const bool eq : {true, false}) {
+      const auto probe = attacks::timing_probe(
+          lab.plain, lab.l2, lab.l3, lab.be.admin_public_key(), lab.be.now(),
+          eq, 77);
+      std::printf("response-time gap (L3 - L2), equalisation %-3s : %.3f ms\n",
+                  eq ? "ON" : "OFF", probe.gap_ms());
+    }
+    std::printf("\ntrace-backed auditor over the simulated ground network\n"
+                "(fellow run + cover-up run into one trace per config):\n\n");
   }
 
-  std::printf("\ntrace-backed auditor over the simulated ground network\n"
-              "(fellow run + cover-up run into one trace per config):\n\n");
-  struct Config {
-    const char* label;
-    bool pad, eq;
-  };
-  for (const Config cfg : {Config{"v3.0 full measures", true, true},
-                           Config{"pad_res2 OFF      ", false, true},
-                           Config{"equalize OFF      ", true, false}}) {
-    obs::Tracer trace;
-    (void)core::run_discovery(
-        lab.scenario(lab.fellow, cfg.pad, cfg.eq, &trace));
-    (void)core::run_discovery(
-        lab.scenario(lab.plain, cfg.pad, cfg.eq, &trace));
-    const auto verdict = obs::audit_indistinguishability(trace);
-    std::printf("%s : %s\n", cfg.label, verdict.summary().c_str());
-    if (cfg.pad && cfg.eq && argc > 1) {
-      const std::string prefix = argv[1];
-      std::ofstream jsonl(prefix + ".jsonl");
-      obs::write_jsonl(trace, jsonl);
-      std::ofstream chrome(prefix + ".json");
-      obs::write_chrome_json(trace, chrome);
-      std::printf("  wrote %s.jsonl and %s.json\n", prefix.c_str(),
-                  prefix.c_str());
+  // One harness run per config: the fellow and the cover-up subject
+  // discover the same fleet back to back into the run's private tracer,
+  // which is exactly the paired trace the §VI-B auditor checks.
+  const harness::SweepRunner runner(
+      {.threads = args.threads, .keep_traces = true});
+  const auto results = runner.run(std::size(kConfigs), [&lab](std::size_t i) {
+    const Config& cfg = kConfigs[i];
+    harness::RunSpec spec;
+    spec.label = cfg.label;
+    spec.scenarios.push_back(lab.scenario(lab.fellow, cfg.pad, cfg.eq));
+    spec.scenarios.push_back(lab.scenario(lab.plain, cfg.pad, cfg.eq));
+    return spec;
+  });
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Config& cfg = kConfigs[i];
+    const auto verdict = obs::audit_indistinguishability(*results[i].trace);
+    if (args.smoke) {
+      const bool expect_pass = cfg.pad && cfg.eq;
+      if (verdict.passed != expect_pass) {
+        std::fprintf(stderr, "smoke: config '%s' expected %s, got %s\n",
+                     cfg.label, expect_pass ? "PASS" : "FAIL",
+                     verdict.summary().c_str());
+        return 1;
+      }
+      continue;
     }
+    std::printf("%s : %s\n", cfg.label, verdict.summary().c_str());
+    if (cfg.pad && cfg.eq && !trace_prefix.empty()) {
+      std::ofstream jsonl(trace_prefix + ".jsonl");
+      obs::write_jsonl(*results[i].trace, jsonl);
+      std::ofstream chrome(trace_prefix + ".json");
+      obs::write_chrome_json(*results[i].trace, chrome);
+      std::printf("  wrote %s.jsonl and %s.json\n", trace_prefix.c_str(),
+                  trace_prefix.c_str());
+    }
+  }
+  if (args.smoke) {
+    std::printf("smoke OK: auditor verdicts match expectations\n");
+    return 0;
   }
 
   std::printf("\npaper: with the v3.0 measures, attackers cannot tell\n"

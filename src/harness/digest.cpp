@@ -1,0 +1,140 @@
+#include "harness/digest.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "crypto/sha256.hpp"
+
+namespace argus::harness {
+
+namespace {
+
+// Shortest round-trip formatting, matching the trace exporter: identical
+// values always produce identical bytes.
+void put_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  out.append(std::to_string(v));
+}
+
+void put_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20) {
+      static const char* hex = "0123456789abcdef";
+      out.append("\\u00");
+      out.push_back(hex[u >> 4]);
+      out.push_back(hex[u & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string report_json(const core::DiscoveryReport& report) {
+  std::string out;
+  out.append("{\"total_ms\":");
+  put_double(out, report.total_ms);
+  out.append(",\"services\":[");
+  for (std::size_t i = 0; i < report.services.size(); ++i) {
+    if (i) out.push_back(',');
+    const auto& svc = report.services[i];
+    out.append("{\"id\":");
+    put_escaped(out, svc.object_id);
+    out.append(",\"level\":");
+    put_u64(out, static_cast<std::uint64_t>(svc.level));
+    out.append(",\"tag\":");
+    put_escaped(out, svc.variant_tag);
+    out.push_back('}');
+  }
+  out.append("],\"timeline\":[");
+  for (std::size_t i = 0; i < report.timeline.size(); ++i) {
+    if (i) out.push_back(',');
+    const auto& ev = report.timeline[i];
+    out.append("{\"id\":");
+    put_escaped(out, ev.object_id);
+    out.append(",\"at_ms\":");
+    put_double(out, ev.at_ms);
+    out.push_back('}');
+  }
+  out.append("],\"messages\":");
+  put_u64(out, report.net_stats.messages);
+  out.append(",\"bytes\":");
+  put_u64(out, report.net_stats.bytes);
+  out.append(",\"hop_bytes\":");
+  put_u64(out, report.net_stats.hop_bytes);
+  out.append(",\"dropped\":");
+  put_u64(out, report.net_stats.dropped);
+  out.append(",\"duplicates\":");
+  put_u64(out, report.net_stats.duplicates);
+  out.append(",\"offered_messages\":");
+  put_u64(out, report.offered_messages);
+  out.append(",\"offered_bytes\":");
+  put_u64(out, report.offered_bytes);
+  out.append(",\"delivery_ratio\":");
+  put_double(out, report.delivery_ratio);
+  out.append(",\"que1_rtx\":");
+  put_u64(out, report.que1_retransmits);
+  out.append(",\"que2_rtx\":");
+  put_u64(out, report.que2_retransmits);
+  out.append(",\"bytes_by_msg\":{");
+  bool first = true;
+  for (const auto& [name, bytes] : report.bytes_by_msg) {  // std::map: sorted
+    if (!first) out.push_back(',');
+    first = false;
+    put_escaped(out, name);
+    out.push_back(':');
+    put_u64(out, bytes);
+  }
+  out.append("},\"outcomes\":[");
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    if (i) out.push_back(',');
+    const auto& oc = report.outcomes[i];
+    out.append("{\"id\":");
+    put_escaped(out, oc.object_id);
+    out.append(",\"discovered\":");
+    out.append(oc.discovered ? "true" : "false");
+    out.append(",\"que2_rtx\":");
+    put_u64(out, oc.que2_retransmits);
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string counters_text(const obs::MetricsRegistry& metrics) {
+  std::string out;
+  for (const auto& [name, counter] : metrics.counters()) {  // sorted map
+    out.append(name);
+    out.push_back('=');
+    put_u64(out, counter.value());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string golden_digest(const obs::Tracer& trace,
+                          const obs::MetricsRegistry& metrics,
+                          const core::DiscoveryReport& report) {
+  std::ostringstream jsonl;
+  obs::write_jsonl(trace, jsonl);
+  crypto::Sha256 h;
+  const std::string trace_bytes = jsonl.str();
+  h.update(str_bytes(trace_bytes));
+  h.update(str_bytes(counters_text(metrics)));
+  h.update(str_bytes(report_json(report)));
+  return to_hex(h.finish());
+}
+
+}  // namespace argus::harness

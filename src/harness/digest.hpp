@@ -1,0 +1,34 @@
+// Golden digests: a run's observable behaviour as one diffable hash.
+//
+// The digest is SHA-256 over a canonical byte serialization of the run's
+// trace (the JSONL export, which is already shortest-round-trip stable),
+// its metrics counters, and the DiscoveryReport fields a regression cares
+// about. Two runs are behaviourally identical iff their digests match, so
+// determinism — across repeats, thread counts, and machines — becomes a
+// first-class, checkable artifact instead of a pile of field-by-field
+// assertions.
+#pragma once
+
+#include <string>
+
+#include "argus/discovery.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace argus::harness {
+
+/// Canonical one-line JSON for the report fields covered by the digest
+/// (totals, per-type traffic, retransmits, timeline, outcomes). Doubles
+/// are shortest-round-trip formatted, map keys are sorted, so the bytes
+/// are a pure function of the report's values.
+std::string report_json(const core::DiscoveryReport& report);
+
+/// Canonical "name=value" lines for every counter, sorted by name.
+std::string counters_text(const obs::MetricsRegistry& metrics);
+
+/// SHA-256 (hex) over trace JSONL + counter lines + report JSON.
+std::string golden_digest(const obs::Tracer& trace,
+                          const obs::MetricsRegistry& metrics,
+                          const core::DiscoveryReport& report);
+
+}  // namespace argus::harness

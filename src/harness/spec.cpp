@@ -1,0 +1,126 @@
+#include "harness/spec.hpp"
+
+#include <charconv>
+#include <istream>
+
+namespace argus::harness {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+template <typename T>
+bool parse_one(std::string_view tok, T& out) {
+  tok = trim(tok);
+  const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  return res.ec == std::errc{} && res.ptr == tok.data() + tok.size();
+}
+
+template <typename T>
+bool parse_list(std::string_view value, std::vector<T>& out) {
+  out.clear();
+  while (!value.empty()) {
+    const std::size_t comma = value.find(',');
+    const std::string_view tok = value.substr(0, comma);
+    T v{};
+    if (!parse_one(tok, v)) return false;
+    out.push_back(v);
+    if (comma == std::string_view::npos) break;
+    value.remove_prefix(comma + 1);
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+std::optional<GridSpec> parse_grid_spec(std::istream& is, std::string* error) {
+  GridSpec spec;
+  std::string line;
+  std::size_t lineno = 0;
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = "line " + std::to_string(lineno) + ": " + why;
+    return std::nullopt;
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::string_view sv = trim(line);
+    if (const std::size_t hash = sv.find('#'); hash != std::string_view::npos) {
+      sv = trim(sv.substr(0, hash));
+    }
+    if (sv.empty()) continue;
+    const std::size_t eq = sv.find('=');
+    if (eq == std::string_view::npos) return fail("expected 'key = values'");
+    const std::string_view key = trim(sv.substr(0, eq));
+    const std::string_view value = trim(sv.substr(eq + 1));
+    bool ok = true;
+    if (key == "levels") {
+      ok = parse_list(value, spec.levels);
+      for (const int l : spec.levels) ok = ok && l >= 1 && l <= 3;
+    } else if (key == "objects") {
+      ok = parse_list(value, spec.objects);
+    } else if (key == "hops") {
+      ok = parse_list(value, spec.hops);
+    } else if (key == "rings") {
+      ok = parse_one(value, spec.per_ring) && spec.per_ring > 0;
+    } else if (key == "drop") {
+      ok = parse_list(value, spec.drop);
+      for (const double d : spec.drop) ok = ok && d >= 0.0 && d <= 1.0;
+    } else if (key == "seeds") {
+      ok = parse_list(value, spec.seeds);
+    } else {
+      return fail("unknown key '" + std::string(key) + "'");
+    }
+    if (!ok) return fail("bad value for '" + std::string(key) + "'");
+  }
+  return spec;
+}
+
+const std::map<std::string, GridSpec>& builtin_grids() {
+  static const std::map<std::string, GridSpec> kGrids = [] {
+    std::map<std::string, GridSpec> g;
+    {
+      GridSpec s;  // Fig 6(e): single-hop fleets, growing object count
+      s.levels = {1, 2, 3};
+      s.objects = {1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20};
+      g.emplace("fig6e", std::move(s));
+    }
+    {
+      GridSpec s;  // Fig 6(f): one single-hop object, per level
+      s.levels = {1, 2, 3};
+      g.emplace("fig6f", std::move(s));
+    }
+    {
+      GridSpec s;  // Fig 6(g): multi-hop fleets, 5 objects per ring
+      s.levels = {1, 2, 3};
+      s.objects = {5, 10, 15, 20};
+      s.per_ring = 5;
+      g.emplace("fig6g", std::move(s));
+    }
+    {
+      GridSpec s;  // Fig 6(h): one object at 1..4 hops, per level
+      s.levels = {1, 2, 3};
+      s.hops = {1, 2, 3, 4};
+      g.emplace("fig6h", std::move(s));
+    }
+    {
+      GridSpec s;  // Loss sweep: L2/L3 fleets vs per-hop drop probability
+      s.levels = {2, 3};
+      s.objects = {10};
+      s.drop = {0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+      g.emplace("loss", std::move(s));
+    }
+    return g;
+  }();
+  return kGrids;
+}
+
+}  // namespace argus::harness

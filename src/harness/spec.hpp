@@ -1,0 +1,34 @@
+// Declarative sweep specs for tools/sweep and the figure benches.
+//
+// A spec is a line-oriented text format, one axis per line:
+//
+//   # Fig 6(g): multi-hop fleets, rings of 5
+//   levels  = 1,2,3
+//   objects = 5,10,15,20
+//   rings   = 5
+//   drop    = 0
+//   seeds   = 17
+//
+// Unset axes keep their GridSpec defaults. `rings = K` selects the
+// ring layout (object i at hop 1 + i/K) and replaces the `hops` axis.
+// The paper's figure grids ship as named builtins (fig6e/6f/6g/6h, loss).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "harness/sweep.hpp"
+
+namespace argus::harness {
+
+/// Parse a spec; returns nullopt and fills `error` (if given) on the
+/// first malformed line.
+std::optional<GridSpec> parse_grid_spec(std::istream& is,
+                                        std::string* error = nullptr);
+
+/// The paper's evaluation grids, keyed by figure name.
+const std::map<std::string, GridSpec>& builtin_grids();
+
+}  // namespace argus::harness

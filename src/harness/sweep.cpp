@@ -1,0 +1,189 @@
+#include "harness/sweep.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "backend/registry.hpp"
+#include "common/thread_pool.hpp"
+#include "crypto/sha256.hpp"
+
+namespace argus::harness {
+
+namespace {
+
+void put_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+backend::Level to_level(int level) {
+  switch (level) {
+    case 1: return backend::Level::kL1;
+    case 2: return backend::Level::kL2;
+    case 3: return backend::Level::kL3;
+  }
+  throw std::invalid_argument("SweepPoint.level must be 1..3");
+}
+
+}  // namespace
+
+std::vector<SweepPoint> expand(const GridSpec& spec) {
+  std::vector<SweepPoint> grid;
+  grid.reserve(spec.seeds.size() * spec.drop.size() * spec.hops.size() *
+               spec.objects.size() * spec.levels.size());
+  for (const std::uint64_t seed : spec.seeds) {
+    for (const double drop : spec.drop) {
+      for (const unsigned hops : spec.hops) {
+        for (const std::size_t n : spec.objects) {
+          for (const int level : spec.levels) {
+            SweepPoint p;
+            p.level = level;
+            p.objects = n;
+            p.hops = hops;
+            p.per_ring = spec.per_ring;
+            p.drop = drop;
+            p.seed = seed;
+            grid.push_back(p);
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+std::string point_label(const SweepPoint& point) {
+  std::string out = "L" + std::to_string(point.level) +
+                    " n=" + std::to_string(point.objects);
+  if (point.per_ring > 0) {
+    out += " rings=" + std::to_string(point.per_ring);
+  } else {
+    out += " hops=" + std::to_string(point.hops);
+  }
+  out += " drop=";
+  put_double(out, point.drop);
+  out += " seed=" + std::to_string(point.seed);
+  return out;
+}
+
+core::DiscoveryScenario make_scenario(const SweepPoint& point) {
+  backend::Backend be(crypto::Strength::b128, point.seed);
+  auto subject = be.register_subject(
+      "alice", backend::AttributeMap{{"position", "employee"}}, {"support"});
+  core::DiscoveryScenario sc;
+  sc.admin_pub = be.admin_public_key();
+  const backend::Level level = to_level(point.level);
+  for (std::size_t i = 0; i < point.objects; ++i) {
+    const std::string id = "obj-" + std::to_string(i);
+    backend::ObjectCredentials creds;
+    switch (level) {
+      case backend::Level::kL1:
+        creds = be.register_object(id, backend::AttributeMap{{"type", "sensor"}},
+                                   backend::Level::kL1, {"read"});
+        break;
+      case backend::Level::kL2:
+        creds = be.register_object(
+            id, backend::AttributeMap{{"type", "multimedia"}},
+            backend::Level::kL2, {},
+            {{"position=='employee'", "staff", {"use"}}});
+        break;
+      case backend::Level::kL3:
+        creds = be.register_object(
+            id, backend::AttributeMap{{"type", "kiosk"}}, backend::Level::kL3,
+            {}, {{"position=='employee'", "staff", {"use"}}},
+            {{"support", "covert", {"use", "support"}}});
+        break;
+    }
+    const unsigned hops =
+        point.per_ring > 0 ? static_cast<unsigned>(1 + i / point.per_ring)
+                           : point.hops;
+    sc.objects.push_back(core::ScenarioObject{std::move(creds), hops});
+  }
+  sc.subject = std::move(subject);
+  sc.epoch = be.now();
+  sc.radio.drop_prob = point.drop;
+  sc.seed = point.seed;
+  return sc;
+}
+
+std::vector<RunResult> SweepRunner::run(
+    std::size_t n, const std::function<RunSpec(std::size_t)>& make) const {
+  std::vector<RunResult> results(n);
+  const auto one = [&](std::size_t i) {
+    // Everything below is run-local: the factory's Backend, the tracer,
+    // the registry, and (inside run_discovery) the Simulator and the
+    // network's DRBG stream. Slot i is this task's only shared write.
+    RunSpec spec = make(i);
+    RunResult& out = results[i];
+    out.label = std::move(spec.label);
+    obs::Tracer trace;
+    obs::MetricsRegistry metrics;
+    out.reports.reserve(spec.scenarios.size());
+    for (core::DiscoveryScenario& sc : spec.scenarios) {
+      sc.tracer = &trace;
+      sc.metrics = &metrics;
+      out.reports.push_back(core::run_discovery(sc));
+    }
+    crypto::Sha256 h;
+    {
+      std::ostringstream jsonl;
+      obs::write_jsonl(trace, jsonl);
+      h.update(str_bytes(jsonl.str()));
+    }
+    h.update(str_bytes(counters_text(metrics)));
+    for (const core::DiscoveryReport& report : out.reports) {
+      h.update(str_bytes(report_json(report)));
+    }
+    out.digest = to_hex(h.finish());
+    if (opts_.keep_traces) out.trace = std::move(trace);
+  };
+  if (opts_.threads == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) one(i);
+  } else {
+    ThreadPool pool(opts_.threads);
+    parallel_for(pool, n, one);
+  }
+  return results;
+}
+
+std::vector<RunResult> SweepRunner::run(
+    const std::vector<SweepPoint>& grid) const {
+  return run(grid.size(), [&grid](std::size_t i) {
+    RunSpec spec;
+    spec.label = point_label(grid[i]);
+    spec.scenarios.push_back(make_scenario(grid[i]));
+    return spec;
+  });
+}
+
+void write_jsonl_line(std::ostream& os, const SweepPoint& point,
+                      const RunResult& result) {
+  const core::DiscoveryReport& r = result.report();
+  std::string line;
+  line.append("{\"level\":" + std::to_string(point.level));
+  line.append(",\"objects\":" + std::to_string(point.objects));
+  if (point.per_ring > 0) {
+    line.append(",\"per_ring\":" + std::to_string(point.per_ring));
+  } else {
+    line.append(",\"hops\":" + std::to_string(point.hops));
+  }
+  line.append(",\"drop\":");
+  put_double(line, point.drop);
+  line.append(",\"seed\":" + std::to_string(point.seed));
+  line.append(",\"total_ms\":");
+  put_double(line, r.total_ms);
+  line.append(",\"found\":" + std::to_string(r.services.size()));
+  line.append(",\"delivery_ratio\":");
+  put_double(line, r.delivery_ratio);
+  line.append(",\"que1_rtx\":" + std::to_string(r.que1_retransmits));
+  line.append(",\"que2_rtx\":" + std::to_string(r.que2_retransmits));
+  line.append(",\"messages\":" + std::to_string(r.net_stats.messages));
+  line.append(",\"bytes\":" + std::to_string(r.net_stats.bytes));
+  line.append(",\"digest\":\"" + result.digest + "\"}\n");
+  os.write(line.data(), static_cast<std::streamsize>(line.size()));
+}
+
+}  // namespace argus::harness

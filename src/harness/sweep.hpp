@@ -1,0 +1,118 @@
+// Parallel deterministic sweep harness.
+//
+// The paper's evaluation (Fig 6e-6h, the loss and indistinguishability
+// sweeps) is an embarrassingly parallel outer loop: many independent
+// seeded simulations whose results are only ever read side by side. The
+// harness shards such a grid across the ThreadPool while keeping the
+// output a pure function of the grid:
+//
+//   * each run owns its Simulator, Network DRBG stream, MetricsRegistry
+//     and Tracer sink — concurrent runs share no mutable state (the only
+//     cross-thread objects are const magic-statics: curve tables, AES
+//     tables, histogram bounds);
+//   * results land in a slot indexed by grid position and are merged in
+//     grid order, so reports, JSONL and digests are byte-identical for
+//     --threads 1 and --threads N;
+//   * every run emits a golden digest (harness/digest.hpp) so "same
+//     behaviour" is one string compare, not a field-by-field audit.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "argus/discovery.hpp"
+#include "harness/digest.hpp"
+
+namespace argus::harness {
+
+/// One cell of a sweep grid: the paper's level x object-count x hop x
+/// loss x seed axes. `per_ring > 0` selects the Fig 6(g) layout (object i
+/// at hop 1 + i/per_ring) and makes `hops` irrelevant.
+struct SweepPoint {
+  int level = 2;             // 1..3
+  std::size_t objects = 1;   // fleet size
+  unsigned hops = 1;         // uniform hop distance of every object
+  std::size_t per_ring = 0;  // Fig 6(g) rings when nonzero
+  double drop = 0.0;         // radio per-hop drop probability
+  std::uint64_t seed = 17;   // backend + scenario seed
+};
+
+/// Cartesian sweep axes; expand() produces the grid in a fixed nested
+/// order (seeds outermost, then drop, hops, objects, levels innermost),
+/// so a spec always names the same sequence of points.
+struct GridSpec {
+  std::vector<int> levels{2};
+  std::vector<std::size_t> objects{1};
+  std::vector<unsigned> hops{1};
+  std::size_t per_ring = 0;  // overrides `hops` for every point if nonzero
+  std::vector<double> drop{0.0};
+  std::vector<std::uint64_t> seeds{17};
+};
+
+std::vector<SweepPoint> expand(const GridSpec& spec);
+
+/// Stable human-readable cell name, e.g. "L2 n=10 hops=1 drop=0.1 seed=17"
+/// (or "rings=5" in place of "hops=" for the ring layout).
+std::string point_label(const SweepPoint& point);
+
+/// Build the paper-testbed fleet for one cell: a fresh Backend seeded
+/// from the point, one subject, `objects` objects of `level`. The
+/// scenario owns copies of all credentials, so nothing outlives the call.
+core::DiscoveryScenario make_scenario(const SweepPoint& point);
+
+/// One schedulable unit: a label plus the scenario(s) it simulates. All
+/// scenarios of a run execute sequentially into the run's single Tracer /
+/// MetricsRegistry (the indistinguishability benches pair two subjects
+/// into one trace; plain sweeps have exactly one scenario).
+struct RunSpec {
+  std::string label;
+  std::vector<core::DiscoveryScenario> scenarios;
+};
+
+struct RunResult {
+  std::string label;
+  std::vector<core::DiscoveryReport> reports;  // one per scenario, in order
+  std::string digest;  // golden digest over trace + counters + reports
+  /// The run's trace, retained only with Options::keep_traces (the
+  /// auditor benches need it; plain sweeps don't pay for it).
+  std::optional<obs::Tracer> trace;
+
+  [[nodiscard]] const core::DiscoveryReport& report() const {
+    return reports.front();
+  }
+};
+
+class SweepRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 = hardware concurrency, 1 = run inline (no pool).
+    std::size_t threads = 0;
+    bool keep_traces = false;
+  };
+
+  SweepRunner() = default;
+  explicit SweepRunner(Options opts) : opts_(opts) {}
+
+  /// Run `make(0..n-1)` (invoked on worker threads — keep factories
+  /// self-contained) and return results in index order. The sequence of
+  /// results is independent of Options::threads.
+  [[nodiscard]] std::vector<RunResult> run(
+      std::size_t n, const std::function<RunSpec(std::size_t)>& make) const;
+
+  /// Run a grid of standard fleet scenarios.
+  [[nodiscard]] std::vector<RunResult> run(
+      const std::vector<SweepPoint>& grid) const;
+
+ private:
+  Options opts_{};
+};
+
+/// One canonical JSONL record per run: the cell's axes, headline report
+/// fields, and the golden digest. Grid-ordered output is byte-identical
+/// regardless of thread count.
+void write_jsonl_line(std::ostream& os, const SweepPoint& point,
+                      const RunResult& result);
+
+}  // namespace argus::harness

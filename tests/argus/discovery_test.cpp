@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "argus/discovery.hpp"
+#include "harness/digest.hpp"
 
 namespace argus::core {
 namespace {
@@ -261,6 +262,45 @@ TEST(DiscoveryTest, LossyDiscoveryIsDeterministic) {
     EXPECT_EQ(r1.outcomes[i].discovered, r2.outcomes[i].discovered);
     EXPECT_EQ(r1.outcomes[i].que2_retransmits, r2.outcomes[i].que2_retransmits);
   }
+}
+
+TEST(DiscoveryTest, RetryPathTraceDigestIsReplayable) {
+  // The strongest determinism claim for the loss/retry layer: replaying a
+  // lossy run (fixed seed, drop_prob > 0) yields a byte-identical golden
+  // digest — every traced event, every counter (retransmits, drops,
+  // timer-driven resends included), every report field.
+  const Fleet f = make_fleet(6, Level::kL2);
+  const auto one_run = [&f](core::DiscoveryReport* report_out) {
+    DiscoveryScenario sc = scenario_for(f);
+    sc.radio.drop_prob = 0.20;
+    obs::Tracer trace;
+    obs::MetricsRegistry metrics;
+    sc.tracer = &trace;
+    sc.metrics = &metrics;
+    const auto report = run_discovery(sc);
+    if (report_out) *report_out = report;
+    return harness::golden_digest(trace, metrics, report);
+  };
+  core::DiscoveryReport r1, r2;
+  const std::string d1 = one_run(&r1);
+  const std::string d2 = one_run(&r2);
+  EXPECT_EQ(d1, d2);
+  // At 20% loss the run must actually have exercised the retry path —
+  // otherwise the digest equality proves nothing about it.
+  EXPECT_GT(r1.que1_retransmits + r1.que2_retransmits, 0u);
+  EXPECT_EQ(r1.que1_retransmits, r2.que1_retransmits);
+  EXPECT_EQ(r1.que2_retransmits, r2.que2_retransmits);
+  EXPECT_GT(r1.net_stats.dropped, 0u);
+  // And a different seed must visibly change the behaviour stream.
+  DiscoveryScenario other = scenario_for(f);
+  other.radio.drop_prob = 0.20;
+  other.seed = 1234;
+  obs::Tracer trace;
+  obs::MetricsRegistry metrics;
+  other.tracer = &trace;
+  other.metrics = &metrics;
+  const auto report = run_discovery(other);
+  EXPECT_NE(harness::golden_digest(trace, metrics, report), d1);
 }
 
 TEST(DiscoveryTest, CleanChannelReportUnchangedByRetryLayer) {

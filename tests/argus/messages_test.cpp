@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "argus/session.hpp"
+#include "crypto/drbg.hpp"
 
 namespace argus::core {
 namespace {
@@ -76,6 +77,94 @@ TEST(MessagesTest, RejectsGarbage) {
   Bytes extra = encode(Message{Que1{nonce(1)}});
   extra.push_back(0);
   EXPECT_FALSE(decode(extra).has_value());
+}
+
+// Seeded fuzz: random well-formed messages must round-trip exactly, and
+// random corruptions (truncation, extension, byte flips) must either fail
+// to decode or decode to something that re-encodes consistently — never
+// crash, never mis-frame.
+TEST(MessagesTest, FuzzRoundTripAndCorruption) {
+  crypto::HmacDrbg rng = crypto::make_rng(2024, "messages fuzz");
+  const auto blob = [&rng](std::size_t max) {
+    return rng.generate(rng.uniform(max + 1));
+  };
+  for (int iter = 0; iter < 300; ++iter) {
+    Message msg;
+    switch (rng.uniform(5)) {
+      case 0:
+        msg = Que1{rng.generate(kNonceSize)};
+        break;
+      case 1:
+        msg = Res1Level1{blob(512)};
+        break;
+      case 2:
+        msg = Res1{rng.generate(kNonceSize), rng.generate(kNonceSize),
+                   blob(1024), blob(128), blob(128)};
+        break;
+      case 3: {
+        Que2 q{rng.generate(kNonceSize),
+               blob(512),
+               blob(1024),
+               blob(128),
+               blob(128),
+               rng.generate(kMacSize),
+               {}};
+        if (rng.uniform(2)) q.mac_s3 = rng.generate(kMacSize);
+        msg = q;
+        break;
+      }
+      default:
+        msg = Res2{rng.generate(kNonceSize), blob(1024),
+                   rng.generate(kMacSize)};
+        break;
+    }
+
+    const Bytes wire = encode(msg);
+    const auto back = decode(wire);
+    ASSERT_TRUE(back.has_value()) << "iter " << iter;
+    EXPECT_EQ(back->index(), msg.index()) << "iter " << iter;
+    EXPECT_EQ(encode(*back), wire) << "iter " << iter;  // exact round-trip
+
+    // Truncation at a random point must never decode to the full message.
+    if (!wire.empty()) {
+      Bytes cut = wire;
+      cut.resize(rng.uniform(wire.size()));
+      if (const auto m = decode(cut); m.has_value()) {
+        EXPECT_NE(encode(*m), wire) << "iter " << iter;
+      }
+    }
+    // Trailing garbage is rejected outright (strict framing).
+    Bytes extended = wire;
+    extended.push_back(static_cast<std::uint8_t>(rng.uniform(256)));
+    EXPECT_FALSE(decode(extended).has_value()) << "iter " << iter;
+
+    // A random byte flip: decode may fail (size/type fields) or succeed
+    // (payload bytes carry no structure), but a success must re-encode to
+    // exactly the mutated wire — the codec adds no hidden normalization.
+    Bytes flipped = wire;
+    const std::size_t pos = rng.uniform(flipped.size());
+    flipped[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    if (const auto m = decode(flipped); m.has_value()) {
+      EXPECT_EQ(encode(*m), flipped) << "iter " << iter << " pos " << pos;
+    }
+  }
+}
+
+// Pure-noise inputs: decode must reject or parse cleanly, never read out
+// of bounds (the asan/ubsan lanes give this test its teeth).
+TEST(MessagesTest, FuzzRandomNoiseNeverCrashes) {
+  crypto::HmacDrbg rng = crypto::make_rng(7, "messages noise");
+  for (int iter = 0; iter < 500; ++iter) {
+    Bytes noise = rng.generate(rng.uniform(160));
+    if (!noise.empty() && rng.uniform(2)) {
+      // Bias the first byte into the valid MsgType range so the parser
+      // exercises per-type field framing, not just the type check.
+      noise[0] = static_cast<std::uint8_t>(1 + rng.uniform(5));
+    }
+    if (const auto m = decode(noise); m.has_value()) {
+      EXPECT_EQ(encode(*m), noise) << "iter " << iter;
+    }
+  }
 }
 
 TEST(MessagesTest, TypeNames) {

@@ -25,6 +25,49 @@ TEST(HmacTest, Rfc4231Case3) {
             "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
 }
 
+TEST(HmacTest, Rfc4231Case4CompositeKey) {
+  // 25-byte incrementing key over 50 bytes of 0xcd.
+  Bytes key(25);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  const Bytes data(50, 0xcd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacTest, Rfc4231Case5TruncatedTag) {
+  // RFC 4231 case 5 publishes only the leading 128 bits of the MAC — the
+  // truncated-tag form Argus uses for short authenticators. The truncation
+  // must be the prefix of the full MAC, not a recomputation.
+  const Bytes key(20, 0x0c);
+  const Bytes mac = hmac_sha256(key, str_bytes("Test With Truncation"));
+  ASSERT_EQ(mac.size(), 32u);
+  EXPECT_EQ(to_hex(ByteSpan(mac).first(16)),
+            "a3b6167473100ee06e0c796c2955552b");
+}
+
+TEST(HmacTest, Rfc4231Case7LongKeyLongData) {
+  // 131-byte key (hashed first) over >1 block of data.
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key,
+                str_bytes("This is a test using a larger than block-size key "
+                          "and a larger than block-size data. The key needs "
+                          "to be hashed before being used by the HMAC "
+                          "algorithm."))),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(HmacTest, TruncatedTagsStayDistinct) {
+  // Truncating to 16 bytes must not collide the label-separated PRF
+  // outputs we rely on for session/finished keys.
+  const Bytes secret = str_bytes("secret");
+  const Bytes a = prf(secret, "session key", str_bytes("seed"));
+  const Bytes b = prf(secret, "subject finished", str_bytes("seed"));
+  EXPECT_NE(Bytes(a.begin(), a.begin() + 16), Bytes(b.begin(), b.begin() + 16));
+}
+
 TEST(HmacTest, LongKeyIsHashedFirst) {
   // RFC 4231 case 6: 131-byte key.
   const Bytes key(131, 0xaa);

@@ -1,0 +1,134 @@
+// sweep — run a discovery sweep grid across worker threads.
+//
+//   sweep --grid fig6g --threads 8 --out fig6g
+//   sweep --spec my_grid.txt --threads 1
+//   sweep --list
+//
+// The grid comes from a named builtin (--grid) or a declarative spec file
+// (--spec, format in src/harness/spec.hpp). Runs shard across a thread
+// pool; output is merged in grid order, so the JSONL records and golden
+// digests are byte-identical for --threads 1 and --threads N — diff the
+// two to check determinism, diff against a committed file to catch
+// behavioural drift.
+//
+// With --out PREFIX, writes PREFIX.jsonl (one record per run) and
+// PREFIX.digests (one "digest  label" line per run).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "harness/spec.hpp"
+
+using namespace argus;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--grid NAME | --spec FILE) [--threads N]"
+               " [--out PREFIX] [--quiet]\n       %s --list\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string grid_name;
+  std::string spec_path;
+  std::string out_prefix;
+  std::size_t threads = 0;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      for (const auto& [name, spec] : harness::builtin_grids()) {
+        std::printf("%-8s %zu runs\n", name.c_str(),
+                    harness::expand(spec).size());
+      }
+      return 0;
+    }
+    if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "--grid") == 0 && i + 1 < argc) {
+      grid_name = argv[++i];
+    } else if (std::strcmp(arg, "--spec") == 0 && i + 1 < argc) {
+      spec_path = argv[++i];
+    } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
+      out_prefix = argv[++i];
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (grid_name.empty() == spec_path.empty()) return usage(argv[0]);
+
+  harness::GridSpec spec;
+  if (!grid_name.empty()) {
+    const auto& grids = harness::builtin_grids();
+    const auto it = grids.find(grid_name);
+    if (it == grids.end()) {
+      std::fprintf(stderr, "unknown grid '%s' (try --list)\n",
+                   grid_name.c_str());
+      return 2;
+    }
+    spec = it->second;
+  } else {
+    std::ifstream in(spec_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open spec '%s'\n", spec_path.c_str());
+      return 2;
+    }
+    std::string error;
+    const auto parsed = harness::parse_grid_spec(in, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "%s: %s\n", spec_path.c_str(), error.c_str());
+      return 2;
+    }
+    spec = *parsed;
+  }
+
+  const auto grid = harness::expand(spec);
+  const harness::SweepRunner runner({.threads = threads});
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = runner.run(grid);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::ostringstream jsonl;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    harness::write_jsonl_line(jsonl, grid[i], results[i]);
+  }
+  if (!out_prefix.empty()) {
+    std::ofstream jf(out_prefix + ".jsonl", std::ios::binary);
+    const std::string body = jsonl.str();
+    jf.write(body.data(), static_cast<std::streamsize>(body.size()));
+    std::ofstream df(out_prefix + ".digests", std::ios::binary);
+    for (const auto& res : results) {
+      df << res.digest << "  " << res.label << "\n";
+    }
+  }
+  if (!quiet) {
+    std::printf("%-34s | %9s %6s | %s\n", "run", "total", "found", "digest");
+    std::printf("-----------------------------------+------------------+"
+                "-----------------\n");
+    for (const auto& res : results) {
+      std::printf("%-34s | %7.0fms %3zu/%-3zu | %.16s…\n", res.label.c_str(),
+                  res.report().total_ms, res.report().services.size(),
+                  res.report().outcomes.size(), res.digest.c_str());
+    }
+  }
+  std::printf("%zu runs, %zu threads, %.2f s wall\n", grid.size(),
+              threads == 0 ? std::thread::hardware_concurrency() : threads,
+              wall_s);
+  if (!out_prefix.empty()) {
+    std::printf("wrote %s.jsonl and %s.digests\n", out_prefix.c_str(),
+                out_prefix.c_str());
+  }
+  return 0;
+}
