@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <string_view>
+
+#include "fault/byzantine.hpp"
+#include "fault/chaos.hpp"
 
 namespace argus::core {
 
@@ -50,25 +54,57 @@ struct Shared {
 class ObjectNode final : public net::SimNode {
  public:
   ObjectNode(ObjectEngineConfig cfg, Shared* shared)
-      : engine_(std::move(cfg)), shared_(shared) {}
+      : cfg_(std::move(cfg)), shared_(shared) {
+    engine_.emplace(cfg_);
+  }
+
+  /// Reboot after a crash: the engine restarts from its config with an
+  /// empty session table (and a reset DRBG — bad post-reboot entropy is
+  /// realistic). Any Byzantine arming dies with the old process image.
+  void restart_engine() { engine_.emplace(cfg_); }
+
+  /// Silent-drop zombie: the node keeps receiving and even burns compute,
+  /// but no reply ever leaves it again.
+  void make_zombie() { zombie_ = true; }
+
+  void arm_byzantine(fault::ByzantineMode mode, std::uint64_t seed) {
+    engine_->arm(mode, seed);
+  }
 
   void on_message(net::NodeId from, const Bytes& payload) override {
     obs::Tracer* const tr = shared_->tracer;
-    const std::uint64_t fellows_before = engine_.stats().fellows_confirmed;
+    const std::uint64_t fellows_before =
+        engine_->inner().stats().fellows_confirmed;
     if (tr) {
       tr->begin(net_->now(), node_id(),
                 std::string("handle.") + wire_type_name(payload), "phase",
                 payload.size());
     }
-    auto reply = engine_.handle(payload, shared_->epoch);
-    const double ms = engine_.take_consumed_ms();
+    engine_->inner().advance_clock(net_->now());
+    auto reply = engine_->handle(payload, shared_->epoch);
+    const double ms = engine_->take_consumed_ms();
     net_->consume_compute(node_id(), ms);
     shared_->report->object_compute_ms += ms;
+    if (tr && is_reject(reply.status)) {
+      tr->instant(net_->now(), node_id(),
+                  std::string("reject.") + status_name(reply.status), "fault",
+                  payload.size(), from);
+    }
     std::uint64_t reply_level = 0;
+    if (reply && zombie_) {
+      // The engine did the work; the zombie eats the reply.
+      shared_->metrics->counter("fault.zombie_suppressed").inc();
+      if (tr) {
+        tr->instant(net_->now(), node_id(), "drop.zombie", "fault",
+                    reply->size(), from);
+      }
+      reply.reply.reset();
+    }
     if (reply) {
       if (is_msg(*reply, MsgType::kRes2)) {
         reply_level =
-            engine_.stats().fellows_confirmed > fellows_before ? 3 : 2;
+            engine_->inner().stats().fellows_confirmed > fellows_before ? 3
+                                                                        : 2;
       }
       const char* type = wire_type_name(*reply);
       const std::size_t size = reply->size();
@@ -84,10 +120,12 @@ class ObjectNode final : public net::SimNode {
     if (tr) tr->end(net_->node_free_at(node_id()), node_id(), 0, reply_level);
   }
 
-  ObjectEngine& engine() { return engine_; }
+  ObjectEngine& engine() { return engine_->inner(); }
 
  private:
-  ObjectEngine engine_;
+  ObjectEngineConfig cfg_;  // kept for reboot-time engine rebuilds
+  std::optional<fault::ByzantineEngine<ObjectEngine>> engine_;
+  bool zombie_ = false;
   Shared* shared_;
 };
 
@@ -105,6 +143,7 @@ class SubjectNode final : public net::SimNode {
     Phase phase = kIdle;
     unsigned que2_attempts = 0;    // this round
     unsigned retransmits = 0;      // cumulative, for the report
+    unsigned rejects = 0;          // peer bytes the engine rejected
     Bytes que2_wire;               // cached wire for timer-driven resends
     net::TimerId timer = 0;
     bool timer_live = false;
@@ -159,6 +198,16 @@ class SubjectNode final : public net::SimNode {
     const double ms = engine_.take_consumed_ms();
     net_->consume_compute(node_id(), ms);
     shared_->report->subject_compute_ms += ms;
+    if (is_reject(reply.status)) {
+      if (const auto it = exchanges_.find(from); it != exchanges_.end()) {
+        ++it->second.rejects;
+      }
+      if (tr) {
+        tr->instant(net_->now(), node_id(),
+                    std::string("reject.") + status_name(reply.status),
+                    "fault", payload.size(), from);
+      }
+    }
     if (engine_.discovered().size() > before) {
       const auto& svc = engine_.discovered().back();
       shared_->report->timeline.push_back(DiscoveryEvent{
@@ -385,14 +434,73 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
   }
 
   // Retries default to kAuto: armed only when the radio can actually lose
-  // or duplicate frames, so a lossless run never schedules a timer and its
-  // event sequence (and therefore every derived number) is unchanged.
+  // or duplicate frames or a fault plan is live, so a lossless fault-free
+  // run never schedules a timer and its event sequence (and therefore
+  // every derived number) is unchanged.
+  const bool faulted = scenario.faults.armed();
   const bool lossy =
       scenario.radio.drop_prob > 0.0 || scenario.radio.dup_prob > 0.0;
   const bool retries =
       scenario.retry.mode == RetryMode::kOn ||
-      (scenario.retry.mode == RetryMode::kAuto && lossy);
+      (scenario.retry.mode == RetryMode::kAuto && (lossy || faulted));
   subject.configure_retries(scenario.retry, retries);
+
+  // Chaos layer: translate the plan's timeline into node/engine faults.
+  // An unarmed plan schedules nothing (arm() below is skipped), so this
+  // block adds zero events to fault-free runs.
+  fault::ChaosHooks hooks;
+  hooks.crash = [&](std::size_t i) {
+    net.set_node_up(object_ids[i], false);
+    shared.metrics->counter("fault.crash").inc();
+    if (scenario.tracer) {
+      scenario.tracer->instant(sim.now(), object_ids[i], "fault.crash",
+                               "fault");
+    }
+  };
+  hooks.reboot = [&](std::size_t i) {
+    objects[i]->restart_engine();  // empty session table, fresh DRBG
+    net.set_node_up(object_ids[i], true);
+    shared.metrics->counter("fault.reboot").inc();
+    if (scenario.tracer) {
+      scenario.tracer->instant(sim.now(), object_ids[i], "fault.reboot",
+                               "fault");
+    }
+  };
+  hooks.straggle_begin = [&](std::size_t i, double factor) {
+    net.set_compute_factor(object_ids[i], factor);
+    shared.metrics->counter("fault.straggle").inc();
+    if (scenario.tracer) {
+      scenario.tracer->instant(sim.now(), object_ids[i],
+                               "fault.straggle.begin", "fault",
+                               static_cast<std::uint64_t>(factor));
+    }
+  };
+  hooks.straggle_end = [&](std::size_t i) {
+    net.set_compute_factor(object_ids[i], 1.0);
+    if (scenario.tracer) {
+      scenario.tracer->instant(sim.now(), object_ids[i], "fault.straggle.end",
+                               "fault");
+    }
+  };
+  hooks.zombie = [&](std::size_t i) {
+    objects[i]->make_zombie();
+    shared.metrics->counter("fault.zombie").inc();
+    if (scenario.tracer) {
+      scenario.tracer->instant(sim.now(), object_ids[i], "fault.zombie",
+                               "fault");
+    }
+  };
+  hooks.byzantine = [&](std::size_t i, fault::ByzantineMode mode,
+                        std::uint64_t seed) {
+    objects[i]->arm_byzantine(mode, seed);
+    shared.metrics->counter("fault.byzantine").inc();
+    if (scenario.tracer) {
+      scenario.tracer->instant(sim.now(), object_ids[i], "fault.byzantine",
+                               "fault", static_cast<std::uint64_t>(mode));
+    }
+  };
+  fault::ChaosScheduler chaos(sim, std::move(hooks));
+  if (faulted) chaos.arm(scenario.faults, scenario.objects.size());
 
   const std::size_t rounds =
       std::min<std::size_t>(std::max<std::size_t>(1, scenario.rounds),
@@ -448,9 +556,19 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
                      : static_cast<double>(report.net_stats.deliveries) /
                            static_cast<double>(attempted);
 
+  // Chaos accounting for the report (stripped "fault." prefix).
+  constexpr std::string_view kFaultPrefix = "fault.";
+  for (const auto& [name, counter] : local_metrics.counters()) {
+    if (name.starts_with(kFaultPrefix)) {
+      report.fault_counts[name.substr(kFaultPrefix.size())] = counter.value();
+    }
+  }
+
   // Graceful degradation: one verdict per scenario object, in input order.
   // "Discovered" means any variant of the object landed in any round; the
   // retransmit count is the cumulative timer-driven QUE2 resends to it.
+  // Failure reasons are attributed only in faulted runs — fault-free
+  // reports stay byte-identical to pre-fault builds.
   for (std::size_t i = 0; i < scenario.objects.size(); ++i) {
     ObjectOutcome out;
     out.object_id = scenario.objects[i].creds.id;
@@ -460,9 +578,33 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
         break;
       }
     }
+    bool timed_out = false;
     if (const auto it = subject.exchanges().find(object_ids[i]);
         it != subject.exchanges().end()) {
       out.que2_retransmits = it->second.retransmits;
+      out.rejects = it->second.rejects;
+      timed_out = it->second.phase == SubjectNode::Exchange::kTimedOut;
+    }
+    if (faulted && !out.discovered) {
+      using fault::FaultKind;
+      // Byzantine corruption can surface on either side: the subject
+      // rejects the corrupted reply outright, or it accepts bytes whose
+      // damage only breaks the handshake transcript — in which case the
+      // *object* rejects every follow-up QUE2 bound to the corrupted
+      // echo. Both count as detection.
+      const bool rejected_by_peer = objects[i]->engine().stats().rejects > 0;
+      if (chaos.ever(i, FaultKind::kCrash)) {
+        out.reason = FailReason::kCrashed;
+      } else if (chaos.ever(i, FaultKind::kByzantine) &&
+                 (out.rejects > 0 || rejected_by_peer)) {
+        out.reason = FailReason::kByzantineDetected;
+      } else if (out.rejects > 0) {
+        out.reason = FailReason::kRejectedMalformed;
+      } else if (timed_out || chaos.ever(i, FaultKind::kZombie)) {
+        out.reason = FailReason::kTimedOut;
+      } else {
+        out.reason = FailReason::kSilent;
+      }
     }
     report.outcomes.push_back(std::move(out));
   }

@@ -6,6 +6,7 @@
 
 #include "argus/object_engine.hpp"
 #include "argus/subject_engine.hpp"
+#include "fault/plan.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -52,7 +53,14 @@ struct DiscoveryScenario {
   std::size_t rounds = 1;
   /// Loss recovery (see RetryPolicy). The kAuto default keeps lossless
   /// runs byte-identical to the no-retry driver: no timers are armed.
+  /// An armed fault plan also arms retries under kAuto — a round facing
+  /// churn needs its deadline to terminate.
   RetryPolicy retry{};
+  /// Node-fault injection (crash/reboot, stragglers, zombies, Byzantine
+  /// peers — see fault/plan.hpp). The default plan is unarmed, in which
+  /// case no chaos timers are scheduled and the run is byte-identical to
+  /// a fault-free build.
+  fault::FaultPlan faults{};
   std::uint64_t seed = 1;
   std::uint64_t epoch = 1'000'000;  // wall-clock for cert validity
   bool pad_res2 = true;
@@ -76,6 +84,36 @@ struct DiscoveryEvent {
   double at_ms = 0;  // virtual time the subject completed this discovery
 };
 
+/// Why an object ended undiscovered in a faulted run. kNone means either
+/// discovered, or the run had no fault plan (fault-free reports never
+/// attribute failures, keeping their bytes identical to pre-fault builds).
+enum class FailReason : std::uint8_t {
+  kNone = 0,
+  kCrashed,            // the chaos plan crashed this node
+  kTimedOut,           // exchange exhausted its budget / round deadline
+  kRejectedMalformed,  // subject rejected this peer's bytes (see rejects)
+  kByzantineDetected,  // plan-Byzantine peer whose corruption was caught
+  kSilent,             // no fault scheduled, nothing rejected: policy silence
+};
+
+inline const char* fail_reason_name(FailReason r) {
+  switch (r) {
+    case FailReason::kNone:
+      return "none";
+    case FailReason::kCrashed:
+      return "crashed";
+    case FailReason::kTimedOut:
+      return "timed_out";
+    case FailReason::kRejectedMalformed:
+      return "rejected_malformed";
+    case FailReason::kByzantineDetected:
+      return "byzantine_detected";
+    case FailReason::kSilent:
+      return "silent";
+  }
+  return "?";
+}
+
 /// Graceful-degradation verdict for one scenario object: either the
 /// subject discovered at least one of its variants (in any round), or the
 /// exchange explicitly ran out of retry budget / round deadline. Objects
@@ -85,6 +123,8 @@ struct ObjectOutcome {
   std::string object_id;
   bool discovered = false;
   unsigned que2_retransmits = 0;  // timer-driven QUE2 resends to this object
+  unsigned rejects = 0;  // subject-side rejections of this peer's bytes
+  FailReason reason = FailReason::kNone;  // faulted runs only
 };
 
 struct DiscoveryReport {
@@ -114,6 +154,11 @@ struct DiscoveryReport {
   std::uint64_t que1_retransmits = 0;  // timer-driven QUE1 re-broadcasts
   std::uint64_t que2_retransmits = 0;  // timer-driven QUE2 resends (total)
   std::vector<ObjectOutcome> outcomes;  // one per scenario object, in order
+
+  /// Chaos accounting: fault.<kind> counters from the run-local registry
+  /// (crash/reboot/straggle/zombie/byzantine firings, zombie-suppressed
+  /// replies). Empty when no plan was armed.
+  std::map<std::string, std::uint64_t> fault_counts;
 
   [[nodiscard]] std::size_t count_level(int level) const;
 };

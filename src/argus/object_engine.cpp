@@ -42,6 +42,84 @@ bool ObjectEngine::apply_signed_revocation(
   return true;
 }
 
+HandleResult ObjectEngine::fail(HandleStatus status) {
+  if (is_reject(status)) {
+    ++stats_.rejects;
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->counter(std::string("object.reject.") +
+                            status_name(status))
+          .inc();
+    }
+  }
+  return HandleResult(status);
+}
+
+void ObjectEngine::note_eviction(std::uint64_t n) {
+  stats_.evictions += n;
+  if (n > 0 && cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("object.evict").inc(n);
+  }
+}
+
+void ObjectEngine::advance_clock(double virtual_ms) {
+  if (virtual_ms <= now_ms_) return;
+  now_ms_ = virtual_ms;
+  const double ttl = cfg_.session_ttl_ms;
+  if (ttl <= 0) return;
+  std::uint64_t evicted = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now_ms_ - it->second.born_ms > ttl) {
+      it = sessions_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = res2_cache_.begin(); it != res2_cache_.end();) {
+    if (now_ms_ - it->second.born_ms > ttl) {
+      it = res2_cache_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  note_eviction(evicted);
+}
+
+void ObjectEngine::bound_state() {
+  // LRU capacity bound: a flood of half-open sessions (zombie subjects,
+  // replayed QUE1 storms) evicts the least-recently-touched entry instead
+  // of growing without bound.
+  std::uint64_t evicted = 0;
+  while (cfg_.session_capacity > 0 &&
+         sessions_.size() > cfg_.session_capacity) {
+    auto victim = sessions_.begin();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->second.lru < victim->second.lru) victim = it;
+    }
+    sessions_.erase(victim);
+    ++evicted;
+  }
+  while (cfg_.session_capacity > 0 &&
+         res2_cache_.size() > cfg_.session_capacity) {
+    auto victim = res2_cache_.begin();
+    for (auto it = res2_cache_.begin(); it != res2_cache_.end(); ++it) {
+      if (it->second.lru < victim->second.lru) victim = it;
+    }
+    res2_cache_.erase(victim);
+    ++evicted;
+  }
+  while (cfg_.replay_window > 0 && seen_rs_.size() > cfg_.replay_window) {
+    auto victim = seen_rs_.begin();
+    for (auto it = seen_rs_.begin(); it != seen_rs_.end(); ++it) {
+      if (it->second < victim->second) victim = it;
+    }
+    seen_rs_.erase(victim);
+    ++evicted;
+  }
+  note_eviction(evicted);
+}
+
 Bytes ObjectEngine::res2_plaintext(const backend::Profile& prof) const {
   ByteWriter w;
   w.bytes16(prof.serialize());
@@ -53,11 +131,11 @@ Bytes ObjectEngine::res2_plaintext(const backend::Profile& prof) const {
   return out;
 }
 
-std::optional<Bytes> ObjectEngine::handle(ByteSpan wire, std::uint64_t now) {
+HandleResult ObjectEngine::handle(ByteSpan wire, std::uint64_t now) {
   const auto msg = decode(wire);
   if (!msg) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kMalformed);
   }
   if (const auto* que1 = std::get_if<Que1>(&*msg)) {
     return handle_que1(*que1, Bytes(wire.begin(), wire.end()));
@@ -66,36 +144,41 @@ std::optional<Bytes> ObjectEngine::handle(ByteSpan wire, std::uint64_t now) {
     return handle_que2(*que2, now);
   }
   ++stats_.drops;  // objects only consume queries
-  return std::nullopt;
+  return fail(HandleStatus::kMalformed);
 }
 
-std::optional<Bytes> ObjectEngine::handle_que1(const Que1& msg,
-                                               const Bytes& wire) {
+HandleResult ObjectEngine::handle_que1(const Que1& msg, const Bytes& wire) {
   // Freshness: duplicate R_S means a replayed/echoed query or a lossy-link
   // duplicate (§IV-B). Either way the response is idempotent: while the
   // exchange is open, resend the cached RES1 byte-for-byte (no fresh
   // crypto, so a duplicate cannot desynchronize the session); once the
   // exchange completed, stay silent — a replayed QUE1 learns nothing new.
-  if (!seen_rs_.insert(msg.r_s).second) {
+  const auto seen = seen_rs_.emplace(msg.r_s, lru_seq_);
+  if (seen.second) {
+    ++lru_seq_;
+    bound_state();
+  } else {
     ++stats_.replays_detected;
     if (cfg_.creds.level == Level::kL1) {
       // Level 1 is stateless public plaintext: always safe to resend.
       ++stats_.retransmissions;
-      return encode(Res1Level1{cfg_.creds.public_prof.serialize()});
+      return {encode(Res1Level1{cfg_.creds.public_prof.serialize()}),
+              HandleStatus::kDuplicate};
     }
     const auto sit = sessions_.find(msg.r_s);
     if (sit != sessions_.end()) {
       ++stats_.retransmissions;
-      return sit->second.res1_wire;
+      sit->second.lru = lru_seq_++;
+      return {sit->second.res1_wire, HandleStatus::kDuplicate};
     }
-    return std::nullopt;
+    return HandleResult(HandleStatus::kStale);
   }
   ++stats_.que1_handled;
 
   if (cfg_.creds.level == Level::kL1) {
     // Level 1: return the admin-signed profile in plaintext. No crypto.
     ++stats_.replies_sent;
-    return encode(Res1Level1{cfg_.creds.public_prof.serialize()});
+    return {encode(Res1Level1{cfg_.creds.public_prof.serialize()})};
   }
 
   // Level 2/3: open a session — fresh R_O, ephemeral ECDH, signature over
@@ -121,13 +204,15 @@ std::optional<Bytes> ObjectEngine::handle_que1(const Que1& msg,
   sess.transcript.absorb(wire);
   sess.transcript.absorb(res_wire);
   sess.res1_wire = res_wire;
+  sess.born_ms = now_ms_;
+  sess.lru = lru_seq_++;
   sessions_[sess.r_s] = std::move(sess);
+  bound_state();
   ++stats_.replies_sent;
-  return res_wire;
+  return {res_wire};
 }
 
-std::optional<Bytes> ObjectEngine::handle_que2(const Que2& msg,
-                                               std::uint64_t now) {
+HandleResult ObjectEngine::handle_que2(const Que2& msg, std::uint64_t now) {
   // Duplicate QUE2 after a completed exchange: resend the cached RES2
   // byte-for-byte. Identical bytes carry no new information (the same
   // nonces seal the same plaintext), and the retransmitted copy lets a
@@ -135,12 +220,13 @@ std::optional<Bytes> ObjectEngine::handle_que2(const Que2& msg,
   if (const auto cit = res2_cache_.find(msg.r_s); cit != res2_cache_.end()) {
     ++stats_.replays_detected;
     ++stats_.retransmissions;
-    return cit->second;
+    cit->second.lru = lru_seq_++;
+    return {cit->second.wire, HandleStatus::kDuplicate};
   }
   const auto sit = sessions_.find(msg.r_s);
   if (sit == sessions_.end()) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kStale);
   }
   // Work on a copy: a QUE2 that fails verification must leave the session
   // untouched so a later (possibly retransmitted) QUE2 can still complete.
@@ -152,12 +238,12 @@ std::optional<Bytes> ObjectEngine::handle_que2(const Que2& msg,
   charge(net::CryptoOp::kEcdsaVerify);
   if (!cert || !crypto::verify_certificate(group_, cfg_.admin_pub, *cert, now)) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadCert);
   }
   const auto subject_pub = group_.decode_point(cert->pubkey);
   if (!subject_pub) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadCert);
   }
 
   // 2. Transcript signature covers QUE1 || RES1 || PROF_S, CERT_S, KEXM_S.
@@ -169,7 +255,7 @@ std::optional<Bytes> ObjectEngine::handle_que2(const Que2& msg,
   charge(net::CryptoOp::kEcdsaVerify);
   if (!sig || !crypto::ecdsa_verify(group_, *subject_pub, sig_digest, *sig)) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadSignature);
   }
   sess.transcript.absorb(msg.sig);
 
@@ -179,27 +265,27 @@ std::optional<Bytes> ObjectEngine::handle_que2(const Que2& msg,
   if (!prof || !verify_profile(group_, cfg_.admin_pub, *prof) ||
       prof->entity_id != cert->subject_id) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadProfile);
   }
 
   // 4. Revocation check (attribute-based ACL + revoked-ID list, §VIII).
   if (revoked_.contains(prof->entity_id)) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kRevoked);
   }
 
   // 5. Key agreement.
   const auto peer_kexm = group_.decode_point(msg.kexm);
   if (!peer_kexm) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadKex);
   }
   Bytes pre_k;
   try {
     pre_k = crypto::ecdh_shared_secret(group_, sess.eph.priv, *peer_kexm);
   } catch (const std::invalid_argument&) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadKex);
   }
   charge(net::CryptoOp::kEcdhCompute);
   const Bytes k2 = derive_k2(pre_k, sess.r_s, sess.r_o);
@@ -209,7 +295,7 @@ std::optional<Bytes> ObjectEngine::handle_que2(const Que2& msg,
   charge(net::CryptoOp::kHmac);
   if (!ct_equal(subject_mac(k2, mac_digest), msg.mac_s2)) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadMac);
   }
 
   // 6. Level 3 fellow test: does MAC_{S,3} verify under any of our group
@@ -254,9 +340,10 @@ std::optional<Bytes> ObjectEngine::handle_que2(const Que2& msg,
     }
   }
   if (reply_prof == nullptr) {
-    // No authorized variant: stay silent — outsiders learn nothing.
+    // No authorized variant: stay silent — outsiders learn nothing. A
+    // policy non-match is normal protocol behavior, not a rejection.
     ++stats_.drops;
-    return std::nullopt;
+    return HandleResult(HandleStatus::kPolicySilent);
   }
 
   Res2 res;
@@ -273,8 +360,9 @@ std::optional<Bytes> ObjectEngine::handle_que2(const Que2& msg,
   // Exchange complete: retire the session and remember the exact reply so
   // duplicate QUE2s get a byte-identical resend instead of fresh crypto.
   sessions_.erase(msg.r_s);
-  res2_cache_[msg.r_s] = res_wire;
-  return res_wire;
+  res2_cache_[msg.r_s] = CachedRes2{res_wire, now_ms_, lru_seq_++};
+  bound_state();
+  return {res_wire};
 }
 
 }  // namespace argus::core

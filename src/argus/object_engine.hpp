@@ -1,16 +1,20 @@
 // Object-side protocol engine (Levels 1, 2, 3 in one state machine).
 //
-// Transport-agnostic: feed wire bytes in, get optional reply bytes out.
-// Modeled compute cost accrues per handled message and is drained by the
-// simulation wrapper (or ignored by unit tests). The engine runs the real
+// Transport-agnostic: feed wire bytes in, get a HandleResult out — reply
+// bytes (if any) plus a status saying why there is none. Modeled compute
+// cost accrues per handled message and is drained by the simulation
+// wrapper (or ignored by unit tests). The engine runs the real
 // cryptography — signatures, ECDH, HMACs, sealed boxes — so every security
-// property is enforced by actual key material, not by flags.
+// property is enforced by actual key material, not by flags. Peer input is
+// never trusted: malformed or unverifiable messages map to a counted
+// rejection status, never a throw.
 #pragma once
 
 #include <map>
 #include <set>
 
 #include "argus/messages.hpp"
+#include "argus/result.hpp"
 #include "argus/session.hpp"
 #include "backend/registry.hpp"
 #include "backend/revocation.hpp"
@@ -30,6 +34,15 @@ struct ObjectEngineConfig {
   /// v3.0 indistinguishability measures — ablatable for E12.
   bool pad_res2 = true;
   bool equalize_timing = true;
+  /// State bounds: open sessions and cached RES2 resends are evicted
+  /// beyond these (LRU) or once older than the TTL (only enforced when
+  /// the driver feeds virtual time via advance_clock). The replay window
+  /// bounds the seen-R_S set; the oldest nonce is forgotten first. The
+  /// defaults are far above anything a healthy round produces, so bounded
+  /// state changes no bytes in fault-free runs.
+  std::size_t session_capacity = 128;
+  double session_ttl_ms = 30'000;
+  std::size_t replay_window = 1024;
   /// Optional sink for per-crypto-op modeled cost (null = no accounting,
   /// no overhead beyond one pointer test per op).
   obs::MetricsRegistry* metrics = nullptr;
@@ -39,9 +52,15 @@ class ObjectEngine {
  public:
   explicit ObjectEngine(ObjectEngineConfig cfg);
 
-  /// Process one incoming message; returns the reply wire, if any.
-  /// `now` is the current (virtual) time, used for certificate validity.
-  std::optional<Bytes> handle(ByteSpan wire, std::uint64_t now);
+  /// Process one incoming message; returns the reply wire (if any) plus
+  /// the handling status. Never throws on peer input. `now` is the
+  /// current (virtual) time, used for certificate validity.
+  HandleResult handle(ByteSpan wire, std::uint64_t now);
+
+  /// Feed the engine virtual time (monotonic, ms). Sessions, cached
+  /// replies, and replay entries older than the TTL are evicted here.
+  /// Drivers that never call it get capacity bounds only.
+  void advance_clock(double virtual_ms);
 
   /// Modeled crypto milliseconds accrued since the last call; the caller
   /// charges this to its node in the network simulation.
@@ -67,11 +86,17 @@ class ObjectEngine {
     std::uint64_t que2_handled = 0;
     std::uint64_t replies_sent = 0;
     std::uint64_t drops = 0;            // malformed / failed verification
+    std::uint64_t rejects = 0;          // subset of drops: is_reject statuses
     std::uint64_t replays_detected = 0;
     std::uint64_t retransmissions = 0;  // cached resends of RES1/RES2
     std::uint64_t fellows_confirmed = 0;  // Level 3 successes
+    std::uint64_t evictions = 0;          // TTL/capacity state evictions
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t open_sessions() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t cached_replies() const {
+    return res2_cache_.size();
+  }
 
  private:
   struct Session {
@@ -79,10 +104,22 @@ class ObjectEngine {
     crypto::EcKeyPair eph;
     Transcript transcript;
     Bytes res1_wire;  // cached reply: duplicate QUE1 resends it unchanged
+    double born_ms = 0;
+    std::uint64_t lru = 0;
+  };
+  struct CachedRes2 {
+    Bytes wire;
+    double born_ms = 0;
+    std::uint64_t lru = 0;
   };
 
-  std::optional<Bytes> handle_que1(const Que1& msg, const Bytes& wire);
-  std::optional<Bytes> handle_que2(const Que2& msg, std::uint64_t now);
+  HandleResult handle_que1(const Que1& msg, const Bytes& wire);
+  HandleResult handle_que2(const Que2& msg, std::uint64_t now);
+
+  /// Terminal non-reply: count is_reject statuses (stats + metrics).
+  HandleResult fail(HandleStatus status);
+  void note_eviction(std::uint64_t n = 1);
+  void bound_state();
 
   void charge(net::CryptoOp op) {
     const double ms = cfg_.compute.cost(op);
@@ -101,12 +138,14 @@ class ObjectEngine {
   const crypto::EcGroup& group_;
   crypto::HmacDrbg rng_;
   std::map<Bytes, Session> sessions_;  // keyed by R_S
-  std::map<Bytes, Bytes> res2_cache_;  // R_S -> RES2 wire of a completed exchange
-  std::set<Bytes> seen_rs_;            // replay/duplicate detection
+  std::map<Bytes, CachedRes2> res2_cache_;  // R_S -> completed-exchange RES2
+  std::map<Bytes, std::uint64_t> seen_rs_;  // replay detection, LRU-stamped
   std::set<std::string> revoked_;
   std::uint64_t last_revocation_seq_ = 0;
   std::size_t max_prof_wire_ = 0;
   double consumed_ms_ = 0;
+  double now_ms_ = 0;        // latest advance_clock() time
+  std::uint64_t lru_seq_ = 0;
   Stats stats_;
 };
 

@@ -1,0 +1,103 @@
+// Engine result taxonomy: why a message produced no (usable) reply.
+//
+// The engines never throw on peer input — every malformed, unverifiable,
+// or out-of-protocol message maps to a HandleStatus so drivers can count
+// rejections, attribute failures, and keep running. HandleResult is
+// optional-like on the reply bytes, so the many call sites that only care
+// whether a reply exists keep compiling unchanged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace argus::core {
+
+enum class HandleStatus : std::uint8_t {
+  kOk = 0,        // handled; reply (if the protocol calls for one) is real
+  kDuplicate,     // idempotent resend of a cached reply
+  kStale,         // message for a session we no longer hold (evicted/reboot)
+  kPolicySilent,  // verified fine but policy says stay silent (no-match)
+  kMalformed,     // wire bytes failed to decode
+  kBadCert,       // certificate failed to parse or verify
+  kBadSignature,  // handshake signature failed
+  kBadProfile,    // profile failed to parse
+  kBadKex,        // ECDH peer point invalid / off-curve
+  kBadMac,        // HMAC check failed
+  kBadSeal,       // sealed box failed to open
+  kRevoked,       // peer is on the revocation list
+};
+
+inline const char* status_name(HandleStatus status) {
+  switch (status) {
+    case HandleStatus::kOk:
+      return "ok";
+    case HandleStatus::kDuplicate:
+      return "duplicate";
+    case HandleStatus::kStale:
+      return "stale";
+    case HandleStatus::kPolicySilent:
+      return "policy_silent";
+    case HandleStatus::kMalformed:
+      return "malformed";
+    case HandleStatus::kBadCert:
+      return "bad_cert";
+    case HandleStatus::kBadSignature:
+      return "bad_signature";
+    case HandleStatus::kBadProfile:
+      return "bad_profile";
+    case HandleStatus::kBadKex:
+      return "bad_kex";
+    case HandleStatus::kBadMac:
+      return "bad_mac";
+    case HandleStatus::kBadSeal:
+      return "bad_seal";
+    case HandleStatus::kRevoked:
+      return "revoked";
+  }
+  return "?";
+}
+
+/// True for statuses that indicate a hostile or broken peer — the ones a
+/// driver counts as rejections. Duplicates, stale sessions, and silent
+/// policy outcomes are normal protocol behavior, not rejections.
+constexpr bool is_reject(HandleStatus status) {
+  switch (status) {
+    case HandleStatus::kMalformed:
+    case HandleStatus::kBadCert:
+    case HandleStatus::kBadSignature:
+    case HandleStatus::kBadProfile:
+    case HandleStatus::kBadKex:
+    case HandleStatus::kBadMac:
+    case HandleStatus::kBadSeal:
+    case HandleStatus::kRevoked:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Reply bytes plus why. Optional-like so `if (res)`, `*res`, `res->...`
+/// and `return std::nullopt` all keep working at existing call sites.
+struct HandleResult {
+  std::optional<Bytes> reply;
+  HandleStatus status = HandleStatus::kOk;
+
+  HandleResult() = default;
+  HandleResult(std::nullopt_t) {}  // NOLINT(google-explicit-constructor)
+  HandleResult(Bytes bytes, HandleStatus st = HandleStatus::kOk)
+      : reply(std::move(bytes)), status(st) {}
+  explicit HandleResult(HandleStatus st) : status(st) {}
+
+  [[nodiscard]] bool has_value() const { return reply.has_value(); }
+  explicit operator bool() const { return reply.has_value(); }
+  Bytes& operator*() { return *reply; }
+  const Bytes& operator*() const { return *reply; }
+  Bytes* operator->() { return &*reply; }
+  const Bytes* operator->() const { return &*reply; }
+  Bytes& value() { return reply.value(); }
+  [[nodiscard]] const Bytes& value() const { return reply.value(); }
+};
+
+}  // namespace argus::core

@@ -41,11 +41,23 @@ Bytes SubjectEngine::start_round() {
   return que1_wire_;
 }
 
-std::optional<Bytes> SubjectEngine::handle(ByteSpan wire, std::uint64_t now) {
+HandleResult SubjectEngine::fail(HandleStatus status) {
+  if (is_reject(status)) {
+    ++stats_.rejects;
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->counter(std::string("subject.reject.") +
+                            status_name(status))
+          .inc();
+    }
+  }
+  return HandleResult(status);
+}
+
+HandleResult SubjectEngine::handle(ByteSpan wire, std::uint64_t now) {
   const auto msg = decode(wire);
   if (!msg) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kMalformed);
   }
   if (const auto* l1 = std::get_if<Res1Level1>(&*msg)) {
     return handle_res1_l1(*l1);
@@ -57,7 +69,7 @@ std::optional<Bytes> SubjectEngine::handle(ByteSpan wire, std::uint64_t now) {
     return handle_res2(*r2);
   }
   ++stats_.drops;  // subjects only consume responses
-  return std::nullopt;
+  return fail(HandleStatus::kMalformed);
 }
 
 void SubjectEngine::record(DiscoveredService svc) {
@@ -70,47 +82,48 @@ void SubjectEngine::record(DiscoveredService svc) {
   discovered_.push_back(std::move(svc));
 }
 
-std::optional<Bytes> SubjectEngine::handle_res1_l1(const Res1Level1& msg) {
+HandleResult SubjectEngine::handle_res1_l1(const Res1Level1& msg) {
   // Level 1: plaintext profile; integrity via the admin signature (§IV-B).
   const auto prof = backend::Profile::parse(msg.prof);
   charge(net::CryptoOp::kEcdsaVerify);
   if (!prof || !verify_profile(group_, cfg_.admin_pub, *prof)) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadProfile);
   }
   ++stats_.res1_l1;
   record(DiscoveredService{prof->entity_id, 1, prof->variant_tag,
                            prof->services, prof->attributes});
-  return std::nullopt;
+  return HandleResult(HandleStatus::kOk);
 }
 
-std::optional<Bytes> SubjectEngine::handle_res1(const Res1& msg,
-                                                const Bytes& wire,
-                                                std::uint64_t now) {
+HandleResult SubjectEngine::handle_res1(const Res1& msg, const Bytes& wire,
+                                         std::uint64_t now) {
   if (msg.r_s != r_s_) {
     ++stats_.drops;  // stale round or mismatched session
-    return std::nullopt;
+    return HandleResult(HandleStatus::kStale);
   }
   // Duplicate RES1 (lossy link or object-side resend): reply with the
   // cached QUE2 byte-for-byte instead of opening a second session — fresh
   // ECDH here would desynchronize the key schedule both sides agreed on.
   // After the exchange completed, duplicates are silently ignored.
-  if (completed_.contains(msg.r_o)) return std::nullopt;
+  if (completed_.contains(msg.r_o)) {
+    return HandleResult(HandleStatus::kDuplicate);
+  }
   if (const auto sit = sessions_.find(msg.r_o); sit != sessions_.end()) {
     ++stats_.retransmissions;
-    return sit->second.que2_wire;
+    return {sit->second.que2_wire, HandleStatus::kDuplicate};
   }
   // 1. Object certificate.
   const auto cert = crypto::Certificate::parse(msg.cert);
   charge(net::CryptoOp::kEcdsaVerify);
   if (!cert || !crypto::verify_certificate(group_, cfg_.admin_pub, *cert, now)) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadCert);
   }
   const auto object_pub = group_.decode_point(cert->pubkey);
   if (!object_pub) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadCert);
   }
   // 2. Signature over R_S || R_O || KEXM_O (freshness: binds our R_S).
   const auto sig = crypto::EcdsaSignature::from_bytes(group_, msg.sig);
@@ -119,20 +132,27 @@ std::optional<Bytes> SubjectEngine::handle_res1(const Res1& msg,
                                     concat({msg.r_s, msg.r_o, msg.kexm}),
                                     *sig)) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadSignature);
   }
   const auto peer_kexm = group_.decode_point(msg.kexm);
   if (!peer_kexm) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadKex);
   }
   ++stats_.res1;
 
-  // 3. Ephemeral ECDH + key schedule.
+  // 3. Ephemeral ECDH + key schedule. A syntactically valid but
+  // degenerate peer point (e.g. the identity) throws inside the scalar
+  // multiply — a hostile KEXM must reject, never abort.
   const crypto::EcKeyPair eph = crypto::ecdh_generate(group_, rng_);
   charge(net::CryptoOp::kEcdhGenerate);
-  const Bytes pre_k =
-      crypto::ecdh_shared_secret(group_, eph.priv, *peer_kexm);
+  Bytes pre_k;
+  try {
+    pre_k = crypto::ecdh_shared_secret(group_, eph.priv, *peer_kexm);
+  } catch (const std::invalid_argument&) {
+    ++stats_.drops;
+    return fail(HandleStatus::kBadKex);
+  }
   charge(net::CryptoOp::kEcdhCompute);
   const Bytes k2 = derive_k2(pre_k, msg.r_s, msg.r_o);
   charge(net::CryptoOp::kHmac);
@@ -176,16 +196,18 @@ std::optional<Bytes> SubjectEngine::handle_res1(const Res1& msg,
   Bytes que2_wire = encode(Message{que2});
   sess.que2_wire = que2_wire;
   sessions_[msg.r_o] = std::move(sess);
-  return que2_wire;
+  return {std::move(que2_wire)};
 }
 
-std::optional<Bytes> SubjectEngine::handle_res2(const Res2& msg) {
+HandleResult SubjectEngine::handle_res2(const Res2& msg) {
   // Duplicate RES2 for a finished exchange: benign under loss; ignore.
-  if (completed_.contains(msg.r_o)) return std::nullopt;
+  if (completed_.contains(msg.r_o)) {
+    return HandleResult(HandleStatus::kDuplicate);
+  }
   const auto sit = sessions_.find(msg.r_o);
   if (sit == sessions_.end()) {
     ++stats_.drops;
-    return std::nullopt;
+    return HandleResult(HandleStatus::kStale);
   }
   // Work on a copy: a RES2 that fails verification leaves the session
   // open so a retransmitted (intact) RES2 can still complete it.
@@ -210,7 +232,7 @@ std::optional<Bytes> SubjectEngine::handle_res2(const Res2& msg) {
   }
   if (level == 0) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadMac);
   }
 
   Bytes plain;
@@ -218,7 +240,7 @@ std::optional<Bytes> SubjectEngine::handle_res2(const Res2& msg) {
     plain = SealedBox::open(key, msg.sealed_prof);
   } catch (const std::invalid_argument&) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadSeal);
   }
   charge(net::CryptoOp::kAesBlockOp);
 
@@ -234,14 +256,14 @@ std::optional<Bytes> SubjectEngine::handle_res2(const Res2& msg) {
   if (!prof || !verify_profile(group_, cfg_.admin_pub, *prof) ||
       prof->entity_id != sess.object_id) {
     ++stats_.drops;
-    return std::nullopt;
+    return fail(HandleStatus::kBadProfile);
   }
   ++stats_.res2;
   record(DiscoveredService{prof->entity_id, level, prof->variant_tag,
                            prof->services, prof->attributes});
   sessions_.erase(msg.r_o);
   completed_.insert(msg.r_o);
-  return std::nullopt;
+  return HandleResult(HandleStatus::kOk);
 }
 
 }  // namespace argus::core

@@ -12,6 +12,7 @@
 #include <set>
 
 #include "argus/messages.hpp"
+#include "argus/result.hpp"
 #include "argus/session.hpp"
 #include "backend/registry.hpp"
 #include "crypto/ecdh.hpp"
@@ -51,8 +52,9 @@ class SubjectEngine {
   Bytes start_round();
 
   /// Feed a response; returns a QUE2 wire to unicast back (for Level 2/3
-  /// RES1), or nullopt (Level 1 responses and RES2s are terminal).
-  std::optional<Bytes> handle(ByteSpan wire, std::uint64_t now);
+  /// RES1) plus a status, or no bytes (Level 1 responses and RES2s are
+  /// terminal). Never throws on peer input.
+  HandleResult handle(ByteSpan wire, std::uint64_t now);
 
   /// Services discovered so far (across rounds; deduplicated by object and
   /// variant).
@@ -75,6 +77,7 @@ class SubjectEngine {
     std::uint64_t res1 = 0;
     std::uint64_t res2 = 0;
     std::uint64_t drops = 0;
+    std::uint64_t rejects = 0;  // subset of drops: is_reject statuses
     std::uint64_t retransmissions = 0;  // cached QUE2 resends
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -87,10 +90,13 @@ class SubjectEngine {
     Bytes que2_wire;  // cached reply: duplicate RES1 resends it unchanged
   };
 
-  std::optional<Bytes> handle_res1_l1(const Res1Level1& msg);
-  std::optional<Bytes> handle_res1(const Res1& msg, const Bytes& wire,
-                                   std::uint64_t now);
-  std::optional<Bytes> handle_res2(const Res2& msg);
+  HandleResult handle_res1_l1(const Res1Level1& msg);
+  HandleResult handle_res1(const Res1& msg, const Bytes& wire,
+                           std::uint64_t now);
+  HandleResult handle_res2(const Res2& msg);
+
+  /// Terminal non-reply: count is_reject statuses (stats + metrics).
+  HandleResult fail(HandleStatus status);
 
   void charge(net::CryptoOp op) {
     const double ms = cfg_.compute.cost(op);

@@ -1,0 +1,65 @@
+#include "fault/byzantine.hpp"
+
+#include <string>
+
+namespace argus::fault {
+
+void ByzantineMutator::arm(ByzantineMode mode, std::uint64_t seed) {
+  mode_ = mode;
+  rng_.emplace(crypto::make_rng(seed, "byzantine"));
+  previous_.clear();
+  mutations_ = 0;
+}
+
+Bytes ByzantineMutator::truncate(Bytes wire) {
+  if (wire.empty()) return wire;
+  wire.resize(rng_->uniform(wire.size()));  // strict prefix, possibly empty
+  return wire;
+}
+
+Bytes ByzantineMutator::bit_flip(Bytes wire) {
+  if (wire.empty()) return wire;
+  const std::size_t pos = rng_->uniform(wire.size());
+  const auto bit = static_cast<std::uint8_t>(1u << rng_->uniform(8));
+  wire[pos] ^= bit;
+  return wire;
+}
+
+Bytes ByzantineMutator::replay(Bytes wire) {
+  // Send the previous honest reply instead of this one (first reply has
+  // nothing to replay, so it goes out intact and primes the buffer).
+  Bytes out = previous_.empty() ? wire : previous_;
+  previous_ = std::move(wire);
+  return out;
+}
+
+Bytes ByzantineMutator::mutate(Bytes wire) {
+  if (mode_ == ByzantineMode::kNone || !rng_.has_value()) return wire;
+  ++mutations_;
+  ByzantineMode mode = mode_;
+  if (mode == ByzantineMode::kMixed) {
+    switch (rng_->uniform(3)) {
+      case 0:
+        mode = ByzantineMode::kTruncate;
+        break;
+      case 1:
+        mode = ByzantineMode::kBitFlip;
+        break;
+      default:
+        mode = ByzantineMode::kReplay;
+        break;
+    }
+  }
+  switch (mode) {
+    case ByzantineMode::kTruncate:
+      return truncate(std::move(wire));
+    case ByzantineMode::kBitFlip:
+      return bit_flip(std::move(wire));
+    case ByzantineMode::kReplay:
+      return replay(std::move(wire));
+    default:
+      return wire;
+  }
+}
+
+}  // namespace argus::fault

@@ -1,0 +1,71 @@
+// ChaosScheduler: drive an expanded FaultPlan through the Simulator.
+//
+// arm() turns each FaultEvent into a cancellable simulator timer; at fire
+// time the scheduler calls the matching ChaosHooks callback, which is
+// where the scenario driver (run_discovery's node wrappers) actually
+// drops deliveries, clears engine state, or arms a Byzantine mutator.
+// The scheduler owns no protocol state itself — it is a pure timeline,
+// so it stays reusable across drivers and trivially deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "net/sim.hpp"
+
+namespace argus::fault {
+
+/// Driver callbacks; any may be left empty. `object` is the scenario
+/// object index the fault targets.
+struct ChaosHooks {
+  std::function<void(std::size_t object)> crash;
+  std::function<void(std::size_t object)> reboot;
+  std::function<void(std::size_t object, double factor)> straggle_begin;
+  std::function<void(std::size_t object)> straggle_end;
+  std::function<void(std::size_t object)> zombie;
+  std::function<void(std::size_t object, ByzantineMode mode,
+                     std::uint64_t seed)>
+      byzantine;
+};
+
+class ChaosScheduler {
+ public:
+  ChaosScheduler(net::Simulator& sim, ChaosHooks hooks);
+
+  /// Expand `plan` against `objects` scenario objects and schedule every
+  /// transition. Crash events with duration_ms >= 0 also schedule the
+  /// reboot; straggle events schedule their end-of-window. May be called
+  /// at any virtual time; events whose at_ms already passed fire
+  /// immediately (delay clamps to 0).
+  void arm(const FaultPlan& plan, std::size_t objects);
+
+  struct Stats {
+    std::uint64_t crashes = 0;
+    std::uint64_t reboots = 0;
+    std::uint64_t straggles = 0;
+    std::uint64_t zombies = 0;
+    std::uint64_t byzantines = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// The concrete timeline armed so far (expanded, sorted).
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+
+  /// Whether `object` was ever scheduled for a fault of `kind` — lets the
+  /// driver classify outcomes (e.g. "this silent object was a zombie").
+  [[nodiscard]] bool ever(std::size_t object, FaultKind kind) const;
+
+ private:
+  void fire(const FaultEvent& ev);
+
+  net::Simulator& sim_;
+  ChaosHooks hooks_;
+  std::vector<FaultEvent> events_;
+  Stats stats_;
+};
+
+}  // namespace argus::fault

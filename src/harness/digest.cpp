@@ -107,9 +107,36 @@ std::string report_json(const core::DiscoveryReport& report) {
     out.append(oc.discovered ? "true" : "false");
     out.append(",\"que2_rtx\":");
     put_u64(out, oc.que2_retransmits);
+    // Fault-only fields are omitted when at their clean-run defaults, so
+    // a fault-free report's bytes are identical to pre-fault builds.
+    if (oc.rejects > 0) {
+      out.append(",\"rejects\":");
+      put_u64(out, oc.rejects);
+    }
+    if (oc.reason != core::FailReason::kNone) {
+      out.append(",\"reason\":");
+      put_escaped(out, core::fail_reason_name(oc.reason));
+    }
     out.push_back('}');
   }
-  out.append("]}");
+  out.push_back(']');
+  if (report.net_stats.fault_dropped > 0) {
+    out.append(",\"fault_dropped\":");
+    put_u64(out, report.net_stats.fault_dropped);
+  }
+  if (!report.fault_counts.empty()) {
+    out.append(",\"faults\":{");
+    bool f = true;
+    for (const auto& [name, count] : report.fault_counts) {  // sorted map
+      if (!f) out.push_back(',');
+      f = false;
+      put_escaped(out, name);
+      out.push_back(':');
+      put_u64(out, count);
+    }
+    out.push_back('}');
+  }
+  out.push_back('}');
   return out;
 }
 

@@ -76,6 +76,20 @@ std::optional<GridSpec> parse_grid_spec(std::istream& is, std::string* error) {
       for (const double d : spec.drop) ok = ok && d >= 0.0 && d <= 1.0;
     } else if (key == "seeds") {
       ok = parse_list(value, spec.seeds);
+    } else if (key == "crash") {
+      ok = parse_list(value, spec.crash);
+      for (const double c : spec.crash) ok = ok && c >= 0.0 && c <= 1.0;
+    } else if (key == "straggle") {
+      ok = parse_list(value, spec.straggle);
+      for (const double c : spec.straggle) ok = ok && c >= 0.0 && c <= 1.0;
+    } else if (key == "zombie") {
+      ok = parse_list(value, spec.zombie);
+      for (const double c : spec.zombie) ok = ok && c >= 0.0 && c <= 1.0;
+    } else if (key == "byzantine") {
+      ok = parse_list(value, spec.byzantine);
+      for (const double c : spec.byzantine) ok = ok && c >= 0.0 && c <= 1.0;
+    } else if (key == "reboot") {
+      ok = parse_one(value, spec.reboot_ms);
     } else {
       return fail("unknown key '" + std::string(key) + "'");
     }
@@ -117,6 +131,14 @@ const std::map<std::string, GridSpec>& builtin_grids() {
       s.objects = {10};
       s.drop = {0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
       g.emplace("loss", std::move(s));
+    }
+    {
+      GridSpec s;  // Churn sweep: fleets vs crash rate, reboot after 900ms
+      s.levels = {1, 2, 3};
+      s.objects = {10};
+      s.crash = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
+      s.reboot_ms = 900;
+      g.emplace("churn", std::move(s));
     }
     return g;
   }();

@@ -11,7 +11,11 @@
 //
 // Unset axes keep their GridSpec defaults. `rings = K` selects the
 // ring layout (object i at hop 1 + i/K) and replaces the `hops` axis.
-// The paper's figure grids ship as named builtins (fig6e/6f/6g/6h, loss).
+// Chaos axes: `crash`, `straggle`, `zombie`, `byzantine` (per-object
+// fault probabilities, 0..1) and the scalar `reboot` (crash reboot delay
+// in ms; negative = crashed nodes stay down).
+// The paper's figure grids ship as named builtins (fig6e/6f/6g/6h, loss,
+// churn).
 #pragma once
 
 #include <iosfwd>

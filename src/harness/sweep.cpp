@@ -32,21 +32,35 @@ backend::Level to_level(int level) {
 
 std::vector<SweepPoint> expand(const GridSpec& spec) {
   std::vector<SweepPoint> grid;
-  grid.reserve(spec.seeds.size() * spec.drop.size() * spec.hops.size() *
-               spec.objects.size() * spec.levels.size());
+  grid.reserve(spec.seeds.size() * spec.crash.size() * spec.straggle.size() *
+               spec.zombie.size() * spec.byzantine.size() * spec.drop.size() *
+               spec.hops.size() * spec.objects.size() * spec.levels.size());
   for (const std::uint64_t seed : spec.seeds) {
-    for (const double drop : spec.drop) {
-      for (const unsigned hops : spec.hops) {
-        for (const std::size_t n : spec.objects) {
-          for (const int level : spec.levels) {
-            SweepPoint p;
-            p.level = level;
-            p.objects = n;
-            p.hops = hops;
-            p.per_ring = spec.per_ring;
-            p.drop = drop;
-            p.seed = seed;
-            grid.push_back(p);
+    for (const double crash : spec.crash) {
+      for (const double straggle : spec.straggle) {
+        for (const double zombie : spec.zombie) {
+          for (const double byzantine : spec.byzantine) {
+            for (const double drop : spec.drop) {
+              for (const unsigned hops : spec.hops) {
+                for (const std::size_t n : spec.objects) {
+                  for (const int level : spec.levels) {
+                    SweepPoint p;
+                    p.level = level;
+                    p.objects = n;
+                    p.hops = hops;
+                    p.per_ring = spec.per_ring;
+                    p.drop = drop;
+                    p.seed = seed;
+                    p.crash = crash;
+                    p.straggle = straggle;
+                    p.zombie = zombie;
+                    p.byzantine = byzantine;
+                    p.reboot_ms = spec.reboot_ms;
+                    grid.push_back(p);
+                  }
+                }
+              }
+            }
           }
         }
       }
@@ -66,6 +80,27 @@ std::string point_label(const SweepPoint& point) {
   out += " drop=";
   put_double(out, point.drop);
   out += " seed=" + std::to_string(point.seed);
+  // Fault axes appear only when armed, keeping fault-free labels stable.
+  if (point.crash > 0) {
+    out += " crash=";
+    put_double(out, point.crash);
+    if (point.reboot_ms >= 0) {
+      out += " reboot=";
+      put_double(out, point.reboot_ms);
+    }
+  }
+  if (point.straggle > 0) {
+    out += " straggle=";
+    put_double(out, point.straggle);
+  }
+  if (point.zombie > 0) {
+    out += " zombie=";
+    put_double(out, point.zombie);
+  }
+  if (point.byzantine > 0) {
+    out += " byz=";
+    put_double(out, point.byzantine);
+  }
   return out;
 }
 
@@ -106,6 +141,18 @@ core::DiscoveryScenario make_scenario(const SweepPoint& point) {
   sc.epoch = be.now();
   sc.radio.drop_prob = point.drop;
   sc.seed = point.seed;
+  // All-zero rates leave the plan unarmed: run_discovery schedules no
+  // chaos timers and the cell is byte-identical to a fault-free build.
+  sc.faults.crash_rate = point.crash;
+  sc.faults.straggle_rate = point.straggle;
+  sc.faults.zombie_rate = point.zombie;
+  sc.faults.byzantine_rate = point.byzantine;
+  sc.faults.reboot_after_ms = point.reboot_ms;
+  sc.faults.seed = point.seed;
+  // Fault onsets land inside the discovery window (paper fleets finish in
+  // ~150-600 virtual ms); the plan's 2000ms default would put most faults
+  // after the protocol already completed.
+  sc.faults.horizon_ms = 600.0;
   return sc;
 }
 
@@ -173,6 +220,26 @@ void write_jsonl_line(std::ostream& os, const SweepPoint& point,
   line.append(",\"drop\":");
   put_double(line, point.drop);
   line.append(",\"seed\":" + std::to_string(point.seed));
+  // Fault axes and effects appear only in chaos cells, so fault-free
+  // JSONL bytes are unchanged from pre-fault builds.
+  const bool chaos_cell = point.crash > 0 || point.straggle > 0 ||
+                          point.zombie > 0 || point.byzantine > 0;
+  if (chaos_cell) {
+    line.append(",\"crash\":");
+    put_double(line, point.crash);
+    line.append(",\"straggle\":");
+    put_double(line, point.straggle);
+    line.append(",\"zombie\":");
+    put_double(line, point.zombie);
+    line.append(",\"byz\":");
+    put_double(line, point.byzantine);
+    if (point.crash > 0 && point.reboot_ms >= 0) {
+      line.append(",\"reboot\":");
+      put_double(line, point.reboot_ms);
+    }
+    line.append(",\"fault_dropped\":" +
+                std::to_string(r.net_stats.fault_dropped));
+  }
   line.append(",\"total_ms\":");
   put_double(line, r.total_ms);
   line.append(",\"found\":" + std::to_string(r.services.size()));

@@ -37,11 +37,20 @@ struct SweepPoint {
   std::size_t per_ring = 0;  // Fig 6(g) rings when nonzero
   double drop = 0.0;         // radio per-hop drop probability
   std::uint64_t seed = 17;   // backend + scenario seed
+  /// Chaos axes (fault/plan.hpp): per-object fault probabilities. All
+  /// zero leaves the plan unarmed and the cell byte-identical to a
+  /// fault-free build.
+  double crash = 0.0;
+  double straggle = 0.0;
+  double zombie = 0.0;
+  double byzantine = 0.0;
+  double reboot_ms = -1.0;  // crash reboot delay; < 0 = stays down
 };
 
 /// Cartesian sweep axes; expand() produces the grid in a fixed nested
-/// order (seeds outermost, then drop, hops, objects, levels innermost),
-/// so a spec always names the same sequence of points.
+/// order (seeds outermost, then crash, straggle, zombie, byzantine, drop,
+/// hops, objects, levels innermost), so a spec always names the same
+/// sequence of points.
 struct GridSpec {
   std::vector<int> levels{2};
   std::vector<std::size_t> objects{1};
@@ -49,6 +58,12 @@ struct GridSpec {
   std::size_t per_ring = 0;  // overrides `hops` for every point if nonzero
   std::vector<double> drop{0.0};
   std::vector<std::uint64_t> seeds{17};
+  /// Chaos axes; the {0} defaults expand to fault-free cells.
+  std::vector<double> crash{0.0};
+  std::vector<double> straggle{0.0};
+  std::vector<double> zombie{0.0};
+  std::vector<double> byzantine{0.0};
+  double reboot_ms = -1.0;  // scalar: applies to every crashed cell
 };
 
 std::vector<SweepPoint> expand(const GridSpec& spec);

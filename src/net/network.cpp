@@ -54,16 +54,25 @@ SimTime Network::reserve_channel(unsigned ring, SimTime earliest,
 
 void Network::deliver(NodeId from, NodeId to, Bytes payload, SimTime arrival) {
   sim_.schedule_at(arrival, [this, from, to, payload = std::move(payload)] {
+    if (!nodes_.at(to).up) {
+      fault_drop(from, to, payload.size());
+      return;
+    }
     if (tracer_) {
       tracer_->instant(sim_.now(), to, "rx", "net", payload.size(), from);
     }
-    ++stats_.deliveries;
     process(from, to, payload);
   });
 }
 
 void Network::process(NodeId from, NodeId to, const Bytes& payload) {
   auto& slot = nodes_.at(to);
+  // The node may have crashed while the message waited behind its busy
+  // window — a queued copy dies with the node.
+  if (!slot.up) {
+    fault_drop(from, to, payload.size());
+    return;
+  }
   // The node is a serial processor: if it is mid-compute, try again once
   // it frees up. busy_until may have moved again by then (another queued
   // message's handler ran first), so the check repeats at fire time
@@ -73,7 +82,27 @@ void Network::process(NodeId from, NodeId to, const Bytes& payload) {
                      [this, from, to, payload] { process(from, to, payload); });
     return;
   }
+  ++stats_.deliveries;
   slot.node->on_message(from, payload);
+}
+
+void Network::fault_drop(NodeId from, NodeId to, std::size_t bytes) {
+  ++stats_.fault_dropped;
+  if (metrics_) metrics_->counter("net.msg.fault_dropped").inc();
+  if (tracer_) {
+    tracer_->instant(sim_.now(), to, "drop.crashed", "net", bytes, from);
+  }
+}
+
+void Network::set_node_up(NodeId node, bool up) {
+  auto& slot = nodes_.at(node);
+  slot.up = up;
+  // A crash forgets in-progress compute; a rebooted node starts idle.
+  slot.busy_until = sim_.now();
+}
+
+void Network::set_compute_factor(NodeId node, double factor) {
+  nodes_.at(node).compute_factor = factor;
 }
 
 SendOutcome Network::unicast(NodeId from, NodeId to, Bytes payload) {
@@ -198,6 +227,9 @@ SendOutcome Network::broadcast(NodeId from, Bytes payload) {
 void Network::consume_compute(NodeId node, double ms) {
   if (ms < 0) throw std::invalid_argument("consume_compute: negative time");
   auto& slot = nodes_.at(node);
+  // Straggler scaling; factor 1.0 multiplies exactly (IEEE), so healthy
+  // nodes charge bit-identical times.
+  ms *= slot.compute_factor;
   const SimTime start = std::max(slot.busy_until, sim_.now());
   slot.busy_until = start + ms;
   if (tracer_ && ms > 0) {

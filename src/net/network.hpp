@@ -84,7 +84,8 @@ class Network {
   SendOutcome broadcast(NodeId from, Bytes payload);
 
   /// Charge compute time to a node (extends its busy window; subsequent
-  /// sends and deliveries queue behind it).
+  /// sends and deliveries queue behind it). The node's compute factor
+  /// scales the charge (stragglers run slow).
   void consume_compute(NodeId node, double ms);
   /// Charge one modeled crypto op.
   void consume_op(NodeId node, const ComputeModel& model, CryptoOp op) {
@@ -99,6 +100,19 @@ class Network {
     return nodes_.at(node).busy_until;
   }
 
+  /// Node fault controls (driven by the chaos layer). A down node loses
+  /// every copy that would reach it — including copies already in flight
+  /// or queued behind its busy window — counted as fault_dropped, and its
+  /// pending compute is forgotten. Bringing it back up does not resurrect
+  /// lost copies. Both controls default to the values that make them
+  /// no-ops, so fault-free runs are untouched.
+  void set_node_up(NodeId node, bool up);
+  [[nodiscard]] bool node_up(NodeId node) const {
+    return nodes_.at(node).up;
+  }
+  /// Straggler dial: multiply the node's future compute charges.
+  void set_compute_factor(NodeId node, double factor);
+
   struct Stats {
     // tx side: sends the nodes attempted.
     std::uint64_t messages = 0;
@@ -109,6 +123,7 @@ class Network {
     std::uint64_t deliveries = 0;     // copies handed to on_message
     std::uint64_t dropped = 0;        // copies lost in flight
     std::uint64_t duplicates = 0;     // extra copies delivered
+    std::uint64_t fault_dropped = 0;  // copies lost to a crashed node
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -126,6 +141,8 @@ class Network {
     SimNode* node = nullptr;
     unsigned hops = 0;
     SimTime busy_until = 0;
+    bool up = true;
+    double compute_factor = 1.0;
   };
 
   /// Reserve the hop-ring channel `ring` for `occupancy` ms starting no
@@ -136,6 +153,8 @@ class Network {
   void deliver(NodeId from, NodeId to, Bytes payload, SimTime arrival);
   /// Run the receiver's handler, or re-queue behind its compute window.
   void process(NodeId from, NodeId to, const Bytes& payload);
+  /// Account one copy lost to a down node.
+  void fault_drop(NodeId from, NodeId to, std::size_t bytes);
   double jitter();
   /// One Bernoulli draw from the network DRBG; p <= 0 draws nothing, so
   /// lossless runs consume an unchanged RNG stream.

@@ -371,6 +371,118 @@ TEST(DiscoveryTest, RetryModeOffDisablesRecovery) {
   EXPECT_LT(report.delivery_ratio, 1.0);
 }
 
+fault::FaultEvent scripted(std::size_t object, fault::FaultKind kind,
+                           double at_ms, double duration_ms = -1) {
+  fault::FaultEvent ev;
+  ev.object = object;
+  ev.kind = kind;
+  ev.at_ms = at_ms;
+  ev.duration_ms = duration_ms;
+  return ev;
+}
+
+TEST(DiscoveryTest, CrashMidRoundCannotStallRound) {
+  // A node that dies before replying must not hang the round: the retry
+  // driver's deadline bounds it, and the crash is attributed.
+  const Fleet f = make_fleet(5, Level::kL2);
+  DiscoveryScenario sc = scenario_for(f);
+  sc.faults.scripted.push_back(
+      scripted(2, fault::FaultKind::kCrash, 1));
+  const auto report = run_discovery(sc);
+  EXPECT_LE(report.total_ms, sc.retry.round_deadline_ms);
+  EXPECT_EQ(report.services.size(), 4u);
+  ASSERT_EQ(report.outcomes.size(), 5u);
+  EXPECT_FALSE(report.outcomes[2].discovered);
+  EXPECT_EQ(report.outcomes[2].reason, FailReason::kCrashed);
+  for (const std::size_t i : {0u, 1u, 3u, 4u}) {
+    EXPECT_TRUE(report.outcomes[i].discovered) << "object " << i;
+  }
+  EXPECT_EQ(report.fault_counts.at("crash"), 1u);
+  EXPECT_GT(report.net_stats.fault_dropped, 0u);
+}
+
+TEST(DiscoveryTest, CrashWithRebootIsRediscovered) {
+  // The node reboots with an empty session table; the QUE1 watchdog's
+  // re-broadcast restarts its exchange from scratch.
+  const Fleet f = make_fleet(3, Level::kL2);
+  DiscoveryScenario sc = scenario_for(f);
+  sc.faults.scripted.push_back(
+      scripted(0, fault::FaultKind::kCrash, 1, /*duration_ms=*/400));
+  const auto report = run_discovery(sc);
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  EXPECT_TRUE(report.outcomes[0].discovered);
+  EXPECT_EQ(report.services.size(), 3u);
+  EXPECT_EQ(report.fault_counts.at("reboot"), 1u);
+  EXPECT_GT(report.que1_retransmits, 0u);
+}
+
+TEST(DiscoveryTest, ZombieObjectTimesOutCleanly) {
+  // A silent-drop zombie burns compute but never replies; its exchange
+  // must park at a terminal timeout, not spin forever.
+  const Fleet f = make_fleet(3, Level::kL2);
+  DiscoveryScenario sc = scenario_for(f);
+  sc.faults.scripted.push_back(scripted(1, fault::FaultKind::kZombie, 1));
+  const auto report = run_discovery(sc);
+  EXPECT_LE(report.total_ms, sc.retry.round_deadline_ms);
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  EXPECT_FALSE(report.outcomes[1].discovered);
+  EXPECT_EQ(report.outcomes[1].reason, FailReason::kTimedOut);
+  EXPECT_EQ(report.fault_counts.at("zombie"), 1u);
+  EXPECT_GE(report.fault_counts.at("zombie_suppressed"), 1u);
+}
+
+TEST(DiscoveryTest, ByzantineObjectIsDetected) {
+  // Truncated replies can never verify; the subject rejects them and the
+  // outcome is attributed to the Byzantine fault.
+  const Fleet f = make_fleet(3, Level::kL2);
+  DiscoveryScenario sc = scenario_for(f);
+  auto ev = scripted(2, fault::FaultKind::kByzantine, 0);
+  ev.mode = fault::ByzantineMode::kTruncate;
+  ev.seed = 77;
+  sc.faults.scripted.push_back(ev);
+  const auto report = run_discovery(sc);
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  EXPECT_FALSE(report.outcomes[2].discovered);
+  EXPECT_EQ(report.outcomes[2].reason, FailReason::kByzantineDetected);
+  EXPECT_GT(report.outcomes[2].rejects, 0u);
+  EXPECT_EQ(report.fault_counts.at("byzantine"), 1u);
+  // Honest peers are unaffected by their neighbor's corruption.
+  EXPECT_TRUE(report.outcomes[0].discovered);
+  EXPECT_TRUE(report.outcomes[1].discovered);
+}
+
+TEST(DiscoveryTest, StragglerDelaysButCompletes) {
+  const Fleet f = make_fleet(3, Level::kL2);
+  DiscoveryScenario clean_sc = scenario_for(f);
+  const auto clean = run_discovery(clean_sc);
+  ASSERT_EQ(clean.services.size(), 3u);
+
+  DiscoveryScenario sc = scenario_for(f);
+  auto ev = scripted(0, fault::FaultKind::kStraggle, 1,
+                     /*duration_ms=*/1500);
+  ev.factor = 8.0;
+  sc.faults.scripted.push_back(ev);
+  const auto report = run_discovery(sc);
+  EXPECT_EQ(report.services.size(), 3u);  // slow, not lost
+  EXPECT_GT(report.total_ms, clean.total_ms);
+  EXPECT_EQ(report.fault_counts.at("straggle"), 1u);
+}
+
+TEST(DiscoveryTest, FaultFreeReportCarriesNoFaultFields) {
+  // The chaos layer must be invisible when unarmed: no fault counters,
+  // no failure reasons, no fault-dropped deliveries — byte-identical
+  // reports to a build without the fault layer.
+  const Fleet f = make_fleet(3, Level::kL2);
+  DiscoveryScenario sc = scenario_for(f);
+  const auto report = run_discovery(sc);
+  EXPECT_TRUE(report.fault_counts.empty());
+  EXPECT_EQ(report.net_stats.fault_dropped, 0u);
+  for (const auto& oc : report.outcomes) {
+    EXPECT_EQ(oc.reason, FailReason::kNone);
+    EXPECT_EQ(oc.rejects, 0u);
+  }
+}
+
 TEST(DiscoveryTest, MultiRoundFindsServicesAcrossGroups) {
   Backend be(crypto::Strength::b128, 13);
   auto subject =

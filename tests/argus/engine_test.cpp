@@ -319,6 +319,180 @@ TEST_F(EngineFixture, MultiGroupSubjectIteratesKeys) {
   EXPECT_EQ(s.discovered().back().variant_tag, "assist");
 }
 
+// Adversarial bytes: corruptions of every real wire message (and pure
+// noise) fed straight into both engines. Nothing may crash or trip UB
+// (the unit suites run under ASan in CI); every non-reply must carry a
+// nameable status, and cryptographic rejections must be counted.
+TEST_F(EngineFixture, AdversarialBytesNeverCrashEngines) {
+  auto s = make_subject(alice_);
+  auto o = make_object(tv_);
+  // Harvest one honest wire of each type to mutate.
+  const Bytes que1 = s.start_round();
+  const auto res1 = o.handle(que1, be_.now());
+  ASSERT_TRUE(res1.has_value());
+  const auto que2 = s.handle(*res1, be_.now());
+  ASSERT_TRUE(que2.has_value());
+  const auto res2 = o.handle(*que2, be_.now());
+  ASSERT_TRUE(res2.has_value());
+  const std::vector<Bytes> honest = {que1, *res1, *que2, *res2};
+
+  crypto::HmacDrbg rng = crypto::make_rng(2024, "engine fuzz");
+  for (int iter = 0; iter < 400; ++iter) {
+    Bytes wire;
+    if (rng.uniform(8) == 0) {
+      wire = rng.generate(rng.uniform(600));  // pure noise
+    } else {
+      wire = honest[rng.uniform(honest.size())];
+      switch (rng.uniform(4)) {
+        case 0:  // truncate
+          wire.resize(rng.uniform(wire.size() + 1));
+          break;
+        case 1: {  // extend with noise
+          const Bytes tail = rng.generate(1 + rng.uniform(64));
+          wire.insert(wire.end(), tail.begin(), tail.end());
+          break;
+        }
+        case 2:  // flip one bit
+          if (!wire.empty()) {
+            wire[rng.uniform(wire.size())] ^=
+                static_cast<std::uint8_t>(1u << rng.uniform(8));
+          }
+          break;
+        default:  // overwrite one byte
+          if (!wire.empty()) {
+            wire[rng.uniform(wire.size())] =
+                static_cast<std::uint8_t>(rng.uniform(256));
+          }
+          break;
+      }
+    }
+    const auto or_ = o.handle(wire, be_.now());
+    EXPECT_STRNE(status_name(or_.status), "?") << "iter " << iter;
+    const auto sr = s.handle(wire, be_.now());
+    EXPECT_STRNE(status_name(sr.status), "?") << "iter " << iter;
+  }
+  // The fuzz must have exercised the rejection paths, and rejections are
+  // a subset of drops (benign duplicates/stale never count as rejects).
+  EXPECT_GT(o.stats().rejects, 0u);
+  EXPECT_GT(s.stats().rejects, 0u);
+  EXPECT_LE(o.stats().rejects, o.stats().drops);
+}
+
+TEST_F(EngineFixture, RejectionsCarryStatusAndMetrics) {
+  obs::MetricsRegistry metrics;
+  ObjectEngineConfig cfg;
+  cfg.creds = tv_;
+  cfg.admin_pub = be_.admin_public_key();
+  cfg.seed = 6;
+  cfg.metrics = &metrics;
+  ObjectEngine o(std::move(cfg));
+
+  const auto malformed = o.handle(Bytes{0x01, 0x02, 0x03}, be_.now());
+  EXPECT_FALSE(malformed.has_value());
+  EXPECT_EQ(malformed.status, HandleStatus::kMalformed);
+  EXPECT_TRUE(is_reject(malformed.status));
+  EXPECT_EQ(metrics.counter("object.reject.malformed").value(), 1u);
+
+  auto s = make_subject(alice_);
+  const Bytes que1 = s.start_round();
+  const auto res1 = o.handle(que1, be_.now());
+  ASSERT_TRUE(res1.has_value());
+  auto que2 = s.handle(*res1, be_.now());
+  ASSERT_TRUE(que2.has_value());
+  (*que2)[que2->size() / 2] ^= 0x01;
+  const auto rejected = o.handle(*que2, be_.now());
+  EXPECT_FALSE(rejected.has_value());
+  EXPECT_TRUE(is_reject(rejected.status));
+  EXPECT_EQ(o.stats().rejects, 2u);
+}
+
+TEST_F(EngineFixture, BenignStatusesAreNotRejects) {
+  // Duplicates and stale traffic occur in healthy lossy runs; they must
+  // not count as rejections (or clean-run metrics would grow new keys).
+  auto s = make_subject(alice_);
+  auto o = make_object(tv_);
+  const Bytes que1 = s.start_round();
+  const auto res1 = o.handle(que1, be_.now());
+  ASSERT_TRUE(res1.has_value());
+  const auto dup = o.handle(que1, be_.now());
+  EXPECT_EQ(dup.status, HandleStatus::kDuplicate);
+  EXPECT_FALSE(is_reject(dup.status));
+  EXPECT_EQ(o.stats().rejects, 0u);
+  EXPECT_EQ(s.stats().rejects, 0u);
+}
+
+TEST_F(EngineFixture, SessionCapacityIsBounded) {
+  ObjectEngineConfig cfg;
+  cfg.creds = tv_;
+  cfg.admin_pub = be_.admin_public_key();
+  cfg.seed = 6;
+  cfg.session_capacity = 4;
+  ObjectEngine o(std::move(cfg));
+
+  // Ten distinct QUE1s (ten subjects' worth of fresh nonces) may open at
+  // most `session_capacity` sessions; the oldest are evicted LRU-first.
+  crypto::HmacDrbg rng = crypto::make_rng(7, "capacity fuzz");
+  for (int i = 0; i < 10; ++i) {
+    const Bytes wire = encode(Que1{rng.generate(kNonceSize)});
+    const auto reply = o.handle(wire, be_.now());
+    EXPECT_TRUE(reply.has_value()) << "fresh QUE1 " << i;
+  }
+  EXPECT_LE(o.open_sessions(), 4u);
+  EXPECT_GE(o.stats().evictions, 6u);
+}
+
+TEST_F(EngineFixture, SessionsExpireByTtl) {
+  ObjectEngineConfig cfg;
+  cfg.creds = tv_;
+  cfg.admin_pub = be_.admin_public_key();
+  cfg.seed = 6;
+  cfg.session_ttl_ms = 100;
+  ObjectEngine o(std::move(cfg));
+
+  auto s = make_subject(alice_);
+  o.advance_clock(0);
+  const auto res1 = o.handle(s.start_round(), be_.now());
+  ASSERT_TRUE(res1.has_value());
+  EXPECT_EQ(o.open_sessions(), 1u);
+  o.advance_clock(50);  // young: survives
+  EXPECT_EQ(o.open_sessions(), 1u);
+  o.advance_clock(151);  // older than the TTL: swept
+  EXPECT_EQ(o.open_sessions(), 0u);
+  EXPECT_GE(o.stats().evictions, 1u);
+
+  // The session died with its state: the follow-up QUE2 now reads stale.
+  const auto que2 = s.handle(*res1, be_.now());
+  ASSERT_TRUE(que2.has_value());
+  const auto late = o.handle(*que2, be_.now());
+  EXPECT_FALSE(late.has_value());
+  EXPECT_EQ(late.status, HandleStatus::kStale);
+}
+
+TEST_F(EngineFixture, CachedRepliesExpireByTtl) {
+  ObjectEngineConfig cfg;
+  cfg.creds = tv_;
+  cfg.admin_pub = be_.admin_public_key();
+  cfg.seed = 6;
+  cfg.session_ttl_ms = 100;
+  ObjectEngine o(std::move(cfg));
+
+  auto s = make_subject(alice_);
+  o.advance_clock(0);
+  const auto res1 = o.handle(s.start_round(), be_.now());
+  const auto que2 = s.handle(*res1, be_.now());
+  ASSERT_TRUE(que2.has_value());
+  ASSERT_TRUE(o.handle(*que2, be_.now()).has_value());
+  EXPECT_EQ(o.cached_replies(), 1u);
+  // Within the TTL a duplicate QUE2 gets the cached byte-identical RES2.
+  EXPECT_TRUE(o.handle(*que2, be_.now()).has_value());
+  o.advance_clock(200);
+  EXPECT_EQ(o.cached_replies(), 0u);
+  // Past it, the resend state is gone and the duplicate reads stale.
+  const auto late = o.handle(*que2, be_.now());
+  EXPECT_FALSE(late.has_value());
+  EXPECT_EQ(late.status, HandleStatus::kStale);
+}
+
 TEST_F(EngineFixture, ComputeCostsMatchPaperOpCounts) {
   // §IX-B: subject Level 2/3 = 1 sign + 3 verify + 2 ECDH = 27.4 ms on
   // the Nexus 6 model; object same ops = 78.2 ms on the Pi 3 model.

@@ -1,0 +1,350 @@
+// Unit tests for the chaos layer: FaultPlan expansion, the Byzantine
+// mutator, and the ChaosScheduler timeline — all against a bare
+// Simulator with stub hooks, no protocol stack involved.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/byzantine.hpp"
+#include "fault/chaos.hpp"
+#include "fault/plan.hpp"
+#include "net/sim.hpp"
+
+namespace argus::fault {
+namespace {
+
+bool same_event(const FaultEvent& a, const FaultEvent& b) {
+  return a.object == b.object && a.kind == b.kind && a.at_ms == b.at_ms &&
+         a.duration_ms == b.duration_ms && a.factor == b.factor &&
+         a.mode == b.mode && a.seed == b.seed;
+}
+
+TEST(FaultPlan, DefaultPlanIsUnarmedAndExpandsToNothing) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.armed());
+  EXPECT_TRUE(expand_plan(plan, 16).empty());
+}
+
+TEST(FaultPlan, AnyRateOrScriptArms) {
+  FaultPlan plan;
+  plan.crash_rate = 0.01;
+  EXPECT_TRUE(plan.armed());
+  plan.crash_rate = 0.0;
+  EXPECT_FALSE(plan.armed());
+  plan.scripted.push_back(FaultEvent{});
+  EXPECT_TRUE(plan.armed());
+}
+
+TEST(FaultPlan, ScriptedEventsOutOfRangeAreFiltered) {
+  FaultPlan plan;
+  FaultEvent ev;
+  ev.object = 2;
+  ev.kind = FaultKind::kZombie;
+  ev.at_ms = 7;
+  plan.scripted.push_back(ev);
+  ev.object = 9;  // out of range for a 3-object fleet
+  plan.scripted.push_back(ev);
+  const auto timeline = expand_plan(plan, 3);
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_EQ(timeline[0].object, 2u);
+  EXPECT_EQ(timeline[0].kind, FaultKind::kZombie);
+}
+
+TEST(FaultPlan, ExpansionIsDeterministic) {
+  FaultPlan plan;
+  plan.crash_rate = 0.4;
+  plan.straggle_rate = 0.3;
+  plan.zombie_rate = 0.2;
+  plan.byzantine_rate = 0.2;
+  plan.seed = 99;
+  const auto a = expand_plan(plan, 20);
+  const auto b = expand_plan(plan, 20);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(same_event(a[i], b[i])) << "event " << i;
+  }
+}
+
+TEST(FaultPlan, RateOneCrashesEveryObject) {
+  FaultPlan plan;
+  plan.crash_rate = 1.0;
+  plan.reboot_after_ms = 450;
+  plan.horizon_ms = 600;
+  const std::size_t n = 12;
+  const auto timeline = expand_plan(plan, n);
+  ASSERT_EQ(timeline.size(), n);
+  std::vector<bool> hit(n, false);
+  for (const FaultEvent& ev : timeline) {
+    EXPECT_EQ(ev.kind, FaultKind::kCrash);
+    EXPECT_GE(ev.at_ms, 0.0);
+    EXPECT_LT(ev.at_ms, plan.horizon_ms);
+    EXPECT_EQ(ev.duration_ms, 450);
+    hit[ev.object] = true;
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(hit[i]) << "object " << i;
+}
+
+TEST(FaultPlan, TimelineIsSortedByTimeObjectKind) {
+  FaultPlan plan;
+  plan.crash_rate = 0.5;
+  plan.zombie_rate = 0.5;
+  plan.byzantine_rate = 0.5;
+  plan.seed = 7;
+  const auto timeline = expand_plan(plan, 30);
+  ASSERT_GT(timeline.size(), 1u);
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    const FaultEvent& a = timeline[i - 1];
+    const FaultEvent& b = timeline[i];
+    const bool ordered =
+        a.at_ms < b.at_ms ||
+        (a.at_ms == b.at_ms &&
+         (a.object < b.object ||
+          (a.object == b.object &&
+           static_cast<int>(a.kind) <= static_cast<int>(b.kind))));
+    EXPECT_TRUE(ordered) << "events " << i - 1 << " and " << i;
+  }
+}
+
+TEST(FaultPlan, PerObjectStreamsAreIndependentOfFleetSize) {
+  // Object i's draws come from a stream keyed by (seed, i), so growing
+  // the fleet must not perturb the faults of the objects already in it.
+  FaultPlan plan;
+  plan.crash_rate = 0.5;
+  plan.zombie_rate = 0.5;
+  plan.seed = 5;
+  const auto small = expand_plan(plan, 5);
+  auto large = expand_plan(plan, 10);
+  std::erase_if(large, [](const FaultEvent& ev) { return ev.object >= 5; });
+  ASSERT_EQ(small.size(), large.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_TRUE(same_event(small[i], large[i])) << "event " << i;
+  }
+}
+
+TEST(FaultPlan, ByzantineEventsCarryDistinctSeeds) {
+  FaultPlan plan;
+  plan.byzantine_rate = 1.0;
+  plan.byzantine_mode = ByzantineMode::kBitFlip;
+  const auto timeline = expand_plan(plan, 4);
+  ASSERT_EQ(timeline.size(), 4u);
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    EXPECT_EQ(timeline[i].mode, ByzantineMode::kBitFlip);
+    for (std::size_t j = i + 1; j < timeline.size(); ++j) {
+      EXPECT_NE(timeline[i].seed, timeline[j].seed);
+    }
+  }
+}
+
+Bytes test_wire(std::size_t n) {
+  Bytes wire(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    wire[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  return wire;
+}
+
+TEST(ByzantineMutator, UnarmedIsIdentity) {
+  ByzantineMutator mut;
+  const Bytes wire = test_wire(48);
+  EXPECT_EQ(mut.mutate(wire), wire);
+  EXPECT_EQ(mut.mutations(), 0u);
+}
+
+TEST(ByzantineMutator, TruncateYieldsStrictPrefix) {
+  ByzantineMutator mut;
+  mut.arm(ByzantineMode::kTruncate, 3);
+  const Bytes wire = test_wire(64);
+  for (int i = 0; i < 16; ++i) {
+    const Bytes out = mut.mutate(wire);
+    ASSERT_LT(out.size(), wire.size());
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), wire.begin()));
+  }
+  EXPECT_EQ(mut.mutations(), 16u);
+}
+
+TEST(ByzantineMutator, BitFlipChangesExactlyOneBit) {
+  ByzantineMutator mut;
+  mut.arm(ByzantineMode::kBitFlip, 4);
+  const Bytes wire = test_wire(64);
+  for (int i = 0; i < 16; ++i) {
+    const Bytes out = mut.mutate(wire);
+    ASSERT_EQ(out.size(), wire.size());
+    int flipped = 0;
+    for (std::size_t j = 0; j < wire.size(); ++j) {
+      std::uint8_t diff = wire[j] ^ out[j];
+      while (diff) {
+        flipped += diff & 1;
+        diff >>= 1;
+      }
+    }
+    EXPECT_EQ(flipped, 1);
+  }
+}
+
+TEST(ByzantineMutator, ReplaySendsThePreviousReply) {
+  ByzantineMutator mut;
+  mut.arm(ByzantineMode::kReplay, 5);
+  const Bytes first = test_wire(16);
+  const Bytes second = test_wire(24);
+  const Bytes third = test_wire(32);
+  // The first reply has nothing to replay, so it primes the buffer.
+  EXPECT_EQ(mut.mutate(first), first);
+  EXPECT_EQ(mut.mutate(second), first);
+  EXPECT_EQ(mut.mutate(third), second);
+}
+
+TEST(ByzantineMutator, SameSeedSameCorruption) {
+  ByzantineMutator a;
+  ByzantineMutator b;
+  a.arm(ByzantineMode::kMixed, 11);
+  b.arm(ByzantineMode::kMixed, 11);
+  for (int i = 0; i < 12; ++i) {
+    const Bytes wire = test_wire(40 + static_cast<std::size_t>(i));
+    EXPECT_EQ(a.mutate(wire), b.mutate(wire)) << "reply " << i;
+  }
+}
+
+struct HookLog {
+  struct Entry {
+    const char* what;
+    std::size_t object;
+    double at;
+  };
+  std::vector<Entry> entries;
+};
+
+ChaosHooks logging_hooks(net::Simulator& sim, HookLog& log) {
+  ChaosHooks hooks;
+  hooks.crash = [&](std::size_t i) {
+    log.entries.push_back({"crash", i, sim.now()});
+  };
+  hooks.reboot = [&](std::size_t i) {
+    log.entries.push_back({"reboot", i, sim.now()});
+  };
+  hooks.straggle_begin = [&](std::size_t i, double factor) {
+    log.entries.push_back({"straggle_begin", i, sim.now()});
+    EXPECT_EQ(factor, 6.0);
+  };
+  hooks.straggle_end = [&](std::size_t i) {
+    log.entries.push_back({"straggle_end", i, sim.now()});
+  };
+  hooks.zombie = [&](std::size_t i) {
+    log.entries.push_back({"zombie", i, sim.now()});
+  };
+  hooks.byzantine = [&](std::size_t i, ByzantineMode mode, std::uint64_t) {
+    log.entries.push_back({"byzantine", i, sim.now()});
+    EXPECT_EQ(mode, ByzantineMode::kTruncate);
+  };
+  return hooks;
+}
+
+TEST(ChaosScheduler, FiresScriptedTimelineAtTheRightTimes) {
+  net::Simulator sim;
+  HookLog log;
+  ChaosScheduler chaos(sim, logging_hooks(sim, log));
+
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.object = 0;
+  crash.kind = FaultKind::kCrash;
+  crash.at_ms = 5;
+  crash.duration_ms = 10;  // reboot at 15
+  plan.scripted.push_back(crash);
+  FaultEvent straggle;
+  straggle.object = 1;
+  straggle.kind = FaultKind::kStraggle;
+  straggle.at_ms = 2;
+  straggle.duration_ms = 6;  // window ends at 8
+  straggle.factor = 6.0;
+  plan.scripted.push_back(straggle);
+  FaultEvent zombie;
+  zombie.object = 2;
+  zombie.kind = FaultKind::kZombie;
+  zombie.at_ms = 3;
+  plan.scripted.push_back(zombie);
+  FaultEvent byz;
+  byz.object = 3;
+  byz.kind = FaultKind::kByzantine;
+  byz.at_ms = 4;
+  byz.mode = ByzantineMode::kTruncate;
+  plan.scripted.push_back(byz);
+
+  chaos.arm(plan, 4);
+  sim.run();
+
+  ASSERT_EQ(log.entries.size(), 6u);
+  EXPECT_STREQ(log.entries[0].what, "straggle_begin");
+  EXPECT_EQ(log.entries[0].at, 2);
+  EXPECT_STREQ(log.entries[1].what, "zombie");
+  EXPECT_EQ(log.entries[1].at, 3);
+  EXPECT_STREQ(log.entries[2].what, "byzantine");
+  EXPECT_EQ(log.entries[2].at, 4);
+  EXPECT_STREQ(log.entries[3].what, "crash");
+  EXPECT_EQ(log.entries[3].at, 5);
+  EXPECT_STREQ(log.entries[4].what, "straggle_end");
+  EXPECT_EQ(log.entries[4].at, 8);
+  EXPECT_STREQ(log.entries[5].what, "reboot");
+  EXPECT_EQ(log.entries[5].at, 15);
+
+  EXPECT_EQ(chaos.stats().crashes, 1u);
+  EXPECT_EQ(chaos.stats().reboots, 1u);
+  EXPECT_EQ(chaos.stats().straggles, 1u);
+  EXPECT_EQ(chaos.stats().zombies, 1u);
+  EXPECT_EQ(chaos.stats().byzantines, 1u);
+}
+
+TEST(ChaosScheduler, EverReflectsTheArmedTimeline) {
+  net::Simulator sim;
+  ChaosScheduler chaos(sim, ChaosHooks{});
+  FaultPlan plan;
+  FaultEvent ev;
+  ev.object = 1;
+  ev.kind = FaultKind::kZombie;
+  plan.scripted.push_back(ev);
+  chaos.arm(plan, 3);
+  EXPECT_TRUE(chaos.ever(1, FaultKind::kZombie));
+  EXPECT_FALSE(chaos.ever(1, FaultKind::kCrash));
+  EXPECT_FALSE(chaos.ever(0, FaultKind::kZombie));
+}
+
+TEST(ChaosScheduler, PastOnsetsFireImmediately) {
+  net::Simulator sim;
+  sim.schedule(10, [] {});
+  sim.run();
+  ASSERT_EQ(sim.now(), 10);
+
+  HookLog log;
+  ChaosScheduler chaos(sim, logging_hooks(sim, log));
+  FaultPlan plan;
+  FaultEvent ev;
+  ev.object = 0;
+  ev.kind = FaultKind::kCrash;
+  ev.at_ms = 3;  // already in the past
+  plan.scripted.push_back(ev);
+  chaos.arm(plan, 1);
+  sim.run();
+  ASSERT_EQ(log.entries.size(), 1u);
+  EXPECT_STREQ(log.entries[0].what, "crash");
+  EXPECT_EQ(log.entries[0].at, 10);  // clamped to "now", not the past
+}
+
+TEST(ChaosScheduler, CrashWithoutDurationNeverReboots) {
+  net::Simulator sim;
+  HookLog log;
+  ChaosScheduler chaos(sim, logging_hooks(sim, log));
+  FaultPlan plan;
+  FaultEvent ev;
+  ev.object = 0;
+  ev.kind = FaultKind::kCrash;
+  ev.at_ms = 1;
+  ev.duration_ms = -1;
+  plan.scripted.push_back(ev);
+  chaos.arm(plan, 1);
+  sim.run();
+  ASSERT_EQ(log.entries.size(), 1u);
+  EXPECT_STREQ(log.entries[0].what, "crash");
+  EXPECT_EQ(chaos.stats().reboots, 0u);
+}
+
+}  // namespace
+}  // namespace argus::fault

@@ -152,6 +152,90 @@ TEST(SweepTest, TracesDroppedUnlessRequested) {
   EXPECT_FALSE(results[0].trace.has_value());
 }
 
+// Acceptance gate for the chaos layer: a grid with every fault axis
+// armed must still be a pure function of the grid — identical digests,
+// outcome verdicts and fault accounting on 1 and N threads.
+TEST(SweepTest, ChaosGridIsDeterministicAcrossThreadCounts) {
+  GridSpec spec;
+  spec.levels = {2, 3};
+  spec.objects = {6};
+  spec.crash = {0.0, 0.4};
+  spec.zombie = {0.2};
+  spec.byzantine = {0.2};
+  spec.reboot_ms = 900;
+  spec.seeds = {17};
+  const auto grid = expand(spec);
+  ASSERT_EQ(grid.size(), 4u);
+  const auto serial = SweepRunner({.threads = 1}).run(grid);
+  const auto parallel = SweepRunner({.threads = 4}).run(grid);
+  bool any_faults = false;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE(serial[i].label);
+    EXPECT_EQ(serial[i].digest, parallel[i].digest);
+    const auto& a = serial[i].report();
+    const auto& b = parallel[i].report();
+    EXPECT_EQ(a.fault_counts, b.fault_counts);
+    EXPECT_EQ(a.net_stats.fault_dropped, b.net_stats.fault_dropped);
+    any_faults = any_faults || !a.fault_counts.empty();
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t j = 0; j < a.outcomes.size(); ++j) {
+      EXPECT_EQ(a.outcomes[j].discovered, b.outcomes[j].discovered);
+      EXPECT_EQ(a.outcomes[j].reason, b.outcomes[j].reason);
+      EXPECT_EQ(a.outcomes[j].rejects, b.outcomes[j].rejects);
+      // Terminal verdict for every object, faults or not.
+      EXPECT_TRUE(a.outcomes[j].discovered ||
+                  a.outcomes[j].reason != core::FailReason::kNone);
+    }
+  }
+  EXPECT_TRUE(any_faults);  // the pinned seed must exercise the chaos path
+}
+
+TEST(SweepTest, FaultAxesAppearOnlyInChaosCells) {
+  // Fault-free labels and JSONL must be byte-stable relative to pre-chaos
+  // builds: the fault axes only surface when armed.
+  SweepPoint clean;
+  clean.level = 2;
+  clean.objects = 3;
+  EXPECT_EQ(point_label(clean), "L2 n=3 hops=1 drop=0 seed=17");
+  const auto clean_res = SweepRunner({.threads = 1}).run({clean});
+  std::ostringstream clean_line;
+  write_jsonl_line(clean_line, clean, clean_res[0]);
+  EXPECT_EQ(clean_line.str().find("crash"), std::string::npos);
+  EXPECT_EQ(clean_line.str().find("fault"), std::string::npos);
+
+  SweepPoint chaos = clean;
+  chaos.crash = 0.5;
+  chaos.reboot_ms = 900;
+  chaos.zombie = 0.1;
+  EXPECT_EQ(point_label(chaos),
+            "L2 n=3 hops=1 drop=0 seed=17 crash=0.5 reboot=900 zombie=0.1");
+  const auto chaos_res = SweepRunner({.threads = 1}).run({chaos});
+  std::ostringstream chaos_line;
+  write_jsonl_line(chaos_line, chaos, chaos_res[0]);
+  EXPECT_NE(chaos_line.str().find("\"crash\":0.5"), std::string::npos);
+  EXPECT_NE(chaos_line.str().find("\"reboot\":900"), std::string::npos);
+  EXPECT_NE(chaos_line.str().find("\"fault_dropped\":"), std::string::npos);
+}
+
+TEST(SweepTest, UnarmedFaultPlanLeavesDigestUnchanged) {
+  // Setting the chaos axes to their defaults must be indistinguishable
+  // from never having had them: same scenario, same digest.
+  SweepPoint p;
+  p.level = 3;
+  p.objects = 4;
+  SweepPoint zeroed = p;
+  zeroed.crash = 0.0;
+  zeroed.straggle = 0.0;
+  zeroed.zombie = 0.0;
+  zeroed.byzantine = 0.0;
+  zeroed.reboot_ms = -1.0;
+  const SweepRunner runner({.threads = 1});
+  const auto a = runner.run({p});
+  const auto b = runner.run({zeroed});
+  EXPECT_EQ(a[0].digest, b[0].digest);
+  EXPECT_TRUE(a[0].report().fault_counts.empty());
+}
+
 TEST(SpecTest, ParsesAxesCommentsAndRings) {
   std::istringstream in(
       "# fig6g-like\n"
@@ -194,12 +278,39 @@ TEST(SpecTest, RejectsMalformedInput) {
 
 TEST(SpecTest, BuiltinGridsCoverTheFigures) {
   const auto& grids = builtin_grids();
-  for (const char* name : {"fig6e", "fig6f", "fig6g", "fig6h", "loss"}) {
+  for (const char* name :
+       {"fig6e", "fig6f", "fig6g", "fig6h", "loss", "churn"}) {
     ASSERT_TRUE(grids.contains(name)) << name;
     EXPECT_FALSE(expand(grids.at(name)).empty()) << name;
   }
   EXPECT_EQ(expand(grids.at("fig6g")).size(), 12u);
   EXPECT_EQ(grids.at("fig6g").per_ring, 5u);
+  EXPECT_EQ(expand(grids.at("churn")).size(), 18u);
+  EXPECT_EQ(grids.at("churn").reboot_ms, 900.0);
+}
+
+TEST(SpecTest, ParsesChaosAxes) {
+  std::istringstream in(
+      "levels    = 2\n"
+      "objects   = 8\n"
+      "crash     = 0, 0.25, 0.5\n"
+      "straggle  = 0.1\n"
+      "zombie    = 0.2\n"
+      "byzantine = 0.3\n"
+      "reboot    = 750\n");
+  const auto spec = parse_grid_spec(in);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->crash, (std::vector<double>{0.0, 0.25, 0.5}));
+  EXPECT_EQ(spec->straggle, (std::vector<double>{0.1}));
+  EXPECT_EQ(spec->zombie, (std::vector<double>{0.2}));
+  EXPECT_EQ(spec->byzantine, (std::vector<double>{0.3}));
+  EXPECT_EQ(spec->reboot_ms, 750.0);
+  EXPECT_EQ(expand(*spec).size(), 3u);
+
+  std::string error;
+  std::istringstream bad("crash = 1.5\n");  // not a probability
+  EXPECT_FALSE(parse_grid_spec(bad, &error).has_value());
+  EXPECT_NE(error.find("crash"), std::string::npos);
 }
 
 }  // namespace

@@ -12,7 +12,10 @@
 // behavioural drift.
 //
 // With --out PREFIX, writes PREFIX.jsonl (one record per run) and
-// PREFIX.digests (one "digest  label" line per run).
+// PREFIX.digests (one "digest  label" line per run). With
+// --trace PREFIX, additionally retains each run's protocol trace and
+// writes it to PREFIX-<index>.jsonl for tools/traceview — the way to
+// inspect a chaos cell's fault timeline event by event.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -29,7 +32,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--grid NAME | --spec FILE) [--threads N]"
-               " [--out PREFIX] [--quiet]\n       %s --list\n",
+               " [--out PREFIX] [--trace PREFIX] [--quiet]\n"
+               "       %s --list\n",
                argv0, argv0);
   return 2;
 }
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
   std::string grid_name;
   std::string spec_path;
   std::string out_prefix;
+  std::string trace_prefix;
   std::size_t threads = 0;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
@@ -59,6 +64,8 @@ int main(int argc, char** argv) {
       spec_path = argv[++i];
     } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
       out_prefix = argv[++i];
+    } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
+      trace_prefix = argv[++i];
     } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
@@ -93,7 +100,8 @@ int main(int argc, char** argv) {
   }
 
   const auto grid = harness::expand(spec);
-  const harness::SweepRunner runner({.threads = threads});
+  const harness::SweepRunner runner(
+      {.threads = threads, .keep_traces = !trace_prefix.empty()});
   const auto t0 = std::chrono::steady_clock::now();
   const auto results = runner.run(grid);
   const double wall_s =
@@ -113,6 +121,13 @@ int main(int argc, char** argv) {
       df << res.digest << "  " << res.label << "\n";
     }
   }
+  if (!trace_prefix.empty()) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::ofstream tf(trace_prefix + "-" + std::to_string(i) + ".jsonl",
+                       std::ios::binary);
+      argus::obs::write_jsonl(*results[i].trace, tf);
+    }
+  }
   if (!quiet) {
     std::printf("%-34s | %9s %6s | %s\n", "run", "total", "found", "digest");
     std::printf("-----------------------------------+------------------+"
@@ -129,6 +144,11 @@ int main(int argc, char** argv) {
   if (!out_prefix.empty()) {
     std::printf("wrote %s.jsonl and %s.digests\n", out_prefix.c_str(),
                 out_prefix.c_str());
+  }
+  if (!trace_prefix.empty()) {
+    std::printf("wrote %s-0.jsonl .. %s-%zu.jsonl (tools/traceview)\n",
+                trace_prefix.c_str(), trace_prefix.c_str(),
+                results.size() - 1);
   }
   return 0;
 }

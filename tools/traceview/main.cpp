@@ -3,7 +3,9 @@
 //   traceview [--audit] [--chrome OUT.json] TRACE.jsonl
 //
 // Prints totals, a per-category event census, traffic by message type,
-// per-phase span timing, and the indistinguishability auditor's verdict.
+// per-phase span timing, the chaos layer's fault timeline and rejection
+// census (when the trace has any), and the indistinguishability
+// auditor's verdict.
 // `--audit` makes a FAIL verdict the exit status (2), for CI gating;
 // `--chrome OUT.json` additionally converts the trace for
 // chrome://tracing / Perfetto.
@@ -14,6 +16,7 @@
 #include <map>
 #include <string>
 
+#include "fault/plan.hpp"
 #include "obs/audit.hpp"
 #include "obs/trace.hpp"
 
@@ -29,6 +32,14 @@ struct Acc {
   std::uint64_t count = 0;
   std::uint64_t bytes = 0;
   double total_ms = 0;
+};
+
+/// One chaos-layer event for the timeline (a `fault.*` instant).
+struct FaultLine {
+  double ts = 0;
+  std::uint32_t node = 0;
+  std::string name;
+  std::uint64_t a = 0;  // straggle factor / ByzantineMode, per the name
 };
 
 }  // namespace
@@ -66,7 +77,9 @@ int main(int argc, char** argv) {
   double t_min = 0, t_max = 0;
   bool first_ev = true;
   std::map<std::string, std::uint64_t> by_cat;
-  std::map<std::string, Acc> traffic;  // tx.* instants
+  std::map<std::string, Acc> traffic;        // tx.* instants
+  std::vector<FaultLine> faults;             // fault.* instants, in ts order
+  std::map<std::string, std::uint64_t> rejects;  // reject.* and drop.*
   for (const auto& ev : trace.events()) {
     if (first_ev) {
       t_min = t_max = ev.ts;
@@ -75,13 +88,22 @@ int main(int argc, char** argv) {
     t_min = std::min(t_min, ev.ts);
     t_max = std::max(t_max, ev.ts);
     ++by_cat[ev.cat.empty() ? "(none)" : ev.cat];
-    if (ev.kind == argus::obs::EventKind::kInstant &&
-        ev.name.rfind("tx.", 0) == 0) {
+    if (ev.kind != argus::obs::EventKind::kInstant) continue;
+    if (ev.name.rfind("tx.", 0) == 0) {
       Acc& acc = traffic[ev.name.substr(3)];
       ++acc.count;
       acc.bytes += ev.a;
+    } else if (ev.name.rfind("fault.", 0) == 0) {
+      faults.push_back({ev.ts, ev.node, ev.name, ev.a});
+    } else if (ev.name.rfind("reject.", 0) == 0 ||
+               ev.name.rfind("drop.", 0) == 0) {
+      ++rejects[ev.name];
     }
   }
+  std::stable_sort(faults.begin(), faults.end(),
+                   [](const FaultLine& x, const FaultLine& y) {
+                     return x.ts < y.ts;
+                   });
   const auto spans = trace.spans();
   std::map<std::string, Acc> phases;
   for (const auto& span : spans) {
@@ -121,6 +143,29 @@ int main(int argc, char** argv) {
                   name.c_str(), static_cast<unsigned long long>(acc.count),
                   acc.total_ms,
                   acc.total_ms / static_cast<double>(acc.count));
+    }
+  }
+
+  if (!faults.empty()) {
+    std::printf("\n  fault timeline (%zu chaos events)\n", faults.size());
+    for (const auto& f : faults) {
+      std::printf("    %10.3f ms  node %-4u %-20s", f.ts, f.node,
+                  f.name.c_str());
+      if (f.name == "fault.straggle.begin") {
+        std::printf(" x%llu compute", static_cast<unsigned long long>(f.a));
+      } else if (f.name == "fault.byzantine") {
+        std::printf(" mode=%s",
+                    argus::fault::byzantine_mode_name(
+                        static_cast<argus::fault::ByzantineMode>(f.a)));
+      }
+      std::printf("\n");
+    }
+  }
+  if (!rejects.empty()) {
+    std::printf("\n  rejections and fault drops\n");
+    for (const auto& [name, n] : rejects) {
+      std::printf("    %-24s %8llu\n", name.c_str(),
+                  static_cast<unsigned long long>(n));
     }
   }
 
