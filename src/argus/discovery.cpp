@@ -81,13 +81,20 @@ class ObjectNode final : public net::SimNode {
                 payload.size());
     }
     engine_->inner().advance_clock(net_->now());
-    auto reply = engine_->handle(payload, shared_->epoch);
+    auto reply = engine_->handle(payload, shared_->epoch, from);
     const double ms = engine_->take_consumed_ms();
     net_->consume_compute(node_id(), ms);
     shared_->report->object_compute_ms += ms;
     if (tr && is_reject(reply.status)) {
       tr->instant(net_->now(), node_id(),
                   std::string("reject.") + status_name(reply.status), "fault",
+                  payload.size(), from);
+    }
+    if (tr && is_shed(reply.status)) {
+      // Admission sheds only fire when admission control is enabled, so
+      // flood-free traces stay byte-identical.
+      tr->instant(net_->now(), node_id(),
+                  std::string("shed.") + status_name(reply.status), "fault",
                   payload.size(), from);
     }
     std::uint64_t reply_level = 0;
@@ -367,6 +374,71 @@ class SubjectNode final : public net::SimNode {
   std::map<net::NodeId, Exchange> exchanges_;
 };
 
+/// The flooding adversary: a network node that sprays the object fleet
+/// with protocol-shaped traffic at a fixed rate (round-robin across the
+/// targets so every object feels the load). It ignores every reply — a
+/// flooder never completes a handshake; the point is to burn the victims'
+/// admission budget and queue slots, not to talk to them.
+class FlooderNode final : public net::SimNode {
+ public:
+  FlooderNode(const FloodSpec& spec, std::vector<net::NodeId> targets,
+              Shared* shared)
+      : spec_(spec),
+        targets_(std::move(targets)),
+        shared_(shared),
+        rng_(crypto::make_rng(spec.seed, "flooder")) {}
+
+  void start() {
+    if (!spec_.armed() || targets_.empty()) return;
+    start_ms_ = spec_.start_ms;
+    net_->sim().schedule_at(start_ms_, [this] { tick(); });
+  }
+
+  void on_message(net::NodeId, const Bytes&) override {}  // replies ignored
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+
+ private:
+  void tick() {
+    const double now = net_->now();
+    if (spec_.duration_ms >= 0 && now >= start_ms_ + spec_.duration_ms) return;
+    Bytes payload = make_payload();
+    const net::NodeId target = targets_[next_target_++ % targets_.size()];
+    const std::size_t size = payload.size();
+    if (obs::Tracer* const tr = shared_->tracer) {
+      tr->instant(now, node_id(), "tx.FLOOD", "attack", size, target);
+    }
+    const auto out = net_->unicast(node_id(), target, std::move(payload));
+    shared_->tally("FLOOD", size, out.delivered);
+    ++sent_;
+    net_->sim().schedule(1000.0 / spec_.rate_per_s, [this] { tick(); });
+  }
+
+  Bytes make_payload() {
+    switch (spec_.kind) {
+      case FloodSpec::Kind::kQue1Storm:
+        // Fresh nonce each tick: every one reads as a brand-new exchange.
+        return encode(Message{Que1{rng_.generate(kNonceSize)}});
+      case FloodSpec::Kind::kGarbageQue2: {
+        Bytes junk = rng_.generate(64 + (rng_.generate(1)[0] % 128));
+        junk[0] = static_cast<std::uint8_t>(MsgType::kQue2);
+        return junk;
+      }
+      case FloodSpec::Kind::kReplay:
+        return spec_.replay_wire;
+    }
+    return {};
+  }
+
+  FloodSpec spec_;
+  std::vector<net::NodeId> targets_;
+  Shared* shared_;
+  crypto::HmacDrbg rng_;
+  double start_ms_ = 0;
+  std::size_t next_target_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
 }  // namespace
 
 std::size_t DiscoveryReport::count_level(int level) const {
@@ -419,6 +491,7 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
     ocfg.compute = scenario.object_compute;
     ocfg.pad_res2 = scenario.pad_res2;
     ocfg.equalize_timing = scenario.equalize_timing;
+    ocfg.admission = scenario.admission;
     ocfg.metrics = scenario.metrics;
     objects.push_back(std::make_unique<ObjectNode>(std::move(ocfg), &shared));
     const net::NodeId id =
@@ -433,16 +506,33 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
     }
   }
 
+  // Flooding adversary: one extra node spraying the object fleet. Unarmed
+  // specs add no node and schedule nothing.
+  const bool flooded = scenario.flood.armed();
+  std::optional<FlooderNode> flooder;
+  if (flooded) {
+    flooder.emplace(scenario.flood, object_ids, &shared);
+    const net::NodeId fid =
+        net.add_node(&*flooder, std::max(1u, scenario.flood.hops));
+    if (scenario.tracer) {
+      scenario.tracer->instant(sim.now(), fid, "node", "meta", 0,
+                               scenario.flood.hops, "flooder");
+    }
+    flooder->start();
+  }
+
   // Retries default to kAuto: armed only when the radio can actually lose
-  // or duplicate frames or a fault plan is live, so a lossless fault-free
-  // run never schedules a timer and its event sequence (and therefore
-  // every derived number) is unchanged.
+  // or duplicate frames, a fault plan is live, or a flooder is spraying
+  // (shed traffic needs the backoff driver — and the round deadline — to
+  // recover), so a lossless fault-free run never schedules a timer and
+  // its event sequence (and therefore every derived number) is unchanged.
   const bool faulted = scenario.faults.armed();
   const bool lossy =
       scenario.radio.drop_prob > 0.0 || scenario.radio.dup_prob > 0.0;
   const bool retries =
       scenario.retry.mode == RetryMode::kOn ||
-      (scenario.retry.mode == RetryMode::kAuto && (lossy || faulted));
+      (scenario.retry.mode == RetryMode::kAuto &&
+       (lossy || faulted || flooded));
   subject.configure_retries(scenario.retry, retries);
 
   // Chaos layer: translate the plan's timeline into node/engine faults.
@@ -507,10 +597,11 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
                             subject.engine().group_key_count());
   for (std::size_t round = 0; round < rounds; ++round) {
     sim.schedule(0, [&subject, round] { subject.begin_round(round); });
-    if (retries) {
+    if (retries || flooded) {
       // Bounded round: the deadline guarantees termination even if every
-      // retransmission is lost; pending (cancelled) retry timers past the
-      // deadline are discarded by finish_round below.
+      // retransmission is lost (or a flooder's tick chain never ends);
+      // pending (cancelled) retry timers past the deadline are discarded
+      // by finish_round below.
       sim.drain_until(sim.now() + scenario.retry.round_deadline_ms);
     } else {
       sim.run();
@@ -564,6 +655,13 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
     }
   }
 
+  // Overload accounting: admission sheds summed over the object fleet
+  // (zero, and untouched, unless admission control was enabled).
+  for (const auto& obj : objects) {
+    report.shed_overload += obj->engine().stats().shed_overload;
+    report.rate_limited += obj->engine().stats().rate_limited;
+  }
+
   // Graceful degradation: one verdict per scenario object, in input order.
   // "Discovered" means any variant of the object landed in any round; the
   // retransmit count is the cumulative timer-driven QUE2 resends to it.
@@ -585,7 +683,7 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
       out.rejects = it->second.rejects;
       timed_out = it->second.phase == SubjectNode::Exchange::kTimedOut;
     }
-    if (faulted && !out.discovered) {
+    if ((faulted || flooded) && !out.discovered) {
       using fault::FaultKind;
       // Byzantine corruption can surface on either side: the subject
       // rejects the corrupted reply outright, or it accepts bytes whose
@@ -593,6 +691,7 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
       // *object* rejects every follow-up QUE2 bound to the corrupted
       // echo. Both count as detection.
       const bool rejected_by_peer = objects[i]->engine().stats().rejects > 0;
+      const auto& ostats = objects[i]->engine().stats();
       if (chaos.ever(i, FaultKind::kCrash)) {
         out.reason = FailReason::kCrashed;
       } else if (chaos.ever(i, FaultKind::kByzantine) &&
@@ -600,6 +699,10 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
         out.reason = FailReason::kByzantineDetected;
       } else if (out.rejects > 0) {
         out.reason = FailReason::kRejectedMalformed;
+      } else if (ostats.shed_overload + ostats.rate_limited > 0) {
+        // The object was actively shedding; the subject's traffic was
+        // (at least partly) load it refused, not loss.
+        out.reason = FailReason::kOverloaded;
       } else if (timed_out || chaos.ever(i, FaultKind::kZombie)) {
         out.reason = FailReason::kTimedOut;
       } else {

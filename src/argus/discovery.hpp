@@ -39,6 +39,33 @@ struct RetryPolicy {
   double round_deadline_ms = 8000.0; // hard cap on one round's duration
 };
 
+/// Flooding adversary riding along with a discovery run: a node that
+/// sprays the object fleet with protocol-shaped traffic at a fixed rate,
+/// modeling the QUE1-storm / garbage-QUE2 attacks admission control and
+/// bounded queues exist to absorb. rate_per_s == 0 (the default) arms
+/// nothing — no flooder node is added and the run is byte-identical to a
+/// flood-free build.
+struct FloodSpec {
+  enum class Kind : std::uint8_t {
+    /// Fresh random-nonce QUE1 every tick: each one would cost the object
+    /// an ECDH generate + ECDSA sign — the expensive path (§IV-B storm).
+    kQue1Storm = 0,
+    /// Random bytes with a QUE2 type tag: cheap-reject fodder that tests
+    /// the cheap-check-first pipeline (decode/session lookup, no crypto).
+    kGarbageQue2 = 1,
+    /// A captured wire blob replayed verbatim (see attacks/adversary.hpp).
+    kReplay = 2,
+  };
+  double rate_per_s = 0;  // messages per second; 0 disarms the flooder
+  Kind kind = Kind::kQue1Storm;
+  double start_ms = 0;       // first tick
+  double duration_ms = -1;   // < 0: flood for the whole run
+  unsigned hops = 1;         // flooder's distance from the subject
+  Bytes replay_wire;         // payload for kReplay
+  std::uint64_t seed = 99;   // DRBG stream for nonces/garbage
+  [[nodiscard]] bool armed() const { return rate_per_s > 0; }
+};
+
 struct DiscoveryScenario {
   ProtocolVersion version = ProtocolVersion::kV30;
   crypto::Strength strength = crypto::Strength::b128;
@@ -61,6 +88,13 @@ struct DiscoveryScenario {
   /// case no chaos timers are scheduled and the run is byte-identical to
   /// a fault-free build.
   fault::FaultPlan faults{};
+  /// Flooding adversary (see FloodSpec). Unarmed by default: no node is
+  /// added and no timers fire. An armed flood also arms retries under
+  /// RetryMode::kAuto — shed traffic needs the backoff driver to recover.
+  FloodSpec flood{};
+  /// Object-side admission control, copied into every object's engine
+  /// config. Off by default (bit-identical runs).
+  AdmissionParams admission{};
   std::uint64_t seed = 1;
   std::uint64_t epoch = 1'000'000;  // wall-clock for cert validity
   bool pad_res2 = true;
@@ -93,6 +127,7 @@ enum class FailReason : std::uint8_t {
   kTimedOut,           // exchange exhausted its budget / round deadline
   kRejectedMalformed,  // subject rejected this peer's bytes (see rejects)
   kByzantineDetected,  // plan-Byzantine peer whose corruption was caught
+  kOverloaded,         // object shed the subject's traffic (admission/flood)
   kSilent,             // no fault scheduled, nothing rejected: policy silence
 };
 
@@ -108,6 +143,8 @@ inline const char* fail_reason_name(FailReason r) {
       return "rejected_malformed";
     case FailReason::kByzantineDetected:
       return "byzantine_detected";
+    case FailReason::kOverloaded:
+      return "overloaded";
     case FailReason::kSilent:
       return "silent";
   }
@@ -159,6 +196,12 @@ struct DiscoveryReport {
   /// (crash/reboot/straggle/zombie/byzantine firings, zombie-suppressed
   /// replies). Empty when no plan was armed.
   std::map<std::string, std::uint64_t> fault_counts;
+
+  /// Overload accounting, summed over the object fleet's engines. Zero
+  /// unless admission control was enabled (bounded-queue sheds live in
+  /// net_stats.queue_rejected / queue_evicted).
+  std::uint64_t shed_overload = 0;
+  std::uint64_t rate_limited = 0;
 
   [[nodiscard]] std::size_t count_level(int level) const;
 };

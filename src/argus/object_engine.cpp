@@ -1,5 +1,7 @@
 #include "argus/object_engine.hpp"
 
+#include <algorithm>
+
 #include "common/serde.hpp"
 #include "crypto/aes.hpp"
 
@@ -20,6 +22,7 @@ ObjectEngine::ObjectEngine(ObjectEngineConfig cfg)
   for (const auto& v : cfg_.creds.variants3) {
     max_prof_wire_ = std::max(max_prof_wire_, v.prof.serialize().size());
   }
+  global_bucket_.tokens = cfg_.admission.global_burst;
 }
 
 double ObjectEngine::take_consumed_ms() {
@@ -52,6 +55,58 @@ HandleResult ObjectEngine::fail(HandleStatus status) {
     }
   }
   return HandleResult(status);
+}
+
+HandleResult ObjectEngine::shed(HandleStatus status) {
+  if (status == HandleStatus::kShedOverload) ++stats_.shed_overload;
+  if (status == HandleStatus::kRateLimited) ++stats_.rate_limited;
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter(std::string("object.admission.") +
+                          status_name(status))
+        .inc();
+  }
+  return HandleResult(status);
+}
+
+void ObjectEngine::refill(TokenBucket& bucket, double now_ms,
+                          double rate_per_s, double burst) {
+  if (now_ms > bucket.last_ms) {
+    bucket.tokens = std::min(
+        burst, bucket.tokens + (now_ms - bucket.last_ms) * rate_per_s / 1000.0);
+    bucket.last_ms = now_ms;
+  }
+}
+
+HandleStatus ObjectEngine::admit(std::uint64_t peer) {
+  const AdmissionParams& adm = cfg_.admission;
+  const auto [it, fresh] = peer_buckets_.try_emplace(peer);
+  TokenBucket& pb = it->second;
+  if (fresh) {
+    pb.tokens = adm.peer_burst;
+    pb.last_ms = now_ms_;
+  }
+  pb.lru = lru_seq_++;
+  if (fresh && adm.peer_capacity > 0 &&
+      peer_buckets_.size() > adm.peer_capacity) {
+    // Evict the least-recently-active bucket (never the one just made —
+    // it holds the newest lru stamp). A re-appearing evicted peer starts
+    // over with a full bucket, which errs in the peer's favor.
+    auto victim = peer_buckets_.begin();
+    for (auto bit = peer_buckets_.begin(); bit != peer_buckets_.end(); ++bit) {
+      if (bit->second.lru < victim->second.lru) victim = bit;
+    }
+    peer_buckets_.erase(victim);
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->counter("object.admission.peer_evicted").inc();
+    }
+  }
+  refill(pb, now_ms_, adm.peer_rate_per_s, adm.peer_burst);
+  refill(global_bucket_, now_ms_, adm.global_rate_per_s, adm.global_burst);
+  if (pb.tokens < 1.0) return HandleStatus::kRateLimited;
+  if (global_bucket_.tokens < 1.0) return HandleStatus::kShedOverload;
+  pb.tokens -= 1.0;
+  global_bucket_.tokens -= 1.0;
+  return HandleStatus::kOk;
 }
 
 void ObjectEngine::note_eviction(std::uint64_t n) {
@@ -131,33 +186,38 @@ Bytes ObjectEngine::res2_plaintext(const backend::Profile& prof) const {
   return out;
 }
 
-HandleResult ObjectEngine::handle(ByteSpan wire, std::uint64_t now) {
+HandleResult ObjectEngine::handle(ByteSpan wire, std::uint64_t now,
+                                  std::uint64_t peer) {
+  // Cheapest check first: an oversized blob is refused before decode is
+  // even attempted, so floods of giant garbage cost near nothing.
+  if (cfg_.admission.enabled && cfg_.admission.max_wire_bytes > 0 &&
+      wire.size() > cfg_.admission.max_wire_bytes) {
+    ++stats_.drops;
+    return fail(HandleStatus::kMalformed);
+  }
   const auto msg = decode(wire);
   if (!msg) {
     ++stats_.drops;
     return fail(HandleStatus::kMalformed);
   }
   if (const auto* que1 = std::get_if<Que1>(&*msg)) {
-    return handle_que1(*que1, Bytes(wire.begin(), wire.end()));
+    return handle_que1(*que1, Bytes(wire.begin(), wire.end()), peer);
   }
   if (const auto* que2 = std::get_if<Que2>(&*msg)) {
-    return handle_que2(*que2, now);
+    return handle_que2(*que2, now, peer);
   }
   ++stats_.drops;  // objects only consume queries
   return fail(HandleStatus::kMalformed);
 }
 
-HandleResult ObjectEngine::handle_que1(const Que1& msg, const Bytes& wire) {
+HandleResult ObjectEngine::handle_que1(const Que1& msg, const Bytes& wire,
+                                       std::uint64_t peer) {
   // Freshness: duplicate R_S means a replayed/echoed query or a lossy-link
   // duplicate (§IV-B). Either way the response is idempotent: while the
   // exchange is open, resend the cached RES1 byte-for-byte (no fresh
   // crypto, so a duplicate cannot desynchronize the session); once the
   // exchange completed, stay silent — a replayed QUE1 learns nothing new.
-  const auto seen = seen_rs_.emplace(msg.r_s, lru_seq_);
-  if (seen.second) {
-    ++lru_seq_;
-    bound_state();
-  } else {
+  if (seen_rs_.find(msg.r_s) != seen_rs_.end()) {
     ++stats_.replays_detected;
     if (cfg_.creds.level == Level::kL1) {
       // Level 1 is stateless public plaintext: always safe to resend.
@@ -173,6 +233,15 @@ HandleResult ObjectEngine::handle_que1(const Que1& msg, const Bytes& wire) {
     }
     return HandleResult(HandleStatus::kStale);
   }
+  // Admission gates only fresh work, and it runs before any state write:
+  // a shed QUE1 leaves no trace, so the subject's backed-off retry of the
+  // same R_S still reads as fresh instead of kStale.
+  if (cfg_.admission.enabled) {
+    const HandleStatus adm = admit(peer);
+    if (adm != HandleStatus::kOk) return shed(adm);
+  }
+  seen_rs_.emplace(msg.r_s, lru_seq_++);
+  bound_state();
   ++stats_.que1_handled;
 
   if (cfg_.creds.level == Level::kL1) {
@@ -212,7 +281,8 @@ HandleResult ObjectEngine::handle_que1(const Que1& msg, const Bytes& wire) {
   return {res_wire};
 }
 
-HandleResult ObjectEngine::handle_que2(const Que2& msg, std::uint64_t now) {
+HandleResult ObjectEngine::handle_que2(const Que2& msg, std::uint64_t now,
+                                       std::uint64_t peer) {
   // Duplicate QUE2 after a completed exchange: resend the cached RES2
   // byte-for-byte. Identical bytes carry no new information (the same
   // nonces seal the same plaintext), and the retransmitted copy lets a
@@ -227,6 +297,15 @@ HandleResult ObjectEngine::handle_que2(const Que2& msg, std::uint64_t now) {
   if (sit == sessions_.end()) {
     ++stats_.drops;
     return fail(HandleStatus::kStale);
+  }
+  // All the cheap outcomes are settled (cache hit resends for free;
+  // unknown R_S is kStale with no crypto, so garbage cannot drain tokens).
+  // Admission gates only the expensive tail below — three signature
+  // verifications plus the key agreement. The session survives a shed, so
+  // a backed-off retry of the same QUE2 can still complete.
+  if (cfg_.admission.enabled) {
+    const HandleStatus adm = admit(peer);
+    if (adm != HandleStatus::kOk) return shed(adm);
   }
   // Work on a copy: a QUE2 that fails verification must leave the session
   // untouched so a later (possibly retransmitted) QUE2 can still complete.

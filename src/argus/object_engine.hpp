@@ -24,6 +24,29 @@
 
 namespace argus::core {
 
+/// Object-side admission control (overload protection). Disabled by
+/// default so existing runs are bit-identical; when enabled, every unit
+/// of fresh work passes a deterministic token-bucket check — per-peer
+/// first, then an engine-wide budget — before any signature verification
+/// or key agreement is attempted. Buckets refill on the virtual clock the
+/// driver feeds via advance_clock(), so admission is replayable. The
+/// defaults are sized just above a pi3-class object's crypto capacity
+/// (~6-7 QUE1 responses per second), i.e. they shed only traffic the
+/// engine could not have served in time anyway.
+struct AdmissionParams {
+  bool enabled = false;
+  double peer_rate_per_s = 5.0;   // sustained fresh-work rate per peer
+  double peer_burst = 4.0;        // bucket depth per peer
+  double global_rate_per_s = 20.0;  // engine-wide sustained rate
+  double global_burst = 16.0;       // engine-wide bucket depth
+  /// Cheapest check of all: wire blobs longer than this are dropped
+  /// before decode is even attempted. 0 disables the bound.
+  std::size_t max_wire_bytes = 4096;
+  /// LRU cap on tracked peer buckets — a flood from spoofed peer ids
+  /// must not grow the bucket map without bound.
+  std::size_t peer_capacity = 256;
+};
+
 struct ObjectEngineConfig {
   ProtocolVersion version = ProtocolVersion::kV30;
   backend::ObjectCredentials creds;
@@ -43,6 +66,9 @@ struct ObjectEngineConfig {
   std::size_t session_capacity = 128;
   double session_ttl_ms = 30'000;
   std::size_t replay_window = 1024;
+  /// Overload protection (see AdmissionParams). Off by default: the
+  /// admission path is never consulted and no bucket state is touched.
+  AdmissionParams admission{};
   /// Optional sink for per-crypto-op modeled cost (null = no accounting,
   /// no overhead beyond one pointer test per op).
   obs::MetricsRegistry* metrics = nullptr;
@@ -54,8 +80,11 @@ class ObjectEngine {
 
   /// Process one incoming message; returns the reply wire (if any) plus
   /// the handling status. Never throws on peer input. `now` is the
-  /// current (virtual) time, used for certificate validity.
-  HandleResult handle(ByteSpan wire, std::uint64_t now);
+  /// current (virtual) time, used for certificate validity. `peer`
+  /// identifies the sender for per-peer rate limiting (0 = anonymous;
+  /// all anonymous traffic shares one bucket). Ignored unless admission
+  /// control is enabled.
+  HandleResult handle(ByteSpan wire, std::uint64_t now, std::uint64_t peer = 0);
 
   /// Feed the engine virtual time (monotonic, ms). Sessions, cached
   /// replies, and replay entries older than the TTL are evicted here.
@@ -91,6 +120,10 @@ class ObjectEngine {
     std::uint64_t retransmissions = 0;  // cached resends of RES1/RES2
     std::uint64_t fellows_confirmed = 0;  // Level 3 successes
     std::uint64_t evictions = 0;          // TTL/capacity state evictions
+    // Admission-control sheds (zero unless admission is enabled). Sheds
+    // are neither drops nor rejects: the bytes were never inspected.
+    std::uint64_t shed_overload = 0;  // engine-wide budget exhausted
+    std::uint64_t rate_limited = 0;   // a peer's bucket ran dry
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t open_sessions() const { return sessions_.size(); }
@@ -113,8 +146,28 @@ class ObjectEngine {
     std::uint64_t lru = 0;
   };
 
-  HandleResult handle_que1(const Que1& msg, const Bytes& wire);
-  HandleResult handle_que2(const Que2& msg, std::uint64_t now);
+  /// Deterministic token bucket refilled from the engine's virtual clock.
+  struct TokenBucket {
+    double tokens = 0;
+    double last_ms = 0;
+    std::uint64_t lru = 0;
+  };
+
+  HandleResult handle_que1(const Que1& msg, const Bytes& wire,
+                           std::uint64_t peer);
+  HandleResult handle_que2(const Que2& msg, std::uint64_t now,
+                           std::uint64_t peer);
+
+  /// Admission check for one unit of fresh (non-cached) work. Refills
+  /// both buckets from the virtual clock, then spends one token from
+  /// each. The per-peer bucket is consulted first, so a single noisy
+  /// peer reads as kRateLimited before it can drain the shared budget
+  /// other peers depend on.
+  HandleStatus admit(std::uint64_t peer);
+  static void refill(TokenBucket& bucket, double now_ms, double rate_per_s,
+                     double burst);
+  /// Terminal shed: count kShedOverload / kRateLimited (stats + metrics).
+  HandleResult shed(HandleStatus status);
 
   /// Terminal non-reply: count is_reject statuses (stats + metrics).
   HandleResult fail(HandleStatus status);
@@ -140,6 +193,8 @@ class ObjectEngine {
   std::map<Bytes, Session> sessions_;  // keyed by R_S
   std::map<Bytes, CachedRes2> res2_cache_;  // R_S -> completed-exchange RES2
   std::map<Bytes, std::uint64_t> seen_rs_;  // replay detection, LRU-stamped
+  std::map<std::uint64_t, TokenBucket> peer_buckets_;  // admission, LRU-capped
+  TokenBucket global_bucket_;
   std::set<std::string> revoked_;
   std::uint64_t last_revocation_seq_ = 0;
   std::size_t max_prof_wire_ = 0;

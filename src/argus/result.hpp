@@ -27,6 +27,13 @@ enum class HandleStatus : std::uint8_t {
   kBadMac,        // HMAC check failed
   kBadSeal,       // sealed box failed to open
   kRevoked,       // peer is on the revocation list
+  /// Overload protection (admission control): the message was valid as
+  /// far as anyone looked, but the engine refused to spend crypto on it.
+  /// Sheds are retryable — a backoff-and-resend is expected to succeed
+  /// once the bucket refills — and are NOT rejections (the peer may be
+  /// perfectly honest; it just arrived during a storm).
+  kShedOverload,  // engine-wide admission budget exhausted
+  kRateLimited,   // this peer's token bucket ran dry
 };
 
 inline const char* status_name(HandleStatus status) {
@@ -55,6 +62,10 @@ inline const char* status_name(HandleStatus status) {
       return "bad_seal";
     case HandleStatus::kRevoked:
       return "revoked";
+    case HandleStatus::kShedOverload:
+      return "shed_overload";
+    case HandleStatus::kRateLimited:
+      return "rate_limited";
   }
   return "?";
 }
@@ -76,6 +87,15 @@ constexpr bool is_reject(HandleStatus status) {
     default:
       return false;
   }
+}
+
+/// True for admission-control sheds: load the engine refused, not bytes
+/// it distrusted. Distinct from is_reject() so overload never inflates a
+/// peer's hostile-bytes count, and from loss so drivers can retry with
+/// backoff instead of writing the peer off.
+constexpr bool is_shed(HandleStatus status) {
+  return status == HandleStatus::kShedOverload ||
+         status == HandleStatus::kRateLimited;
 }
 
 /// Reply bytes plus why. Optional-like so `if (res)`, `*res`, `res->...`

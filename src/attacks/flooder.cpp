@@ -1,0 +1,60 @@
+#include "attacks/flooder.hpp"
+
+namespace argus::attacks {
+
+using core::HandleStatus;
+using core::MsgType;
+using core::Que1;
+
+Flooder::Flooder(Kind kind, std::uint64_t seed, Bytes replay_wire)
+    : kind_(kind),
+      rng_(crypto::make_rng(seed, "flooder")),
+      replay_wire_(std::move(replay_wire)) {}
+
+Bytes Flooder::next() {
+  switch (kind_) {
+    case Kind::kQue1Storm:
+      // Fresh nonce every time: each payload reads as a brand-new
+      // exchange, so an unprotected engine pays full price for each.
+      return core::encode(core::Message{Que1{rng_.generate(core::kNonceSize)}});
+    case Kind::kGarbageQue2: {
+      Bytes junk = rng_.generate(64 + (rng_.generate(1)[0] % 128));
+      junk[0] = static_cast<std::uint8_t>(MsgType::kQue2);
+      return junk;
+    }
+    case Kind::kReplay:
+      return replay_wire_;
+  }
+  return {};
+}
+
+FloodOutcome Flooder::run_against(core::ObjectEngine& engine,
+                                  std::size_t count, double tick_ms,
+                                  std::uint64_t now, std::uint64_t peer) {
+  FloodOutcome out;
+  double clock = 0;
+  (void)engine.take_consumed_ms();  // meter only the flood's own cost
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto res = engine.handle(next(), now, peer);
+    out.victim_compute_ms += engine.take_consumed_ms();
+    ++out.sent;
+    if (res.status == HandleStatus::kOk) {
+      ++out.served;
+    } else if (core::is_shed(res.status)) {
+      ++out.shed;
+    } else if (core::is_reject(res.status)) {
+      ++out.rejected;
+    } else {
+      ++out.other;
+    }
+    clock += tick_ms;
+    engine.advance_clock(clock);
+  }
+  return out;
+}
+
+Flooder replay_flooder(const CapturedTrace& trace, std::uint64_t seed) {
+  return Flooder(Flooder::Kind::kReplay, seed, trace.que2);
+}
+
+}  // namespace argus::attacks

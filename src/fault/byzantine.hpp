@@ -57,8 +57,8 @@ class ByzantineEngine {
   /// Forward to the wrapped engine, then corrupt the reply when armed.
   /// The return type follows the wrapped engine's handle() so callers
   /// keep their status taxonomy.
-  auto handle(ByteSpan wire, std::uint64_t now) {
-    auto result = engine_.handle(wire, now);
+  auto handle(ByteSpan wire, std::uint64_t now, std::uint64_t peer = 0) {
+    auto result = engine_.handle(wire, now, peer);
     if (mutator_.armed() && result.has_value()) {
       *result = mutator_.mutate(std::move(*result));
     }

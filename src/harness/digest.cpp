@@ -124,6 +124,24 @@ std::string report_json(const core::DiscoveryReport& report) {
     out.append(",\"fault_dropped\":");
     put_u64(out, report.net_stats.fault_dropped);
   }
+  // Overload fields follow the same omit-when-default rule (queue_peak is
+  // deliberately never serialized: it is nonzero even in clean runs).
+  if (report.net_stats.queue_rejected > 0) {
+    out.append(",\"queue_rejected\":");
+    put_u64(out, report.net_stats.queue_rejected);
+  }
+  if (report.net_stats.queue_evicted > 0) {
+    out.append(",\"queue_evicted\":");
+    put_u64(out, report.net_stats.queue_evicted);
+  }
+  if (report.shed_overload > 0) {
+    out.append(",\"shed_overload\":");
+    put_u64(out, report.shed_overload);
+  }
+  if (report.rate_limited > 0) {
+    out.append(",\"rate_limited\":");
+    put_u64(out, report.rate_limited);
+  }
   if (!report.fault_counts.empty()) {
     out.append(",\"faults\":{");
     bool f = true;

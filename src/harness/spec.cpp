@@ -90,6 +90,11 @@ std::optional<GridSpec> parse_grid_spec(std::istream& is, std::string* error) {
       for (const double c : spec.byzantine) ok = ok && c >= 0.0 && c <= 1.0;
     } else if (key == "reboot") {
       ok = parse_one(value, spec.reboot_ms);
+    } else if (key == "flood") {
+      ok = parse_list(value, spec.flood_rate);
+      for (const double f : spec.flood_rate) ok = ok && f >= 0.0;
+    } else if (key == "queue") {
+      ok = parse_list(value, spec.queue_depth);
     } else {
       return fail("unknown key '" + std::string(key) + "'");
     }
@@ -139,6 +144,15 @@ const std::map<std::string, GridSpec>& builtin_grids() {
       s.crash = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
       s.reboot_ms = 900;
       g.emplace("churn", std::move(s));
+    }
+    {
+      GridSpec s;  // Flood sweep: fleets vs QUE1-storm intensity, bounded
+                   // ingress queues (admission arms with the flood)
+      s.levels = {1, 2, 3};
+      s.objects = {10};
+      s.flood_rate = {0.0, 100.0, 200.0, 400.0};
+      s.queue_depth = {16};
+      g.emplace("flood", std::move(s));
     }
     return g;
   }();

@@ -14,8 +14,11 @@
 // Chaos axes: `crash`, `straggle`, `zombie`, `byzantine` (per-object
 // fault probabilities, 0..1) and the scalar `reboot` (crash reboot delay
 // in ms; negative = crashed nodes stay down).
+// Overload axes: `flood` (QUE1-storm rates in msgs/s; nonzero cells arm
+// the flooder plus object-side admission control) and `queue` (per-node
+// ingress-queue depths; nonzero cells bound the queue, drop-oldest).
 // The paper's figure grids ship as named builtins (fig6e/6f/6g/6h, loss,
-// churn).
+// churn, flood).
 #pragma once
 
 #include <iosfwd>

@@ -33,30 +33,38 @@ backend::Level to_level(int level) {
 std::vector<SweepPoint> expand(const GridSpec& spec) {
   std::vector<SweepPoint> grid;
   grid.reserve(spec.seeds.size() * spec.crash.size() * spec.straggle.size() *
-               spec.zombie.size() * spec.byzantine.size() * spec.drop.size() *
-               spec.hops.size() * spec.objects.size() * spec.levels.size());
+               spec.zombie.size() * spec.byzantine.size() *
+               spec.flood_rate.size() * spec.queue_depth.size() *
+               spec.drop.size() * spec.hops.size() * spec.objects.size() *
+               spec.levels.size());
   for (const std::uint64_t seed : spec.seeds) {
     for (const double crash : spec.crash) {
       for (const double straggle : spec.straggle) {
         for (const double zombie : spec.zombie) {
           for (const double byzantine : spec.byzantine) {
-            for (const double drop : spec.drop) {
-              for (const unsigned hops : spec.hops) {
-                for (const std::size_t n : spec.objects) {
-                  for (const int level : spec.levels) {
-                    SweepPoint p;
-                    p.level = level;
-                    p.objects = n;
-                    p.hops = hops;
-                    p.per_ring = spec.per_ring;
-                    p.drop = drop;
-                    p.seed = seed;
-                    p.crash = crash;
-                    p.straggle = straggle;
-                    p.zombie = zombie;
-                    p.byzantine = byzantine;
-                    p.reboot_ms = spec.reboot_ms;
-                    grid.push_back(p);
+            for (const double flood_rate : spec.flood_rate) {
+              for (const std::size_t queue_depth : spec.queue_depth) {
+                for (const double drop : spec.drop) {
+                  for (const unsigned hops : spec.hops) {
+                    for (const std::size_t n : spec.objects) {
+                      for (const int level : spec.levels) {
+                        SweepPoint p;
+                        p.level = level;
+                        p.objects = n;
+                        p.hops = hops;
+                        p.per_ring = spec.per_ring;
+                        p.drop = drop;
+                        p.seed = seed;
+                        p.crash = crash;
+                        p.straggle = straggle;
+                        p.zombie = zombie;
+                        p.byzantine = byzantine;
+                        p.reboot_ms = spec.reboot_ms;
+                        p.flood_rate = flood_rate;
+                        p.queue_depth = queue_depth;
+                        grid.push_back(p);
+                      }
+                    }
                   }
                 }
               }
@@ -100,6 +108,14 @@ std::string point_label(const SweepPoint& point) {
   if (point.byzantine > 0) {
     out += " byz=";
     put_double(out, point.byzantine);
+  }
+  // Overload axes likewise appear only when armed.
+  if (point.flood_rate > 0) {
+    out += " flood=";
+    put_double(out, point.flood_rate);
+  }
+  if (point.queue_depth > 0) {
+    out += " qdepth=" + std::to_string(point.queue_depth);
   }
   return out;
 }
@@ -153,6 +169,20 @@ core::DiscoveryScenario make_scenario(const SweepPoint& point) {
   // ~150-600 virtual ms); the plan's 2000ms default would put most faults
   // after the protocol already completed.
   sc.faults.horizon_ms = 600.0;
+  // Overload axes: a flooded cell gets a QUE1-storm adversary plus
+  // object-side admission control (flood without protection just measures
+  // an unbounded queue melting down); a bounded-queue cell sheds overflow
+  // by evicting the oldest parked message.
+  if (point.flood_rate > 0) {
+    sc.flood.rate_per_s = point.flood_rate;
+    sc.flood.kind = core::FloodSpec::Kind::kQue1Storm;
+    sc.flood.seed = point.seed + 77;
+    sc.admission.enabled = true;
+  }
+  if (point.queue_depth > 0) {
+    sc.radio.queue_depth = point.queue_depth;
+    sc.radio.queue_policy = net::QueuePolicy::kDropOldest;
+  }
   return sc;
 }
 
@@ -239,6 +269,20 @@ void write_jsonl_line(std::ostream& os, const SweepPoint& point,
     }
     line.append(",\"fault_dropped\":" +
                 std::to_string(r.net_stats.fault_dropped));
+  }
+  // Overload axes and effects likewise appear only in armed cells.
+  if (point.flood_rate > 0) {
+    line.append(",\"flood\":");
+    put_double(line, point.flood_rate);
+    line.append(",\"shed_overload\":" + std::to_string(r.shed_overload));
+    line.append(",\"rate_limited\":" + std::to_string(r.rate_limited));
+  }
+  if (point.queue_depth > 0) {
+    line.append(",\"qdepth\":" + std::to_string(point.queue_depth));
+    line.append(",\"queue_rejected\":" +
+                std::to_string(r.net_stats.queue_rejected));
+    line.append(",\"queue_evicted\":" +
+                std::to_string(r.net_stats.queue_evicted));
   }
   line.append(",\"total_ms\":");
   put_double(line, r.total_ms);

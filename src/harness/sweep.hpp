@@ -45,12 +45,18 @@ struct SweepPoint {
   double zombie = 0.0;
   double byzantine = 0.0;
   double reboot_ms = -1.0;  // crash reboot delay; < 0 = stays down
+  /// Overload axes. flood_rate > 0 arms a QUE1-storm flooder at that many
+  /// messages/s and enables object-side admission control; queue_depth > 0
+  /// bounds every node's ingress queue (drop-oldest). Zero keeps the cell
+  /// byte-identical to a flood-free build.
+  double flood_rate = 0.0;
+  std::size_t queue_depth = 0;
 };
 
 /// Cartesian sweep axes; expand() produces the grid in a fixed nested
-/// order (seeds outermost, then crash, straggle, zombie, byzantine, drop,
-/// hops, objects, levels innermost), so a spec always names the same
-/// sequence of points.
+/// order (seeds outermost, then crash, straggle, zombie, byzantine,
+/// flood_rate, queue_depth, drop, hops, objects, levels innermost), so a
+/// spec always names the same sequence of points.
 struct GridSpec {
   std::vector<int> levels{2};
   std::vector<std::size_t> objects{1};
@@ -64,6 +70,9 @@ struct GridSpec {
   std::vector<double> zombie{0.0};
   std::vector<double> byzantine{0.0};
   double reboot_ms = -1.0;  // scalar: applies to every crashed cell
+  /// Overload axes; the {0} defaults expand to flood-free cells.
+  std::vector<double> flood_rate{0.0};
+  std::vector<std::size_t> queue_depth{0};
 };
 
 std::vector<SweepPoint> expand(const GridSpec& spec);

@@ -53,7 +53,8 @@ SimTime Network::reserve_channel(unsigned ring, SimTime earliest,
 }
 
 void Network::deliver(NodeId from, NodeId to, Bytes payload, SimTime arrival) {
-  sim_.schedule_at(arrival, [this, from, to, payload = std::move(payload)] {
+  sim_.schedule_at(arrival, [this, from, to,
+                             payload = std::move(payload)]() mutable {
     if (!nodes_.at(to).up) {
       fault_drop(from, to, payload.size());
       return;
@@ -61,11 +62,11 @@ void Network::deliver(NodeId from, NodeId to, Bytes payload, SimTime arrival) {
     if (tracer_) {
       tracer_->instant(sim_.now(), to, "rx", "net", payload.size(), from);
     }
-    process(from, to, payload);
+    process(from, to, std::move(payload));
   });
 }
 
-void Network::process(NodeId from, NodeId to, const Bytes& payload) {
+void Network::process(NodeId from, NodeId to, Bytes payload) {
   auto& slot = nodes_.at(to);
   // The node may have crashed while the message waited behind its busy
   // window — a queued copy dies with the node.
@@ -73,17 +74,124 @@ void Network::process(NodeId from, NodeId to, const Bytes& payload) {
     fault_drop(from, to, payload.size());
     return;
   }
-  // The node is a serial processor: if it is mid-compute, try again once
-  // it frees up. busy_until may have moved again by then (another queued
-  // message's handler ran first), so the check repeats at fire time
-  // rather than trusting a snapshot taken at arrival.
+  // The node is a serial processor: a mid-compute receiver parks the
+  // message in its ingress queue until the busy window ends. busy_until
+  // may have moved again by then (another queued message's handler ran
+  // first), so wake() re-checks at fire time rather than trusting a
+  // snapshot taken at arrival.
   if (slot.busy_until > sim_.now()) {
-    sim_.schedule_at(slot.busy_until,
-                     [this, from, to, payload] { process(from, to, payload); });
+    park(from, to, std::move(payload));
     return;
   }
   ++stats_.deliveries;
   slot.node->on_message(from, payload);
+}
+
+void Network::park(NodeId from, NodeId to, Bytes payload) {
+  auto& slot = nodes_.at(to);
+  if (queue_full(to) && !make_room(to, payload)) {
+    queue_shed(from, to, payload.size(), /*evicted=*/false);
+    return;
+  }
+  Parked entry;
+  entry.park_id = next_park_++;
+  entry.from = from;
+  entry.bytes = payload.size();
+  entry.enqueued = sim_.now();
+  entry.prio = payload.empty() ? 0xFF : payload[0];
+  const std::uint64_t park_id = entry.park_id;
+  // The wake timer targets the exact stored busy_until: the same fire
+  // time the legacy re-check used, so unbounded runs keep an identical
+  // event timeline.
+  entry.timer = sim_.schedule_timer_at(
+      slot.busy_until,
+      [this, from, to, park_id, payload = std::move(payload)]() mutable {
+        wake(from, to, park_id, std::move(payload));
+      });
+  slot.parked.push_back(entry);
+  stats_.queue_peak =
+      std::max<std::uint64_t>(stats_.queue_peak, slot.parked.size());
+  if (metrics_) {
+    metrics_->histogram("net.queue.depth")
+        .observe(static_cast<double>(slot.parked.size()));
+  }
+}
+
+void Network::wake(NodeId from, NodeId to, std::uint64_t park_id,
+                   Bytes payload) {
+  auto& slot = nodes_.at(to);
+  SimTime enqueued = sim_.now();
+  for (auto it = slot.parked.begin(); it != slot.parked.end(); ++it) {
+    if (it->park_id == park_id) {
+      enqueued = it->enqueued;
+      slot.parked.erase(it);
+      break;
+    }
+  }
+  if (!slot.up) {
+    fault_drop(from, to, payload.size());
+    return;
+  }
+  if (slot.busy_until > sim_.now()) {
+    // Still busy (an earlier wake's handler extended the window): go to
+    // the back of the queue again, exactly like the legacy re-check.
+    park(from, to, std::move(payload));
+    return;
+  }
+  if (metrics_) {
+    metrics_->histogram("net.queue.wait_ms").observe(sim_.now() - enqueued);
+  }
+  ++stats_.deliveries;
+  slot.node->on_message(from, payload);
+}
+
+bool Network::make_room(NodeId to, const Bytes& arriving) {
+  auto& slot = nodes_.at(to);
+  switch (radio_.queue_policy) {
+    case QueuePolicy::kDropTail:
+      return false;
+    case QueuePolicy::kDropOldest: {
+      const Parked victim = slot.parked.front();
+      sim_.cancel_timer(victim.timer);
+      slot.parked.pop_front();
+      queue_shed(victim.from, to, victim.bytes, /*evicted=*/true);
+      return true;
+    }
+    case QueuePolicy::kPriority: {
+      // Weakest class loses; newest of the weakest class goes first so
+      // the oldest strong entries keep their place in line.
+      auto worst = slot.parked.begin();
+      for (auto it = slot.parked.begin(); it != slot.parked.end(); ++it) {
+        if (it->prio >= worst->prio) worst = it;
+      }
+      const std::uint8_t arriving_prio = arriving.empty() ? 0xFF : arriving[0];
+      if (arriving_prio >= worst->prio) return false;
+      const Parked victim = *worst;
+      sim_.cancel_timer(victim.timer);
+      slot.parked.erase(worst);
+      queue_shed(victim.from, to, victim.bytes, /*evicted=*/true);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Network::queue_shed(NodeId from, NodeId to, std::size_t bytes,
+                         bool evicted) {
+  if (evicted) {
+    ++stats_.queue_evicted;
+  } else {
+    ++stats_.queue_rejected;
+  }
+  if (metrics_) {
+    metrics_->counter(evicted ? "net.queue.evicted" : "net.queue.rejected")
+        .inc();
+  }
+  if (tracer_) {
+    tracer_->instant(sim_.now(), to,
+                     evicted ? "drop.queue_evict" : "drop.queue_full", "net",
+                     bytes, from);
+  }
 }
 
 void Network::fault_drop(NodeId from, NodeId to, std::size_t bytes) {
@@ -138,6 +246,7 @@ SendOutcome Network::unicast(NodeId from, NodeId to, Bytes payload) {
     if (chance(radio_.dup_prob)) ++extra;
   }
   SendOutcome out;
+  out.congested = queue_full(to);
   if (lost) {
     out.drops = 1;
     ++stats_.dropped;
@@ -192,6 +301,7 @@ SendOutcome Network::broadcast(NodeId from, Bytes payload) {
   SendOutcome out;
   for (const auto& [id, slot] : nodes_) {
     if (id == from) continue;
+    out.congested = out.congested || queue_full(id);
     const unsigned h = std::max(1u, slot.hops);
     const SimTime arrival = ring_arrival[std::min<unsigned>(h, max_hops)];
     bool lost = false;

@@ -10,10 +10,14 @@
 //   * per-hop pipeline latency — protocol/OS overhead that does NOT occupy
 //     the channel, so different messages' latencies overlap.
 // Each node is a serial processor: handler compute time (from the
-// ComputeModel) delays both its replies and its next message.
+// ComputeModel) delays both its replies and its next message. Arrivals
+// that find the node busy wait in an explicit per-node ingress queue —
+// unbounded by default, or bounded (RadioParams::queue_depth) with a
+// configurable overflow policy for overload-protection experiments.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <vector>
 
@@ -31,6 +35,26 @@ namespace argus::net {
 
 using NodeId = std::uint32_t;
 
+/// What a full ingress queue does with the overflow (queue_depth > 0).
+enum class QueuePolicy : std::uint8_t {
+  kDropTail = 0,    // reject the arriving message
+  kDropOldest = 1,  // evict the head (oldest queued) to admit the arrival
+  /// Evict the queued message with the weakest class; the class is the
+  /// wire-type byte (QUE1=1 outranks QUE2=4 outranks junk), newest of the
+  /// weakest class first. An arrival no stronger than the weakest queued
+  /// entry is rejected instead — the queue never trades up for it.
+  kPriority = 2,
+};
+
+inline const char* queue_policy_name(QueuePolicy p) {
+  switch (p) {
+    case QueuePolicy::kDropTail: return "drop_tail";
+    case QueuePolicy::kDropOldest: return "drop_oldest";
+    case QueuePolicy::kPriority: return "priority";
+  }
+  return "?";
+}
+
 struct RadioParams {
   double bandwidth_bytes_per_ms = 110.0;  // effective app-layer throughput
   double per_hop_latency_ms = 52.0;       // per message per hop, overlapping
@@ -40,6 +64,14 @@ struct RadioParams {
   /// draws happen at all and the zero-loss event/RNG stream is unchanged.
   double drop_prob = 0.0;  // P(a copy is lost on one hop)
   double dup_prob = 0.0;   // P(a hop delivers an extra copy)
+  /// Per-node ingress queue bound. 0 keeps the legacy unbounded queue
+  /// (every blocked arrival waits behind busy_until, however long that
+  /// grows); > 0 caps the number of waiting messages per node and applies
+  /// `queue_policy` to the overflow. Bounded-queue sheds are counted in
+  /// Stats (queue_rejected / queue_evicted) and traced as
+  /// drop.queue_full / drop.queue_evict instants.
+  std::size_t queue_depth = 0;
+  QueuePolicy queue_policy = QueuePolicy::kDropTail;
 };
 
 class Network;
@@ -50,6 +82,11 @@ struct SendOutcome {
   bool delivered = false;   // at least one receiver will get a copy
   unsigned drops = 0;       // copies lost in flight
   unsigned duplicates = 0;  // extra copies delivered
+  /// Backpressure signal: some receiver's bounded ingress queue was
+  /// already full at send time. The copy may still land (the queue can
+  /// drain while it is in flight) — this is the sender's early congestion
+  /// hint, always false on unbounded (queue_depth == 0) networks.
+  bool congested = false;
 };
 
 /// Base class for protocol endpoints attached to the network.
@@ -124,6 +161,12 @@ class Network {
     std::uint64_t dropped = 0;        // copies lost in flight
     std::uint64_t duplicates = 0;     // extra copies delivered
     std::uint64_t fault_dropped = 0;  // copies lost to a crashed node
+    // Bounded-queue sheds (zero on unbounded networks).
+    std::uint64_t queue_rejected = 0;  // arrivals refused at a full queue
+    std::uint64_t queue_evicted = 0;   // queued messages displaced by policy
+    /// High-water mark of any node's ingress queue (tracked in every mode;
+    /// the legacy unbounded queue has a peak too, it was just invisible).
+    std::uint64_t queue_peak = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -136,13 +179,34 @@ class Network {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Current ingress-queue length of a node (messages parked behind its
+  /// busy window). Exposed for backpressure-aware callers and tests.
+  [[nodiscard]] std::size_t queue_length(NodeId node) const {
+    return nodes_.at(node).parked.size();
+  }
+
  private:
+  /// One message parked behind a busy receiver. The payload lives in the
+  /// wake timer's closure; the entry carries what eviction and metering
+  /// need. `park_id` matches a firing wake event back to its entry
+  /// (entries can fire out of deque order across a reboot, when a newer
+  /// arrival parks against an earlier busy_until).
+  struct Parked {
+    std::uint64_t park_id = 0;
+    TimerId timer = 0;
+    NodeId from = 0;
+    std::size_t bytes = 0;
+    SimTime enqueued = 0;
+    std::uint8_t prio = 0xFF;  // wire-type byte; lower = more important
+  };
+
   struct NodeSlot {
     SimNode* node = nullptr;
     unsigned hops = 0;
     SimTime busy_until = 0;
     bool up = true;
     double compute_factor = 1.0;
+    std::deque<Parked> parked;  // explicit ingress queue, arrival order
   };
 
   /// Reserve the hop-ring channel `ring` for `occupancy` ms starting no
@@ -151,8 +215,24 @@ class Network {
   /// hops out does not block fresh transmissions at the subject.
   SimTime reserve_channel(unsigned ring, SimTime earliest, double occupancy);
   void deliver(NodeId from, NodeId to, Bytes payload, SimTime arrival);
-  /// Run the receiver's handler, or re-queue behind its compute window.
-  void process(NodeId from, NodeId to, const Bytes& payload);
+  /// Run the receiver's handler, or park the message in its ingress queue.
+  void process(NodeId from, NodeId to, Bytes payload);
+  /// Park one message behind the receiver's busy window; enforces the
+  /// bounded-queue policy first when queue_depth > 0.
+  void park(NodeId from, NodeId to, Bytes payload);
+  /// A parked message's wake timer fired: retire its queue entry, then
+  /// handle it (or re-park if the node is busy again / drop if it died).
+  void wake(NodeId from, NodeId to, std::uint64_t park_id, Bytes payload);
+  /// Make room in a full queue per the policy. True if an entry was
+  /// evicted; false means the arrival itself must be rejected.
+  bool make_room(NodeId to, const Bytes& arriving);
+  /// Account one bounded-queue shed (arrival rejected or entry evicted).
+  void queue_shed(NodeId from, NodeId to, std::size_t bytes, bool evicted);
+  /// True when `to` has a bounded ingress queue that is currently full.
+  [[nodiscard]] bool queue_full(NodeId to) const {
+    return radio_.queue_depth > 0 &&
+           nodes_.at(to).parked.size() >= radio_.queue_depth;
+  }
   /// Account one copy lost to a down node.
   void fault_drop(NodeId from, NodeId to, std::size_t bytes);
   double jitter();
@@ -165,6 +245,7 @@ class Network {
   crypto::HmacDrbg rng_;
   std::map<NodeId, NodeSlot> nodes_;
   NodeId next_id_ = 1;
+  std::uint64_t next_park_ = 1;
   std::vector<SimTime> ring_free_;  // per-hop-ring contention domains
   Stats stats_;
   obs::Tracer* tracer_ = nullptr;

@@ -24,6 +24,14 @@ TimerId Simulator::schedule_timer(SimTime delay, std::function<void()> fn) {
   return id;
 }
 
+TimerId Simulator::schedule_timer_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) throw std::invalid_argument("Simulator: time in the past");
+  const TimerId id = next_timer_++;
+  live_timers_.insert(id);
+  queue_.push(Event{when, next_seq_++, std::move(fn), id});
+  return id;
+}
+
 bool Simulator::cancel_timer(TimerId id) {
   return live_timers_.erase(id) > 0;
 }

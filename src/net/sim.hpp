@@ -37,6 +37,10 @@ class Simulator {
   /// timer's slot is skipped on pop without firing, advancing the clock,
   /// or counting toward executed().
   TimerId schedule_timer(SimTime delay, std::function<void()> fn);
+  /// Cancellable callback at an absolute virtual time (>= now). The
+  /// absolute form exists so callers can hit an exact stored deadline
+  /// (e.g. a node's busy_until) without a now+delta float round trip.
+  TimerId schedule_timer_at(SimTime when, std::function<void()> fn);
   /// Cancel a pending timer. Returns false if it already fired (or was
   /// already cancelled); cancelling is idempotent either way.
   bool cancel_timer(TimerId id);

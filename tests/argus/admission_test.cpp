@@ -1,0 +1,181 @@
+// Object-side admission control: deterministic token buckets in front of
+// the expensive RES1/RES2 crypto, cheap checks first, sheds leave no
+// session state behind. Off by default — the last test pins that the
+// disabled path is truly untouched.
+#include <gtest/gtest.h>
+
+#include "argus/object_engine.hpp"
+#include "obs/metrics.hpp"
+
+namespace argus::core {
+namespace {
+
+using backend::AttributeMap;
+using backend::Backend;
+using backend::Level;
+
+class AdmissionFixture : public ::testing::Test {
+ protected:
+  AdmissionFixture() : be_(crypto::Strength::b128, 4077) {
+    tv_ = be_.register_object(
+        "tv-1", AttributeMap{{"type", "multimedia"}}, Level::kL2, {},
+        {{"position=='employee'", "staff", {"play"}}});
+  }
+
+  ObjectEngine make_object(AdmissionParams admission,
+                           obs::MetricsRegistry* metrics = nullptr) {
+    ObjectEngineConfig cfg;
+    cfg.creds = tv_;
+    cfg.admin_pub = be_.admin_public_key();
+    cfg.seed = 6;
+    cfg.admission = admission;
+    cfg.metrics = metrics;
+    return ObjectEngine(std::move(cfg));
+  }
+
+  /// A fresh, well-formed QUE1 (each call a distinct R_S).
+  Bytes que1() { return encode(Message{Que1{rng_.generate(kNonceSize)}}); }
+
+  Backend be_;
+  backend::ObjectCredentials tv_;
+  crypto::HmacDrbg rng_ = crypto::make_rng(9, "admission-test");
+};
+
+AdmissionParams small_bucket() {
+  AdmissionParams adm;
+  adm.enabled = true;
+  adm.peer_rate_per_s = 1.0;
+  adm.peer_burst = 2.0;
+  adm.global_rate_per_s = 100.0;
+  adm.global_burst = 100.0;
+  return adm;
+}
+
+TEST_F(AdmissionFixture, BurstThenRateLimited) {
+  auto o = make_object(small_bucket());
+  EXPECT_EQ(o.handle(que1(), be_.now(), 7).status, HandleStatus::kOk);
+  EXPECT_EQ(o.handle(que1(), be_.now(), 7).status, HandleStatus::kOk);
+  const auto third = o.handle(que1(), be_.now(), 7);
+  EXPECT_EQ(third.status, HandleStatus::kRateLimited);
+  EXPECT_FALSE(third.reply.has_value());  // shed silently, no error traffic
+  EXPECT_EQ(o.stats().rate_limited, 1u);
+  EXPECT_EQ(o.stats().shed_overload, 0u);
+  // Shed is a load decision, not a verdict on the message: it must be
+  // retryable, so it is neither kOk nor a protocol rejection.
+  EXPECT_TRUE(is_shed(third.status));
+  EXPECT_FALSE(is_reject(third.status));
+}
+
+TEST_F(AdmissionFixture, BucketRefillsOnVirtualClock) {
+  auto o = make_object(small_bucket());
+  EXPECT_EQ(o.handle(que1(), be_.now(), 7).status, HandleStatus::kOk);
+  EXPECT_EQ(o.handle(que1(), be_.now(), 7).status, HandleStatus::kOk);
+  EXPECT_EQ(o.handle(que1(), be_.now(), 7).status,
+            HandleStatus::kRateLimited);
+  // 1 token/s: two virtual seconds later, two more queries pass.
+  o.advance_clock(2000.0);
+  EXPECT_EQ(o.handle(que1(), be_.now(), 7).status, HandleStatus::kOk);
+  EXPECT_EQ(o.handle(que1(), be_.now(), 7).status, HandleStatus::kOk);
+  EXPECT_EQ(o.handle(que1(), be_.now(), 7).status,
+            HandleStatus::kRateLimited);
+}
+
+TEST_F(AdmissionFixture, PeersAreIsolated) {
+  auto o = make_object(small_bucket());
+  EXPECT_EQ(o.handle(que1(), be_.now(), 7).status, HandleStatus::kOk);
+  EXPECT_EQ(o.handle(que1(), be_.now(), 7).status, HandleStatus::kOk);
+  EXPECT_EQ(o.handle(que1(), be_.now(), 7).status,
+            HandleStatus::kRateLimited);
+  // A hostile peer draining its own bucket must not starve anyone else.
+  EXPECT_EQ(o.handle(que1(), be_.now(), 8).status, HandleStatus::kOk);
+}
+
+TEST_F(AdmissionFixture, GlobalBudgetShedsAcrossPeers) {
+  AdmissionParams adm;
+  adm.enabled = true;
+  adm.peer_rate_per_s = 100.0;  // per-peer never trips here
+  adm.peer_burst = 100.0;
+  adm.global_rate_per_s = 1.0;
+  adm.global_burst = 2.0;
+  auto o = make_object(adm);
+  EXPECT_EQ(o.handle(que1(), be_.now(), 1).status, HandleStatus::kOk);
+  EXPECT_EQ(o.handle(que1(), be_.now(), 2).status, HandleStatus::kOk);
+  // Distinct peers, so only the engine-wide budget can refuse this one.
+  EXPECT_EQ(o.handle(que1(), be_.now(), 3).status,
+            HandleStatus::kShedOverload);
+  EXPECT_EQ(o.stats().shed_overload, 1u);
+  EXPECT_EQ(o.stats().rate_limited, 0u);
+}
+
+TEST_F(AdmissionFixture, OversizedWireRefusedBeforeDecode) {
+  AdmissionParams adm = small_bucket();
+  adm.max_wire_bytes = 64;
+  auto o = make_object(adm);
+  (void)o.take_consumed_ms();
+  const auto res = o.handle(Bytes(1000, 0x55), be_.now(), 7);
+  EXPECT_EQ(res.status, HandleStatus::kMalformed);
+  EXPECT_EQ(o.stats().drops, 1u);
+  EXPECT_EQ(o.take_consumed_ms(), 0.0);  // no crypto was charged
+  // The length check is a format verdict, not admission: no token spent,
+  // so a well-formed query still passes afterwards.
+  EXPECT_EQ(o.handle(que1(), be_.now(), 7).status, HandleStatus::kOk);
+}
+
+TEST_F(AdmissionFixture, ShedLeavesNoSessionState) {
+  AdmissionParams adm = small_bucket();
+  adm.peer_burst = 1.0;
+  auto o = make_object(adm);
+  EXPECT_EQ(o.handle(que1(), be_.now(), 7).status, HandleStatus::kOk);
+  EXPECT_EQ(o.open_sessions(), 1u);
+  const Bytes retry_wire = que1();
+  EXPECT_EQ(o.handle(retry_wire, be_.now(), 7).status,
+            HandleStatus::kRateLimited);
+  EXPECT_EQ(o.open_sessions(), 1u);  // the shed opened nothing
+  // The subject's backed-off retry of the SAME R_S must read as fresh —
+  // a shed that left replay-detection state behind would turn every
+  // retry into kStale and make overload unrecoverable.
+  o.advance_clock(2000.0);
+  EXPECT_EQ(o.handle(retry_wire, be_.now(), 7).status, HandleStatus::kOk);
+  EXPECT_EQ(o.open_sessions(), 2u);
+}
+
+TEST_F(AdmissionFixture, DuplicateSettlesBeforeAdmission) {
+  AdmissionParams adm = small_bucket();
+  adm.peer_burst = 1.0;
+  auto o = make_object(adm);
+  const Bytes wire = que1();
+  const auto first = o.handle(wire, be_.now(), 7);
+  EXPECT_EQ(first.status, HandleStatus::kOk);
+  // The duplicate resend is a cached byte-for-byte reply — free, so it
+  // must not be charged a token (the bucket is already empty here).
+  const auto dup = o.handle(wire, be_.now(), 7);
+  EXPECT_EQ(dup.status, HandleStatus::kDuplicate);
+  EXPECT_EQ(dup.reply, first.reply);
+  EXPECT_EQ(o.stats().rate_limited, 0u);
+}
+
+TEST_F(AdmissionFixture, PeerTableIsBoundedWithLruEviction) {
+  obs::MetricsRegistry metrics;
+  AdmissionParams adm;
+  adm.enabled = true;
+  adm.peer_capacity = 2;
+  auto o = make_object(adm, &metrics);
+  for (std::uint64_t peer = 1; peer <= 6; ++peer) {
+    EXPECT_EQ(o.handle(que1(), be_.now(), peer).status, HandleStatus::kOk);
+  }
+  const auto* evicted = metrics.find_counter("object.admission.peer_evicted");
+  ASSERT_NE(evicted, nullptr);
+  EXPECT_EQ(evicted->value(), 4u);  // peers 3..6 each displaced the oldest
+}
+
+TEST_F(AdmissionFixture, DisabledAdmissionIsUntouched) {
+  auto o = make_object(AdmissionParams{});  // enabled == false
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(o.handle(que1(), be_.now(), 7).status, HandleStatus::kOk);
+  }
+  EXPECT_EQ(o.stats().rate_limited, 0u);
+  EXPECT_EQ(o.stats().shed_overload, 0u);
+}
+
+}  // namespace
+}  // namespace argus::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "argus/discovery.hpp"
 #include "harness/digest.hpp"
@@ -356,6 +357,61 @@ TEST(DiscoveryTest, EmptyRoundReportsElapsedTime) {
   EXPECT_GT(report.total_ms, 0.0);  // QUE1 + RES1 + QUE2 still traversed air
   ASSERT_EQ(report.outcomes.size(), 1u);
   EXPECT_FALSE(report.outcomes[0].discovered);
+}
+
+TEST(DiscoveryTest, ZeroObjectRoundGuardsDerivedRatios) {
+  // Degenerate but reachable (a fleet whose whole group churned away):
+  // no responders means nothing is offered an ack, and every derived
+  // ratio must stay finite instead of dividing by zero.
+  Backend be(crypto::Strength::b128, 23);
+  DiscoveryScenario sc;
+  sc.subject = be.register_subject("alice",
+                                   AttributeMap{{"position", "employee"}});
+  sc.admin_pub = be.admin_public_key();
+  sc.epoch = be.now();
+  const auto report = run_discovery(sc);
+  EXPECT_TRUE(report.services.empty());
+  EXPECT_TRUE(report.outcomes.empty());
+  EXPECT_TRUE(std::isfinite(report.delivery_ratio));
+  EXPECT_GE(report.delivery_ratio, 0.0);
+  EXPECT_LE(report.delivery_ratio, 1.0);
+  EXPECT_TRUE(std::isfinite(report.total_ms));
+  EXPECT_GE(report.total_ms, 0.0);
+}
+
+TEST(DiscoveryTest, FloodedDiscoveryCompletesAndSheds) {
+  const Fleet f = make_fleet(5, Level::kL2);
+  DiscoveryScenario sc = scenario_for(f);
+  sc.flood.rate_per_s = 200;
+  sc.admission.enabled = true;
+  const auto report = run_discovery(sc);
+  EXPECT_EQ(report.services.size(), 5u);  // the storm is shed, not served
+  EXPECT_GT(report.shed_overload + report.rate_limited, 0u);
+  for (const auto& oc : report.outcomes) EXPECT_TRUE(oc.discovered);
+}
+
+TEST(DiscoveryTest, FloodWithRetriesOffStillTerminates) {
+  // An unbounded flood keeps the event queue nonempty forever; the round
+  // driver must run to its deadline rather than draining to quiescence.
+  const Fleet f = make_fleet(3, Level::kL2);
+  DiscoveryScenario sc = scenario_for(f);
+  sc.flood.rate_per_s = 100;
+  sc.admission.enabled = true;
+  sc.retry.mode = RetryMode::kOff;
+  const auto report = run_discovery(sc);
+  EXPECT_EQ(report.services.size(), 3u);
+  EXPECT_LE(report.total_ms, sc.retry.round_deadline_ms);
+}
+
+TEST(DiscoveryTest, FloodFreeReportCarriesNoOverloadFields) {
+  // Digest safety: without a flooder or bounded queues, none of the
+  // overload machinery may leave a trace in the report.
+  const Fleet f = make_fleet(3, Level::kL2);
+  const auto report = run_discovery(scenario_for(f));
+  EXPECT_EQ(report.shed_overload, 0u);
+  EXPECT_EQ(report.rate_limited, 0u);
+  EXPECT_EQ(report.net_stats.queue_rejected, 0u);
+  EXPECT_EQ(report.net_stats.queue_evicted, 0u);
 }
 
 TEST(DiscoveryTest, RetryModeOffDisablesRecovery) {

@@ -236,6 +236,52 @@ TEST(SweepTest, UnarmedFaultPlanLeavesDigestUnchanged) {
   EXPECT_TRUE(a[0].report().fault_counts.empty());
 }
 
+TEST(SweepTest, FloodAxesAppearOnlyInFloodCells) {
+  // Same byte-stability contract as the chaos axes: flood-free cells keep
+  // their pre-overload labels and JSONL, armed cells surface the axes.
+  SweepPoint clean;
+  clean.level = 2;
+  clean.objects = 3;
+  EXPECT_EQ(point_label(clean), "L2 n=3 hops=1 drop=0 seed=17");
+  const auto clean_res = SweepRunner({.threads = 1}).run({clean});
+  std::ostringstream clean_line;
+  write_jsonl_line(clean_line, clean, clean_res[0]);
+  EXPECT_EQ(clean_line.str().find("flood"), std::string::npos);
+  EXPECT_EQ(clean_line.str().find("qdepth"), std::string::npos);
+
+  SweepPoint stormy = clean;
+  stormy.flood_rate = 200;
+  stormy.queue_depth = 8;
+  EXPECT_EQ(point_label(stormy),
+            "L2 n=3 hops=1 drop=0 seed=17 flood=200 qdepth=8");
+  const auto stormy_res = SweepRunner({.threads = 1}).run({stormy});
+  std::ostringstream stormy_line;
+  write_jsonl_line(stormy_line, stormy, stormy_res[0]);
+  EXPECT_NE(stormy_line.str().find("\"flood\":200"), std::string::npos);
+  EXPECT_NE(stormy_line.str().find("\"qdepth\":8"), std::string::npos);
+  EXPECT_NE(stormy_line.str().find("\"rate_limited\":"), std::string::npos);
+  EXPECT_NE(stormy_line.str().find("\"queue_rejected\":"), std::string::npos);
+}
+
+TEST(SweepTest, FloodCellsAreThreadInvariant) {
+  GridSpec spec;
+  spec.levels = {2, 3};
+  spec.objects = {4};
+  spec.flood_rate = {200.0};
+  spec.queue_depth = {8};
+  const auto grid = expand(spec);
+  const auto serial = SweepRunner({.threads = 1}).run(grid);
+  const auto parallel = SweepRunner({.threads = 3}).run(grid);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].digest, parallel[i].digest) << serial[i].label;
+    // The shed path runs on the object engines' deterministic virtual
+    // clock, so the counts themselves must be shard-invariant too.
+    EXPECT_EQ(serial[i].report().rate_limited,
+              parallel[i].report().rate_limited);
+  }
+}
+
 TEST(SpecTest, ParsesAxesCommentsAndRings) {
   std::istringstream in(
       "# fig6g-like\n"
@@ -279,7 +325,7 @@ TEST(SpecTest, RejectsMalformedInput) {
 TEST(SpecTest, BuiltinGridsCoverTheFigures) {
   const auto& grids = builtin_grids();
   for (const char* name :
-       {"fig6e", "fig6f", "fig6g", "fig6h", "loss", "churn"}) {
+       {"fig6e", "fig6f", "fig6g", "fig6h", "loss", "churn", "flood"}) {
     ASSERT_TRUE(grids.contains(name)) << name;
     EXPECT_FALSE(expand(grids.at(name)).empty()) << name;
   }
@@ -287,6 +333,26 @@ TEST(SpecTest, BuiltinGridsCoverTheFigures) {
   EXPECT_EQ(grids.at("fig6g").per_ring, 5u);
   EXPECT_EQ(expand(grids.at("churn")).size(), 18u);
   EXPECT_EQ(grids.at("churn").reboot_ms, 900.0);
+  EXPECT_EQ(expand(grids.at("flood")).size(), 12u);
+  EXPECT_EQ(grids.at("flood").queue_depth, (std::vector<std::size_t>{16}));
+}
+
+TEST(SpecTest, ParsesFloodAxes) {
+  std::istringstream in(
+      "levels = 2\n"
+      "objects = 4\n"
+      "flood = 0, 200\n"
+      "queue = 16\n");
+  const auto spec = parse_grid_spec(in);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->flood_rate, (std::vector<double>{0.0, 200.0}));
+  EXPECT_EQ(spec->queue_depth, (std::vector<std::size_t>{16}));
+  EXPECT_EQ(expand(*spec).size(), 2u);
+
+  std::string error;
+  std::istringstream bad("flood = -5\n");
+  EXPECT_FALSE(parse_grid_spec(bad, &error).has_value());
+  EXPECT_NE(error.find("flood"), std::string::npos);
 }
 
 TEST(SpecTest, ParsesChaosAxes) {

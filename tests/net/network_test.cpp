@@ -277,6 +277,135 @@ TEST(NetworkTest, NegativeComputeRejected) {
   EXPECT_THROW(net.consume_compute(a.node_id(), -1), std::invalid_argument);
 }
 
+/// Bounded-queue harness: a slow receiver (1 s per message) behind a
+/// small ingress queue, hammered with back-to-back 110-byte sends.
+/// Arrivals land at 53, 54, 55 ... ms (serialized occupancy + one hop),
+/// so the first is mid-processing while the rest hit the queue in order.
+RadioParams bounded_radio(std::size_t depth, QueuePolicy policy) {
+  RadioParams r = quiet_radio();
+  r.queue_depth = depth;
+  r.queue_policy = policy;
+  return r;
+}
+
+TEST(NetworkTest, DropTailRejectsArrivalsAtFullQueue) {
+  Simulator sim;
+  Network net(sim, bounded_radio(2, QueuePolicy::kDropTail), 1);
+  Recorder a, b;
+  const NodeId ida = net.add_node(&a, 0);
+  net.add_node(&b, 1);
+  b.compute_ms = 1000;
+  sim.schedule(0, [&] {
+    for (std::uint8_t i = 1; i <= 5; ++i) {
+      net.unicast(ida, b.node_id(), Bytes(110, i));
+    }
+  });
+  sim.run();
+  // #1 processes, #2/#3 queue, #4/#5 are refused on arrival.
+  ASSERT_EQ(b.log.size(), 3u);
+  EXPECT_EQ(b.log[0].payload[0], 1);
+  EXPECT_EQ(b.log[1].payload[0], 2);
+  EXPECT_EQ(b.log[2].payload[0], 3);
+  EXPECT_EQ(net.stats().queue_rejected, 2u);
+  EXPECT_EQ(net.stats().queue_evicted, 0u);
+  EXPECT_EQ(net.stats().queue_peak, 2u);
+}
+
+TEST(NetworkTest, DropOldestEvictsHeadToAdmitArrival) {
+  Simulator sim;
+  Network net(sim, bounded_radio(2, QueuePolicy::kDropOldest), 1);
+  Recorder a, b;
+  const NodeId ida = net.add_node(&a, 0);
+  net.add_node(&b, 1);
+  b.compute_ms = 1000;
+  sim.schedule(0, [&] {
+    for (std::uint8_t i = 1; i <= 5; ++i) {
+      net.unicast(ida, b.node_id(), Bytes(110, i));
+    }
+  });
+  sim.run();
+  // #4 displaces #2, #5 displaces #3: the freshest traffic survives.
+  ASSERT_EQ(b.log.size(), 3u);
+  EXPECT_EQ(b.log[0].payload[0], 1);
+  EXPECT_EQ(b.log[1].payload[0], 4);
+  EXPECT_EQ(b.log[2].payload[0], 5);
+  EXPECT_EQ(net.stats().queue_rejected, 0u);
+  EXPECT_EQ(net.stats().queue_evicted, 2u);
+}
+
+TEST(NetworkTest, PriorityPolicyKeepsStrongerWireTypes) {
+  Simulator sim;
+  Network net(sim, bounded_radio(1, QueuePolicy::kPriority), 1);
+  Recorder a, b;
+  const NodeId ida = net.add_node(&a, 0);
+  net.add_node(&b, 1);
+  b.compute_ms = 1000;
+  // The class is the wire-type byte, lower outranks higher. While #7
+  // processes: 4 queues, 1 evicts it (stronger), 9 is refused (weaker
+  // than the weakest queued entry).
+  sim.schedule(0, [&] {
+    for (const std::uint8_t type : {7, 4, 1, 9}) {
+      net.unicast(ida, b.node_id(), Bytes(110, type));
+    }
+  });
+  sim.run();
+  ASSERT_EQ(b.log.size(), 2u);
+  EXPECT_EQ(b.log[0].payload[0], 7);
+  EXPECT_EQ(b.log[1].payload[0], 1);
+  EXPECT_EQ(net.stats().queue_evicted, 1u);
+  EXPECT_EQ(net.stats().queue_rejected, 1u);
+}
+
+TEST(NetworkTest, CongestedHintReportsFullQueueAtSendTime) {
+  Simulator sim;
+  Network net(sim, bounded_radio(2, QueuePolicy::kDropTail), 1);
+  Recorder a, b;
+  const NodeId ida = net.add_node(&a, 0);
+  net.add_node(&b, 1);
+  b.compute_ms = 1000;
+  SendOutcome early, late;
+  sim.schedule(0, [&] {
+    for (int i = 0; i < 3; ++i) {
+      early = net.unicast(ida, b.node_id(), Bytes(110, 1));
+    }
+    EXPECT_EQ(net.queue_length(b.node_id()), 0u);  // nothing has arrived yet
+  });
+  // By t=500 the receiver is mid-processing with both slots taken.
+  sim.schedule(500, [&] {
+    EXPECT_EQ(net.queue_length(b.node_id()), 2u);
+    late = net.unicast(ida, b.node_id(), Bytes(110, 2));
+  });
+  sim.run();
+  EXPECT_FALSE(early.congested);
+  EXPECT_TRUE(late.congested);
+}
+
+TEST(NetworkTest, UnboundedQueueNeverSheds) {
+  Simulator sim;
+  Network net(sim, quiet_radio(), 1);  // queue_depth == 0: legacy unbounded
+  Recorder a, b;
+  const NodeId ida = net.add_node(&a, 0);
+  net.add_node(&b, 1);
+  b.compute_ms = 1000;
+  SendOutcome last;
+  sim.schedule(0, [&] {
+    for (std::uint8_t i = 1; i <= 6; ++i) {
+      last = net.unicast(ida, b.node_id(), Bytes(110, i));
+    }
+  });
+  sim.run();
+  EXPECT_EQ(b.log.size(), 6u);  // everything eventually delivered, in order
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(b.log[i].payload[0], static_cast<std::uint8_t>(i + 1));
+  }
+  EXPECT_FALSE(last.congested);
+  EXPECT_EQ(net.stats().queue_rejected, 0u);
+  EXPECT_EQ(net.stats().queue_evicted, 0u);
+  // The high-water mark is tracked even in legacy mode: the backlog the
+  // unbounded queue used to hide is now visible.
+  EXPECT_EQ(net.stats().queue_peak, 5u);
+}
+
 TEST(ComputeModelTest, PaperAnchors) {
   const ComputeModel subj = ComputeModel::nexus6();
   // Level 2/3 subject op sequence: 1 sign + 3 verify + 2 ECDH = 27.4 ms.

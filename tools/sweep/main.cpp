@@ -33,9 +33,60 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--grid NAME | --spec FILE) [--threads N]"
                " [--out PREFIX] [--trace PREFIX] [--quiet]\n"
-               "       %s --list\n",
+               "       %s --list | --list-grids\n",
                argv0, argv0);
   return 2;
+}
+
+// One "values..." cell for a numeric axis, e.g. "0,0.1,0.2".
+template <typename T>
+std::string axis_values(const std::vector<T>& values) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ',';
+    os << values[i];
+  }
+  return os.str();
+}
+
+// Which axes a grid actually sweeps (non-default entries only), e.g.
+// "levels=1,2,3 objects=10 flood=0,100,200,400 queue=16".
+std::string grid_axes(const harness::GridSpec& s) {
+  std::string out = "levels=" + axis_values(s.levels);
+  out += " objects=" + axis_values(s.objects);
+  if (s.per_ring > 0) {
+    out += " rings=" + std::to_string(s.per_ring);
+  } else if (s.hops.size() > 1 || s.hops.front() != 1) {
+    out += " hops=" + axis_values(s.hops);
+  }
+  if (s.drop.size() > 1 || s.drop.front() != 0) {
+    out += " drop=" + axis_values(s.drop);
+  }
+  if (s.seeds.size() > 1 || s.seeds.front() != 17) {
+    out += " seeds=" + axis_values(s.seeds);
+  }
+  if (s.crash.size() > 1 || s.crash.front() != 0) {
+    out += " crash=" + axis_values(s.crash);
+    if (s.reboot_ms >= 0) {
+      out += " reboot=" + std::to_string(static_cast<long>(s.reboot_ms));
+    }
+  }
+  if (s.straggle.size() > 1 || s.straggle.front() != 0) {
+    out += " straggle=" + axis_values(s.straggle);
+  }
+  if (s.zombie.size() > 1 || s.zombie.front() != 0) {
+    out += " zombie=" + axis_values(s.zombie);
+  }
+  if (s.byzantine.size() > 1 || s.byzantine.front() != 0) {
+    out += " byzantine=" + axis_values(s.byzantine);
+  }
+  if (s.flood_rate.size() > 1 || s.flood_rate.front() != 0) {
+    out += " flood=" + axis_values(s.flood_rate);
+  }
+  if (s.queue_depth.size() > 1 || s.queue_depth.front() != 0) {
+    out += " queue=" + axis_values(s.queue_depth);
+  }
+  return out;
 }
 
 }  // namespace
@@ -53,6 +104,13 @@ int main(int argc, char** argv) {
       for (const auto& [name, spec] : harness::builtin_grids()) {
         std::printf("%-8s %zu runs\n", name.c_str(),
                     harness::expand(spec).size());
+      }
+      return 0;
+    }
+    if (std::strcmp(arg, "--list-grids") == 0) {
+      for (const auto& [name, spec] : harness::builtin_grids()) {
+        std::printf("%-8s %3zu runs  %s\n", name.c_str(),
+                    harness::expand(spec).size(), grid_axes(spec).c_str());
       }
       return 0;
     }

@@ -3,8 +3,9 @@
 //   traceview [--audit] [--chrome OUT.json] TRACE.jsonl
 //
 // Prints totals, a per-category event census, traffic by message type,
-// per-phase span timing, the chaos layer's fault timeline and rejection
-// census (when the trace has any), and the indistinguishability
+// per-phase span timing, the chaos layer's fault timeline, rejection
+// census and overload census (bounded-queue sheds, admission sheds,
+// flood traffic — when the trace has any), and the indistinguishability
 // auditor's verdict.
 // `--audit` makes a FAIL verdict the exit status (2), for CI gating;
 // `--chrome OUT.json` additionally converts the trace for
@@ -80,6 +81,10 @@ int main(int argc, char** argv) {
   std::map<std::string, Acc> traffic;        // tx.* instants
   std::vector<FaultLine> faults;             // fault.* instants, in ts order
   std::map<std::string, std::uint64_t> rejects;  // reject.* and drop.*
+  // Overload census: bounded-queue sheds (drop.queue_*), admission sheds
+  // (shed.*), and flood transmissions — kept apart from the rejection
+  // census, since shed load is refused work, not hostile bytes.
+  std::map<std::string, Acc> overload;
   for (const auto& ev : trace.events()) {
     if (first_ev) {
       t_min = t_max = ev.ts;
@@ -93,8 +98,18 @@ int main(int argc, char** argv) {
       Acc& acc = traffic[ev.name.substr(3)];
       ++acc.count;
       acc.bytes += ev.a;
+      if (ev.name == "tx.FLOOD") {
+        Acc& fl = overload[ev.name];
+        ++fl.count;
+        fl.bytes += ev.a;
+      }
     } else if (ev.name.rfind("fault.", 0) == 0) {
       faults.push_back({ev.ts, ev.node, ev.name, ev.a});
+    } else if (ev.name.rfind("shed.", 0) == 0 ||
+               ev.name.rfind("drop.queue", 0) == 0) {
+      Acc& acc = overload[ev.name];
+      ++acc.count;
+      acc.bytes += ev.a;
     } else if (ev.name.rfind("reject.", 0) == 0 ||
                ev.name.rfind("drop.", 0) == 0) {
       ++rejects[ev.name];
@@ -166,6 +181,14 @@ int main(int argc, char** argv) {
     for (const auto& [name, n] : rejects) {
       std::printf("    %-24s %8llu\n", name.c_str(),
                   static_cast<unsigned long long>(n));
+    }
+  }
+  if (!overload.empty()) {
+    std::printf("\n  overload census (queue sheds, admission sheds, flood)\n");
+    for (const auto& [name, acc] : overload) {
+      std::printf("    %-24s %8llu msgs %10llu B\n", name.c_str(),
+                  static_cast<unsigned long long>(acc.count),
+                  static_cast<unsigned long long>(acc.bytes));
     }
   }
 
