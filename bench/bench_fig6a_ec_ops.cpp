@@ -5,6 +5,8 @@
 // or slightly above signing/generation.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
+
 #include "crypto/ecdh.hpp"
 #include "crypto/hmac.hpp"
 
@@ -74,4 +76,4 @@ BENCHMARK(BM_HmacSha256)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ARGUS_GBENCH_MAIN("fig6a")

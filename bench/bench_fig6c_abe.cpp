@@ -4,6 +4,8 @@
 // >= 10x the cost of Argus's entire conventional-crypto handshake.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
+
 #include "abe/cpabe.hpp"
 #include "crypto/ecdh.hpp"
 
@@ -92,4 +94,4 @@ BENCHMARK(BM_ArgusHandshakeOps)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ARGUS_GBENCH_MAIN("fig6c")

@@ -3,6 +3,8 @@
 // versus Argus Level 3's group-key HMAC (one HMAC, microseconds).
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
+
 #include "argus/session.hpp"
 #include "crypto/hmac.hpp"
 #include "pbc/sok.hpp"
@@ -58,4 +60,4 @@ BENCHMARK(BM_ArgusGroupKeyMac)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ARGUS_GBENCH_MAIN("fig6d")

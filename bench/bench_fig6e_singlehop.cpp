@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_args.hpp"
+#include "bench_sweep.hpp"
 #include "harness/spec.hpp"
 
 using namespace argus;
@@ -20,8 +21,8 @@ int main(int argc, char** argv) {
   if (args.smoke) spec.objects = {1, 4};
 
   const auto grid = harness::expand(spec);
-  const auto results =
-      harness::SweepRunner({.threads = args.threads}).run(grid);
+  bench::SweepBench bench("fig6e", args);
+  const auto results = bench.run(grid);
 
   if (!args.smoke) {
     std::printf("Fig 6(e) — single-hop discovery time vs object count\n");
@@ -58,7 +59,17 @@ int main(int argc, char** argv) {
       std::printf("%7zu | %8.0fms %8.0fms %8.0fms\n", spec.objects[row], t[0],
                   t[1], t[2]);
     }
+    // Headline per-level completion times at the largest fleet — the
+    // paper's Fig 6(e) anchor points, gateable virtual-time metrics.
+    if (row + 1 == spec.objects.size()) {
+      char key[64];
+      for (int level = 0; level < 3; ++level) {
+        std::snprintf(key, sizeof(key), "virtual.total_ms.L%d.n%zu", level + 1,
+                      spec.objects[row]);
+        bench.reporter().metric(key, t[level], "ms", "virtual");
+      }
+    }
   }
   if (args.smoke) std::printf("smoke OK: %zu runs\n", results.size());
-  return 0;
+  return bench.finish();
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_args.hpp"
+#include "bench_sweep.hpp"
 #include "harness/spec.hpp"
 
 using namespace argus;
@@ -15,8 +16,8 @@ using namespace argus;
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv);
   const auto grid = harness::expand(harness::builtin_grids().at("fig6f"));
-  const auto results =
-      harness::SweepRunner({.threads = args.threads}).run(grid);
+  bench::SweepBench bench("fig6f", args);
+  const auto results = bench.run(grid);
 
   if (!args.smoke) {
     std::printf("Fig 6(f) — time composition, one single-hop object\n\n");
@@ -38,6 +39,12 @@ int main(int argc, char** argv) {
                   grid[i].level, total, compute, trans, 100.0 * share[i]);
     }
   }
+  char key[64];
+  for (int level = 0; level < 3; ++level) {
+    std::snprintf(key, sizeof(key), "virtual.trans_share.L%d", level + 1);
+    bench.reporter().metric(key, share[level], "ratio", "virtual",
+                            /*lower_is_better=*/false);
+  }
   if (args.smoke) {
     // Level 1 is transmission-dominated; Level 2/3 shift a large share to
     // computation and split identically up to jitter.
@@ -50,9 +57,9 @@ int main(int argc, char** argv) {
     }
     std::printf("smoke OK: trans share %.0f%% / %.0f%% / %.0f%%\n",
                 100 * share[0], 100 * share[1], 100 * share[2]);
-    return 0;
+    return bench.finish();
   }
   std::printf("\n(computation = modeled Nexus6/Pi3 crypto time; the\n"
               "remainder of the critical path is radio transmission)\n");
-  return 0;
+  return bench.finish();
 }

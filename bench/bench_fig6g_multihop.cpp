@@ -7,47 +7,46 @@
 #include <cstdio>
 
 #include "bench_args.hpp"
+#include "bench_sweep.hpp"
 #include "harness/spec.hpp"
 
 using namespace argus;
 
-namespace {
-
-int smoke(std::size_t threads) {
-  harness::GridSpec spec = harness::builtin_grids().at("fig6g");
-  spec.objects = {5};
-  const auto grid = harness::expand(spec);
-  const auto serial = harness::SweepRunner({.threads = 1}).run(grid);
-  const auto parallel =
-      harness::SweepRunner({.threads = threads == 0 ? 2 : threads}).run(grid);
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    if (serial[i].digest != parallel[i].digest) {
-      std::fprintf(stderr, "smoke: digest differs across thread counts at "
-                           "%s\n  1 thread : %s\n  N threads: %s\n",
-                   serial[i].label.c_str(), serial[i].digest.c_str(),
-                   parallel[i].digest.c_str());
-      return 1;
-    }
-    if (serial[i].report().services.size() != grid[i].objects) {
-      std::fprintf(stderr, "smoke: discovery incomplete at %s\n",
-                   serial[i].label.c_str());
-      return 1;
-    }
-  }
-  std::printf("smoke OK: %zu runs, digests thread-invariant\n", grid.size());
-  return 0;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv);
-  if (args.smoke) return smoke(args.threads);
-
-  const harness::GridSpec spec = harness::builtin_grids().at("fig6g");
+  harness::GridSpec spec = harness::builtin_grids().at("fig6g");
+  if (args.smoke) spec.objects = {5};
   const auto grid = harness::expand(spec);
-  const auto results =
-      harness::SweepRunner({.threads = args.threads}).run(grid);
+
+  bench::SweepBench bench("fig6g", args);
+  const auto results = bench.run(grid);
+
+  if (args.smoke) {
+    // Re-run serially (profiler still attached if armed) and compare the
+    // golden digests: one string compare per cell proves both thread-count
+    // invariance and that wall-clock profiling stays out of virtual time.
+    bench::Args serial_args = args;
+    serial_args.threads = 1;
+    bench::SweepBench serial("fig6g", serial_args);
+    const auto serial_results = serial.run(grid);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (serial_results[i].digest != results[i].digest) {
+        std::fprintf(stderr, "smoke: digest differs across thread counts at "
+                             "%s\n  1 thread : %s\n  N threads: %s\n",
+                     serial_results[i].label.c_str(),
+                     serial_results[i].digest.c_str(),
+                     results[i].digest.c_str());
+        return 1;
+      }
+      if (results[i].report().services.size() != grid[i].objects) {
+        std::fprintf(stderr, "smoke: discovery incomplete at %s\n",
+                     results[i].label.c_str());
+        return 1;
+      }
+    }
+    std::printf("smoke OK: %zu runs, digests thread-invariant\n", grid.size());
+    return bench.finish();
+  }
 
   std::printf("Fig 6(g) — multi-hop discovery time (20 objects, 5 per ring"
               " at 1-4 hops)\n");
@@ -69,6 +68,14 @@ int main(int argc, char** argv) {
     }
     std::printf("%7zu | %8.0fms %8.0fms %8.0fms\n", spec.objects[row], t[0],
                 t[1], t[2]);
+    if (row + 1 == spec.objects.size()) {
+      char key[64];
+      for (int level = 0; level < 3; ++level) {
+        std::snprintf(key, sizeof(key), "virtual.total_ms.L%d.n%zu", level + 1,
+                      spec.objects[row]);
+        bench.reporter().metric(key, t[level], "ms", "virtual");
+      }
+    }
   }
-  return 0;
+  return bench.finish();
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_args.hpp"
+#include "bench_sweep.hpp"
 #include "harness/spec.hpp"
 
 using namespace argus;
@@ -16,8 +17,8 @@ int main(int argc, char** argv) {
   if (args.smoke) spec.hops = {1, 3};
 
   const auto grid = harness::expand(spec);
-  const auto results =
-      harness::SweepRunner({.threads = args.threads}).run(grid);
+  bench::SweepBench bench("fig6h", args);
+  const auto results = bench.run(grid);
 
   if (!args.smoke) {
     std::printf("Fig 6(h) — single-object discovery latency vs hop count\n");
@@ -47,7 +48,16 @@ int main(int argc, char** argv) {
       std::printf("%5u | %8.0fms %8.0fms %8.0fms\n", spec.hops[row], t[0],
                   t[1], t[2]);
     }
+    // Headline metric: the deepest measured hop distance, per level.
+    if (row + 1 == spec.hops.size()) {
+      char key[64];
+      for (int level = 0; level < 3; ++level) {
+        std::snprintf(key, sizeof(key), "virtual.total_ms.L%d.hops%u",
+                      level + 1, spec.hops[row]);
+        bench.reporter().metric(key, t[level], "ms", "virtual");
+      }
+    }
   }
   if (args.smoke) std::printf("smoke OK: %zu runs\n", results.size());
-  return 0;
+  return bench.finish();
 }

@@ -18,6 +18,7 @@
 #include <cstdio>
 
 #include "bench_args.hpp"
+#include "bench_sweep.hpp"
 #include "fault/plan.hpp"
 #include "harness/spec.hpp"
 
@@ -197,10 +198,10 @@ int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv);
   if (args.smoke) return smoke(args.threads);
 
-  const harness::SweepRunner runner({.threads = args.threads});
+  bench::SweepBench bench("churn", args);
 
   const harness::GridSpec churn = harness::builtin_grids().at("churn");
-  const auto churn_results = runner.run(harness::expand(churn));
+  const auto churn_results = bench.run(harness::expand(churn));
   std::printf("Churn sweep — discovery under crash/reboot probability\n");
   std::printf("fleet: 10 objects per level, single hop; crashes land in the "
               "first 600 ms,\nreboot (empty session table) after 900 ms; "
@@ -211,7 +212,7 @@ int main(int argc, char** argv) {
   strag.levels = {1, 2, 3};
   strag.objects = {10};
   strag.straggle = {0.0, 0.2, 0.4};
-  const auto strag_results = runner.run(harness::expand(strag));
+  const auto strag_results = bench.run(harness::expand(strag));
   std::printf("\nStraggler sweep — same fleets, stragglers at 8x compute "
               "for 1.5 s\n\n");
   print_sweep("straggle", strag.straggle, strag_results);
@@ -226,5 +227,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return 0;
+  return bench.finish();
 }

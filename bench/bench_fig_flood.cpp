@@ -21,6 +21,7 @@
 
 #include "backend/registry.hpp"
 #include "bench_args.hpp"
+#include "bench_sweep.hpp"
 #include "harness/spec.hpp"
 #include "obs/audit.hpp"
 
@@ -257,9 +258,9 @@ int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv);
   if (args.smoke) return smoke(args.threads);
 
-  const harness::SweepRunner runner({.threads = args.threads});
+  bench::SweepBench bench("flood", args);
   const harness::GridSpec flood = harness::builtin_grids().at("flood");
-  const auto results = runner.run(harness::expand(flood));
+  const auto results = bench.run(harness::expand(flood));
   std::printf("Flood sweep — discovery under a QUE1-storm adversary\n");
   std::printf("fleet: 10 objects per level, single hop; flooder at 1 hop, "
               "admission control on\n(peer 5/s burst 4, global 20/s burst "
@@ -268,6 +269,7 @@ int main(int argc, char** argv) {
 
   // Overload protection must keep discovery complete and punctual at
   // every storm intensity; the shed column absorbs the rest.
+  std::uint64_t shed_total = 0;
   for (const auto& res : results) {
     const auto& r = res.report();
     if (r.services.size() != r.outcomes.size() || r.total_ms <= 0 ||
@@ -275,6 +277,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "degenerate run: %s\n", res.label.c_str());
       return 1;
     }
+    shed_total += r.shed_overload + r.rate_limited +
+                  r.net_stats.queue_rejected + r.net_stats.queue_evicted;
   }
-  return 0;
+  bench.reporter().metric("virtual.shed_total",
+                          static_cast<double>(shed_total), "count", "virtual",
+                          /*lower_is_better=*/false);
+  return bench.finish();
 }

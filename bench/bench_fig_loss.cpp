@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench_args.hpp"
+#include "bench_sweep.hpp"
 #include "harness/spec.hpp"
 
 using namespace argus;
@@ -80,8 +81,8 @@ int main(int argc, char** argv) {
 
   const harness::GridSpec spec = harness::builtin_grids().at("loss");
   const auto grid = harness::expand(spec);
-  const auto results =
-      harness::SweepRunner({.threads = args.threads}).run(grid);
+  bench::SweepBench bench("loss", args);
+  const auto results = bench.run(grid);
 
   std::printf("Loss sweep — discovery under per-hop drop probability\n");
   std::printf("fleet: 10 Level 2 + 10 Level 3 objects, single hop; "
@@ -107,6 +108,16 @@ int main(int argc, char** argv) {
                    spec.drop[row] * 100);
       return 1;
     }
+    // Headline metrics: the harshest loss rate, L2 column.
+    if (row + 1 == spec.drop.size()) {
+      char key[64];
+      std::snprintf(key, sizeof(key), "virtual.total_ms.L2.drop%.0f",
+                    spec.drop[row] * 100);
+      bench.reporter().metric(key, l2.total_ms, "ms", "virtual");
+      bench.reporter().metric("virtual.delivery_ratio.worst",
+                              l2.delivery_ratio, "ratio", "virtual",
+                              /*lower_is_better=*/false);
+    }
   }
-  return 0;
+  return bench.finish();
 }

@@ -22,6 +22,7 @@
 #include "attacks/adversary.hpp"
 #include "backend/registry.hpp"
 #include "bench_args.hpp"
+#include "bench_sweep.hpp"
 #include "harness/sweep.hpp"
 #include "obs/audit.hpp"
 
@@ -117,16 +118,15 @@ int main(int argc, char** argv) {
   // One harness run per config: the fellow and the cover-up subject
   // discover the same fleet back to back into the run's private tracer,
   // which is exactly the paired trace the §VI-B auditor checks.
-  const harness::SweepRunner runner(
-      {.threads = args.threads, .keep_traces = true});
-  const auto results = runner.run(std::size(kConfigs), [&lab](std::size_t i) {
+  bench::SweepBench bench("timing_indist", args);
+  const auto results = bench.run(std::size(kConfigs), [&lab](std::size_t i) {
     const Config& cfg = kConfigs[i];
     harness::RunSpec spec;
     spec.label = cfg.label;
     spec.scenarios.push_back(lab.scenario(lab.fellow, cfg.pad, cfg.eq));
     spec.scenarios.push_back(lab.scenario(lab.plain, cfg.pad, cfg.eq));
     return spec;
-  });
+  }, /*keep_traces=*/true);
 
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Config& cfg = kConfigs[i];
@@ -153,12 +153,12 @@ int main(int argc, char** argv) {
   }
   if (args.smoke) {
     std::printf("smoke OK: auditor verdicts match expectations\n");
-    return 0;
+    return bench.finish();
   }
 
   std::printf("\npaper: with the v3.0 measures, attackers cannot tell\n"
               "Level 3 discovery is happening (advantage ~0, gap 0); the\n"
               "raw gap without equalisation is ~0.08 ms on a Pi — buried\n"
               "in OS/network noise.\n");
-  return 0;
+  return bench.finish();
 }

@@ -5,13 +5,16 @@
 #include <cstdio>
 
 #include "argus/object_engine.hpp"
+#include "bench_args.hpp"
 #include "argus/subject_engine.hpp"
 #include "backend/registry.hpp"
 
 using namespace argus;
 using backend::Level;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  obs::bench::BenchReporter reporter("msg_overhead");
   backend::Backend be(crypto::Strength::b128, 7);
   const auto subject = be.register_subject(
       "alice", backend::AttributeMap{{"position", "employee"}}, {"grp"});
@@ -25,7 +28,8 @@ int main() {
       {{"grp", "covert", {"use"}}});
 
   const auto run = [&](const backend::ObjectCredentials& creds,
-                       const char* name, int paper_total) {
+                       const char* name, int paper_total,
+                       const char* metric) {
     core::SubjectEngineConfig scfg;
     scfg.creds = subject;
     scfg.admin_pub = be.admin_public_key();
@@ -50,13 +54,14 @@ int main() {
       std::printf(" | %11s | %11s", "-", "-");
     }
     std::printf(" | total %4zu B (paper %d B)\n", total, paper_total);
+    reporter.metric(metric, static_cast<double>(total), "bytes", "virtual");
   };
 
   std::printf("§IX-A — message overhead per discovery, 128-bit strength\n\n");
-  run(l1, "Level 1", 228);
-  run(l2, "Level 2", 2088);
-  run(l3, "Level 3", 2088);
+  run(l1, "Level 1", 228, "virtual.bytes_per_discovery.L1");
+  run(l2, "Level 2", 2088, "virtual.bytes_per_discovery.L2");
+  run(l3, "Level 3", 2088, "virtual.bytes_per_discovery.L3");
   std::printf("\nLevel 2 and Level 3 rows must be identical"
               " (indistinguishability).\n");
-  return 0;
+  return bench::finish_bench(args, reporter, nullptr);
 }

@@ -1,0 +1,137 @@
+// Shared measured section for the harness-driven benches (fig6e-6h, loss,
+// churn, flood, timing-indist): run the grid --repeat times with the
+// wall-clock profiler attached, assert the virtual-time outputs are
+// bit-identical across repeats (wall instrumentation must never perturb
+// them), and fold the standard metric set into the bench's trajectory
+// entry:
+//
+//   virtual.count.*            every rollup counter (regression-gated)
+//   virtual.sum_total_ms       summed discovery completion time
+//   wall.section_ms            measured-section wall time per repeat
+//   wall.handshakes_per_s      discovered services per wall second
+//   wall.events_per_s          simulator dispatches per wall second
+//
+// Bench mains add their own headline metrics on top (reporter()).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "bench_args.hpp"
+#include "harness/sweep.hpp"
+
+namespace argus::bench {
+
+class SweepBench {
+ public:
+  SweepBench(const char* name, const Args& args)
+      : args_(args), reporter_(name) {
+    reporter_.set_threads(args.threads);
+    reporter_.set_repeat(args.repeat);
+  }
+
+  /// Run the grid `args.repeat` times and return the last repeat's
+  /// results. Exits the process if any repeat's golden digests differ —
+  /// a wall-clock observer that moves virtual time is a bug, not noise.
+  std::vector<harness::RunResult> run(
+      const std::vector<harness::SweepPoint>& grid) {
+    return run_impl([&](const harness::SweepRunner& runner) {
+      return runner.run(grid);
+    }, /*keep_traces=*/false);
+  }
+
+  /// Factory flavor (timing-indist / scripted-fleet benches); pass
+  /// keep_traces when the bench reads the run's Tracer afterwards.
+  std::vector<harness::RunResult> run(
+      std::size_t n, const std::function<harness::RunSpec(std::size_t)>& make,
+      bool keep_traces = false) {
+    return run_impl([&](const harness::SweepRunner& runner) {
+      return runner.run(n, make);
+    }, keep_traces);
+  }
+
+  [[nodiscard]] obs::bench::BenchReporter& reporter() { return reporter_; }
+  [[nodiscard]] obs::prof::Profiler& profiler() { return profiler_; }
+
+  /// Write --profile / --json-out outputs; the bench's exit code.
+  int finish() {
+    return finish_bench(args_, reporter_,
+                        args_.wants_profile() ? &profiler_ : nullptr);
+  }
+
+ private:
+  template <typename RunFn>
+  std::vector<harness::RunResult> run_impl(const RunFn& go,
+                                           bool keep_traces) {
+    harness::SweepRunner::Options opts;
+    opts.threads = args_.threads;
+    opts.keep_traces = keep_traces;
+    opts.keep_metrics = true;
+    if (args_.wants_profile()) opts.profiler = &profiler_;
+
+    std::vector<harness::RunResult> results;
+    const std::uint64_t wall0 = obs::prof::now_ns();
+    for (std::uint64_t r = 0; r < args_.repeat; ++r) {
+      auto rep = go(harness::SweepRunner(opts));
+      if (r > 0) {
+        for (std::size_t i = 0; i < rep.size(); ++i) {
+          if (rep[i].digest != results[i].digest) {
+            std::fprintf(stderr, "repeat %llu: golden digest drifted at %s\n",
+                         static_cast<unsigned long long>(r),
+                         rep[i].label.c_str());
+            std::exit(1);
+          }
+        }
+      }
+      results = std::move(rep);
+    }
+    wall_ns_ += obs::prof::now_ns() - wall0;
+    record_standard_metrics(results);
+    return results;
+  }
+
+  // Cumulative over every run() call (the churn bench sweeps two grids
+  // into one trajectory entry), recomputed into the reporter each time.
+  void record_standard_metrics(const std::vector<harness::RunResult>& results) {
+    rollup_.merge_from(harness::rollup_metrics(results));
+    for (const auto& run : results) {
+      for (const auto& report : run.reports) {
+        total_ms_ += report.total_ms;
+        handshakes_ += report.services.size();
+      }
+    }
+    reporter_.add_counters(rollup_, "virtual.count.");
+    reporter_.metric("virtual.sum_total_ms", total_ms_, "ms", "virtual");
+
+    const double wall_s = static_cast<double>(wall_ns_) / 1e9;
+    const double repeats = static_cast<double>(args_.repeat);
+    if (wall_s > 0) {
+      reporter_.metric("wall.section_ms", wall_s * 1e3 / repeats, "ms",
+                       "wall");
+      // handshakes_ counts one repeat (virtual outputs are identical
+      // across repeats); the wall clock covers all of them.
+      reporter_.metric("wall.handshakes_per_s",
+                       static_cast<double>(handshakes_) * repeats / wall_s,
+                       "ops/s", "wall", /*lower_is_better=*/false);
+      const auto labels = profiler_.by_label();
+      if (const auto it = labels.find("sim.dispatch"); it != labels.end()) {
+        reporter_.metric(
+            "wall.events_per_s",
+            static_cast<double>(it->second.count) / wall_s, "events/s",
+            "wall", /*lower_is_better=*/false);
+      }
+    }
+  }
+
+  Args args_;
+  obs::bench::BenchReporter reporter_;
+  obs::prof::Profiler profiler_;
+  obs::MetricsRegistry rollup_;
+  std::uint64_t wall_ns_ = 0;
+  double total_ms_ = 0;
+  std::uint64_t handshakes_ = 0;
+};
+
+}  // namespace argus::bench

@@ -9,12 +9,15 @@
 #include <cstdio>
 
 #include "baselines/updating.hpp"
+#include "bench_args.hpp"
 
 using namespace argus;
 using baselines::EnterpriseSpec;
 using baselines::SyntheticEnterprise;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  obs::bench::BenchReporter reporter("table1");
   std::printf("Table I — updating overhead (affected entities)\n\n");
   std::printf("%6s %6s | %-12s | %5s %7s | %9s\n", "N", "alpha", "scheme",
               "add", "remove", "rm/Argus");
@@ -51,11 +54,21 @@ int main() {
     row("ID-based ACL", idacl);
     row("ABE", abe);
     row("Argus", argus);
+    char key[64];
+    const auto record = [&](const char* name,
+                            const baselines::UpdateOverhead& o) {
+      std::snprintf(key, sizeof(key), "virtual.remove.%s.n%zu", name, n);
+      reporter.metric(key, static_cast<double>(o.remove_subject), "count",
+                      "virtual");
+    };
+    record("idacl", idacl);
+    record("abe", abe);
+    record("argus", argus);
     std::printf("--------------+--------------+---------------+----------\n");
   }
   std::printf("\nadd: Argus/ABE pay 1 backend interaction vs N for ID-ACL"
               " (up to 1000x at N=1000);\nremove: ABE's global attribute"
               " revocation touches category members too, growing with"
               " alpha.\n");
-  return 0;
+  return bench::finish_bench(args, reporter, nullptr);
 }

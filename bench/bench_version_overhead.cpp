@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "argus/object_engine.hpp"
+#include "bench_args.hpp"
 #include "argus/subject_engine.hpp"
 #include "backend/registry.hpp"
 
@@ -14,7 +15,9 @@ using namespace argus;
 using backend::Level;
 using core::ProtocolVersion;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  obs::bench::BenchReporter reporter("version_overhead");
   backend::Backend be(crypto::Strength::b128, 8);
   const auto fellow = be.register_subject(
       "fellow", backend::AttributeMap{{"position", "employee"}}, {"grp"});
@@ -61,8 +64,13 @@ int main() {
     std::printf("v%d.0   %-8s | %4zuB %4zuB | %12.2fms | Level %d\n",
                 static_cast<int>(row.v), row.seek ? "yes" : "no",
                 que2->size(), res2->size(), obj_ms, level);
+    char key[64];
+    std::snprintf(key, sizeof(key), "virtual.que2_bytes.v%d%s",
+                  static_cast<int>(row.v), row.seek ? ".seek" : "");
+    reporter.metric(key, static_cast<double>(que2->size()), "bytes",
+                    "virtual");
   }
   std::printf("\nv2.0 seek adds 32+2 B (MAC_{S,3}) to QUE2; v3.0 makes it\n"
               "mandatory for everyone. RES2 stays constant-length.\n");
-  return 0;
+  return bench::finish_bench(args, reporter, nullptr);
 }

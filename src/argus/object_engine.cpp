@@ -4,6 +4,7 @@
 
 #include "common/serde.hpp"
 #include "crypto/aes.hpp"
+#include "obs/prof.hpp"
 
 namespace argus::core {
 
@@ -212,6 +213,7 @@ HandleResult ObjectEngine::handle(ByteSpan wire, std::uint64_t now,
 
 HandleResult ObjectEngine::handle_que1(const Que1& msg, const Bytes& wire,
                                        std::uint64_t peer) {
+  ARGUS_PROF_SCOPE("object.handle_que1");
   // Freshness: duplicate R_S means a replayed/echoed query or a lossy-link
   // duplicate (§IV-B). Either way the response is idempotent: while the
   // exchange is open, resend the cached RES1 byte-for-byte (no fresh
@@ -283,6 +285,7 @@ HandleResult ObjectEngine::handle_que1(const Que1& msg, const Bytes& wire,
 
 HandleResult ObjectEngine::handle_que2(const Que2& msg, std::uint64_t now,
                                        std::uint64_t peer) {
+  ARGUS_PROF_SCOPE("object.handle_que2");
   // Duplicate QUE2 after a completed exchange: resend the cached RES2
   // byte-for-byte. Identical bytes carry no new information (the same
   // nonces seal the same plaintext), and the retransmitted copy lets a

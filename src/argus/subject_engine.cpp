@@ -4,6 +4,7 @@
 
 #include "common/serde.hpp"
 #include "crypto/aes.hpp"
+#include "obs/prof.hpp"
 
 namespace argus::core {
 
@@ -33,6 +34,7 @@ double SubjectEngine::take_consumed_ms() {
 }
 
 Bytes SubjectEngine::start_round() {
+  ARGUS_PROF_SCOPE("subject.start_round");
   r_s_ = rng_.generate(kNonceSize);
   sessions_.clear();
   completed_.clear();
@@ -83,6 +85,7 @@ void SubjectEngine::record(DiscoveredService svc) {
 }
 
 HandleResult SubjectEngine::handle_res1_l1(const Res1Level1& msg) {
+  ARGUS_PROF_SCOPE("subject.handle_res1_l1");
   // Level 1: plaintext profile; integrity via the admin signature (§IV-B).
   const auto prof = backend::Profile::parse(msg.prof);
   charge(net::CryptoOp::kEcdsaVerify);
@@ -98,6 +101,7 @@ HandleResult SubjectEngine::handle_res1_l1(const Res1Level1& msg) {
 
 HandleResult SubjectEngine::handle_res1(const Res1& msg, const Bytes& wire,
                                          std::uint64_t now) {
+  ARGUS_PROF_SCOPE("subject.handle_res1");
   if (msg.r_s != r_s_) {
     ++stats_.drops;  // stale round or mismatched session
     return HandleResult(HandleStatus::kStale);
@@ -200,6 +204,7 @@ HandleResult SubjectEngine::handle_res1(const Res1& msg, const Bytes& wire,
 }
 
 HandleResult SubjectEngine::handle_res2(const Res2& msg) {
+  ARGUS_PROF_SCOPE("subject.handle_res2");
   // Duplicate RES2 for a finished exchange: benign under loss; ignore.
   if (completed_.contains(msg.r_o)) {
     return HandleResult(HandleStatus::kDuplicate);

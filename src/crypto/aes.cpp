@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
+#include "obs/prof.hpp"
 
 namespace argus::crypto {
 
@@ -197,6 +198,7 @@ void Aes::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
 }
 
 Bytes aes_cbc_encrypt(ByteSpan key, ByteSpan iv, ByteSpan plaintext) {
+  ARGUS_PROF_SCOPE("crypto.aes.cbc_encrypt");
   if (iv.size() != Aes::kBlockSize) {
     throw std::invalid_argument("aes_cbc_encrypt: IV must be 16 bytes");
   }
@@ -218,6 +220,7 @@ Bytes aes_cbc_encrypt(ByteSpan key, ByteSpan iv, ByteSpan plaintext) {
 }
 
 Bytes aes_cbc_decrypt(ByteSpan key, ByteSpan iv, ByteSpan ciphertext) {
+  ARGUS_PROF_SCOPE("crypto.aes.cbc_decrypt");
   if (iv.size() != Aes::kBlockSize ||
       ciphertext.size() % Aes::kBlockSize != 0 || ciphertext.empty()) {
     throw std::invalid_argument("aes_cbc_decrypt: bad input size");

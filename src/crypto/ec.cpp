@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/prof.hpp"
+
 namespace argus::crypto {
 
 const char* strength_name(Strength s) {
@@ -231,6 +233,7 @@ EcPoint EcGroup::negate(const EcPoint& a) const {
 }
 
 EcPoint EcGroup::scalar_mul(const EcPoint& pt, const UInt& k) const {
+  ARGUS_PROF_SCOPE("crypto.ec.scalar_mul");
   const UInt kr = mod(k, params_.n);
   if (kr.is_zero() || pt.infinity) return EcPoint::identity();
 

@@ -1,6 +1,7 @@
 #include "crypto/ecdsa.hpp"
 
 #include "crypto/hmac.hpp"
+#include "obs/prof.hpp"
 #include "crypto/sha256.hpp"
 
 namespace argus::crypto {
@@ -47,6 +48,7 @@ std::optional<EcdsaSignature> EcdsaSignature::from_bytes(const EcGroup& group,
 
 EcdsaSignature ecdsa_sign(const EcGroup& group, const UInt& priv,
                           ByteSpan message) {
+  ARGUS_PROF_SCOPE("crypto.ecdsa.sign");
   const UInt& n = group.params().n;
   const std::size_t qlen = n.bit_length();
   const std::size_t qbytes = (qlen + 7) / 8;
@@ -83,6 +85,7 @@ EcdsaSignature ecdsa_sign(const EcGroup& group, const UInt& priv,
 
 bool ecdsa_verify(const EcGroup& group, const EcPoint& pub, ByteSpan message,
                   const EcdsaSignature& sig) {
+  ARGUS_PROF_SCOPE("crypto.ecdsa.verify");
   const UInt& n = group.params().n;
   if (sig.r.is_zero() || sig.s.is_zero()) return false;
   if (cmp(sig.r, n) >= 0 || cmp(sig.s, n) >= 0) return false;

@@ -1,10 +1,12 @@
 #include "crypto/hmac.hpp"
 
 #include "crypto/sha256.hpp"
+#include "obs/prof.hpp"
 
 namespace argus::crypto {
 
 Bytes hmac_sha256(ByteSpan key, ByteSpan data) {
+  ARGUS_PROF_SCOPE("crypto.hmac.sha256");
   constexpr std::size_t B = Sha256::kBlockSize;
   Bytes k0(B, 0);
   if (key.size() > B) {

@@ -193,6 +193,11 @@ std::vector<RunResult> SweepRunner::run(
     // Everything below is run-local: the factory's Backend, the tracer,
     // the registry, and (inside run_discovery) the Simulator and the
     // network's DRBG stream. Slot i is this task's only shared write.
+    // The profiler lane is keyed by grid index (deterministic), not by
+    // worker thread; wall times never reach the digest inputs below.
+    std::optional<obs::prof::Profiler::Attach> prof_attach;
+    if (opts_.profiler != nullptr) prof_attach.emplace(*opts_.profiler, i + 1);
+    ARGUS_PROF_SCOPE("harness.run");
     RunSpec spec = make(i);
     RunResult& out = results[i];
     out.label = std::move(spec.label);
@@ -216,6 +221,7 @@ std::vector<RunResult> SweepRunner::run(
     }
     out.digest = to_hex(h.finish());
     if (opts_.keep_traces) out.trace = std::move(trace);
+    if (opts_.keep_metrics) out.metrics = std::move(metrics);
   };
   if (opts_.threads == 1 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) one(i);
@@ -294,6 +300,44 @@ void write_jsonl_line(std::ostream& os, const SweepPoint& point,
   line.append(",\"messages\":" + std::to_string(r.net_stats.messages));
   line.append(",\"bytes\":" + std::to_string(r.net_stats.bytes));
   line.append(",\"digest\":\"" + result.digest + "\"}\n");
+  os.write(line.data(), static_cast<std::streamsize>(line.size()));
+}
+
+obs::MetricsRegistry rollup_metrics(const std::vector<RunResult>& results) {
+  obs::MetricsRegistry rollup;
+  for (const RunResult& res : results) {
+    if (res.metrics.has_value()) rollup.merge_from(*res.metrics);
+  }
+  return rollup;
+}
+
+void write_rollup_line(std::ostream& os, const obs::MetricsRegistry& rollup,
+                       std::size_t runs) {
+  std::string line = "{\"rollup\":true,\"runs\":" + std::to_string(runs);
+  line.append(",\"counters\":{");
+  bool first = true;
+  for (const auto& [name, c] : rollup.counters()) {
+    if (!first) line.append(",");
+    first = false;
+    line.append("\"" + name + "\":" + std::to_string(c.value()));
+  }
+  line.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : rollup.histograms()) {
+    if (!first) line.append(",");
+    first = false;
+    line.append("\"" + name + "\":{\"count\":" + std::to_string(h.count()));
+    line.append(",\"sum\":");
+    put_double(line, h.sum());
+    line.append(",\"p50\":");
+    put_double(line, h.p50());
+    line.append(",\"p95\":");
+    put_double(line, h.p95());
+    line.append(",\"p99\":");
+    put_double(line, h.p99());
+    line.append("}");
+  }
+  line.append("}}\n");
   os.write(line.data(), static_cast<std::streamsize>(line.size()));
 }
 

@@ -24,6 +24,7 @@
 
 #include "argus/discovery.hpp"
 #include "harness/digest.hpp"
+#include "obs/prof.hpp"
 
 namespace argus::harness {
 
@@ -102,6 +103,9 @@ struct RunResult {
   /// The run's trace, retained only with Options::keep_traces (the
   /// auditor benches need it; plain sweeps don't pay for it).
   std::optional<obs::Tracer> trace;
+  /// The run's metrics registry, retained only with Options::keep_metrics
+  /// (rollup_metrics merges these grid-order into one registry).
+  std::optional<obs::MetricsRegistry> metrics;
 
   [[nodiscard]] const core::DiscoveryReport& report() const {
     return reports.front();
@@ -114,6 +118,15 @@ class SweepRunner {
     /// Worker threads; 0 = hardware concurrency, 1 = run inline (no pool).
     std::size_t threads = 0;
     bool keep_traces = false;
+    /// Retain each run's MetricsRegistry in its RunResult for grid-level
+    /// rollups (rollup_metrics).
+    bool keep_metrics = false;
+    /// Optional wall-clock profiler. Each run attaches its worker thread
+    /// under lane = run index + 1, so profile output is keyed by grid
+    /// position, never by OS thread id. Wall times stay out of digests,
+    /// traces and counters: profiling on or off, the digests are
+    /// bit-identical.
+    obs::prof::Profiler* profiler = nullptr;
   };
 
   SweepRunner() = default;
@@ -138,5 +151,17 @@ class SweepRunner {
 /// regardless of thread count.
 void write_jsonl_line(std::ostream& os, const SweepPoint& point,
                       const RunResult& result);
+
+/// Merge the per-run registries (Options::keep_metrics) into one
+/// grid-level registry, in grid order — float sums accumulate in the
+/// same order no matter how runs were sharded, so the rollup is
+/// thread-count invariant. Runs without a retained registry are skipped.
+obs::MetricsRegistry rollup_metrics(const std::vector<RunResult>& results);
+
+/// One JSONL rollup record: every counter, plus count/sum/p50/p95/p99 per
+/// histogram, sorted by name. Appended by tools/sweep after the per-run
+/// lines.
+void write_rollup_line(std::ostream& os, const obs::MetricsRegistry& rollup,
+                       std::size_t runs);
 
 }  // namespace argus::harness

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace argus::net {
@@ -54,7 +55,10 @@ SimTime Simulator::run() {
     if (ev.timer != 0) live_timers_.erase(ev.timer);
     now_ = ev.time;
     ++executed_;
-    ev.fn();
+    {
+      ARGUS_PROF_SCOPE("sim.dispatch");
+      ev.fn();
+    }
   }
   if (tracer_) tracer_->end(now_, 0, executed_ - before);
   return now_;
@@ -69,7 +73,10 @@ SimTime Simulator::run_until(SimTime deadline) {
     if (ev.timer != 0) live_timers_.erase(ev.timer);
     now_ = ev.time;
     ++executed_;
-    ev.fn();
+    {
+      ARGUS_PROF_SCOPE("sim.dispatch");
+      ev.fn();
+    }
   }
   now_ = std::max(now_, deadline);
   if (tracer_) tracer_->end(now_, 0, executed_ - before);
@@ -85,7 +92,10 @@ SimTime Simulator::drain_until(SimTime deadline) {
     if (ev.timer != 0) live_timers_.erase(ev.timer);
     now_ = ev.time;
     ++executed_;
-    ev.fn();
+    {
+      ARGUS_PROF_SCOPE("sim.dispatch");
+      ev.fn();
+    }
   }
   if (tracer_) tracer_->end(now_, 0, executed_ - before);
   return now_;

@@ -1,0 +1,596 @@
+#include "obs/bench_report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#ifndef ARGUS_GIT_SHA
+#define ARGUS_GIT_SHA "unknown"
+#endif
+
+namespace argus::obs::bench {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough for trajectory files. Values are
+// objects, arrays, strings, doubles, bools, null. Keys stay in insertion-
+// independent maps; duplicate keys keep the last value.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    JsonValue v;
+    if (!value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing bytes after JSON value");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string_view(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) {
+      fail(std::string("expected '") + lit + "'");
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool string_value(std::string& out) {
+    if (!consume('"')) {
+      fail("expected string");
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            // Trajectory strings are ASCII in practice; fold to '?' above.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            fail("bad escape");
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool value(JsonValue& out) {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string_value(key)) return false;
+        skip_ws();
+        if (!consume(':')) {
+          fail("expected ':'");
+          return false;
+        }
+        skip_ws();
+        JsonValue member;
+        if (!value(member)) return false;
+        out.object[key] = std::move(member);
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) return true;
+        fail("expected ',' or '}'");
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        skip_ws();
+        JsonValue item;
+        if (!value(item)) return false;
+        out.array.push_back(std::move(item));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return true;
+        fail("expected ',' or ']'");
+        return false;
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string_value(out.string);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.kind = JsonValue::Kind::kNull;
+      return literal("null");
+    }
+    // Number.
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) {
+      fail("expected value");
+      return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+void json_escape(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void put_double(std::string& out, double v) {
+  if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+std::string entry_json(const BenchEntry& e) {
+  std::string out = "{\"git_sha\":\"";
+  json_escape(out, e.git_sha);
+  out += "\",\"date_utc\":\"";
+  json_escape(out, e.date_utc);
+  out += "\",\"threads\":" + std::to_string(e.threads);
+  out += ",\"cpus\":" + std::to_string(e.cpus);
+  out += ",\"repeat\":" + std::to_string(e.repeat);
+  out += ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, m] : e.metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape(out, name);
+    out += "\":{\"value\":";
+    put_double(out, m.value);
+    out += ",\"unit\":\"";
+    json_escape(out, m.unit);
+    out += "\",\"source\":\"";
+    json_escape(out, m.source);
+    out += "\",\"dir\":\"";
+    out += m.lower_is_better ? "lower" : "higher";
+    out += "\"}";
+  }
+  out += "}}";
+  return out;
+}
+
+bool parse_entry(const JsonValue& v, BenchEntry& out, std::string* error) {
+  if (v.kind != JsonValue::Kind::kObject) {
+    if (error) *error = "entry is not an object";
+    return false;
+  }
+  const auto str = [&](const char* key, std::string& dst) {
+    const auto it = v.object.find(key);
+    if (it != v.object.end() && it->second.kind == JsonValue::Kind::kString) {
+      dst = it->second.string;
+    }
+  };
+  const auto num = [&](const char* key) -> double {
+    const auto it = v.object.find(key);
+    return it != v.object.end() && it->second.kind == JsonValue::Kind::kNumber
+               ? it->second.number
+               : 0;
+  };
+  str("git_sha", out.git_sha);
+  str("date_utc", out.date_utc);
+  out.threads = static_cast<std::size_t>(num("threads"));
+  out.cpus = static_cast<std::size_t>(num("cpus"));
+  out.repeat = static_cast<std::uint64_t>(num("repeat"));
+  if (out.repeat == 0) out.repeat = 1;
+  const auto metrics = v.object.find("metrics");
+  if (metrics == v.object.end() ||
+      metrics->second.kind != JsonValue::Kind::kObject) {
+    if (error) *error = "entry has no metrics object";
+    return false;
+  }
+  for (const auto& [name, mv] : metrics->second.object) {
+    if (mv.kind != JsonValue::Kind::kObject) {
+      if (error) *error = "metric '" + name + "' is not an object";
+      return false;
+    }
+    Metric m;
+    const auto value = mv.object.find("value");
+    if (value == mv.object.end() ||
+        value->second.kind != JsonValue::Kind::kNumber) {
+      if (error) *error = "metric '" + name + "' has no numeric value";
+      return false;
+    }
+    m.value = value->second.number;
+    const auto unit = mv.object.find("unit");
+    if (unit != mv.object.end()) m.unit = unit->second.string;
+    const auto source = mv.object.find("source");
+    if (source != mv.object.end()) m.source = source->second.string;
+    const auto dir = mv.object.find("dir");
+    m.lower_is_better =
+        dir == mv.object.end() || dir->second.string != "higher";
+    out.metrics.emplace(name, std::move(m));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Trajectory> load_trajectory(std::istream& is,
+                                          std::string* error) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  std::string parse_error;
+  const auto v = JsonParser(text, &parse_error).parse();
+  if (!v) {
+    if (error) *error = parse_error;
+    return std::nullopt;
+  }
+  if (v->kind != JsonValue::Kind::kObject) {
+    if (error) *error = "trajectory is not a JSON object";
+    return std::nullopt;
+  }
+  Trajectory t;
+  const auto schema = v->object.find("schema");
+  if (schema == v->object.end() ||
+      schema->second.kind != JsonValue::Kind::kNumber) {
+    if (error) *error = "missing schema version";
+    return std::nullopt;
+  }
+  t.schema = static_cast<int>(schema->second.number);
+  if (t.schema != kSchemaVersion) {
+    if (error) {
+      *error = "unsupported schema v" + std::to_string(t.schema) +
+               " (expected v" + std::to_string(kSchemaVersion) + ")";
+    }
+    return std::nullopt;
+  }
+  const auto name = v->object.find("name");
+  if (name != v->object.end()) t.name = name->second.string;
+  const auto entries = v->object.find("entries");
+  if (entries == v->object.end() ||
+      entries->second.kind != JsonValue::Kind::kArray) {
+    if (error) *error = "missing entries array";
+    return std::nullopt;
+  }
+  for (const JsonValue& ev : entries->second.array) {
+    BenchEntry e;
+    if (!parse_entry(ev, e, error)) return std::nullopt;
+    t.entries.push_back(std::move(e));
+  }
+  return t;
+}
+
+void write_trajectory(std::ostream& os, const Trajectory& t) {
+  std::string out = "{\"schema\":" + std::to_string(t.schema) + ",\"name\":\"";
+  json_escape(out, t.name);
+  out += "\",\"entries\":[";
+  for (std::size_t i = 0; i < t.entries.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += entry_json(t.entries[i]);
+  }
+  out += "\n]}\n";
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+BenchReporter::BenchReporter(std::string name) : name_(std::move(name)) {
+  entry_.git_sha = ARGUS_GIT_SHA;
+  entry_.cpus = std::thread::hardware_concurrency();
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  entry_.date_utc = buf;
+}
+
+void BenchReporter::set_threads(std::size_t threads) {
+  entry_.threads =
+      threads == 0 ? std::thread::hardware_concurrency() : threads;
+}
+
+void BenchReporter::set_repeat(std::uint64_t repeat) {
+  entry_.repeat = repeat == 0 ? 1 : repeat;
+}
+
+void BenchReporter::metric(const std::string& name, double value,
+                           const std::string& unit, const std::string& source,
+                           bool lower_is_better) {
+  entry_.metrics[name] = Metric{value, unit, source, lower_is_better};
+}
+
+void BenchReporter::add_counters(const MetricsRegistry& metrics,
+                                 const std::string& prefix) {
+  for (const auto& [name, counter] : metrics.counters()) {
+    metric(prefix + name, static_cast<double>(counter.value()), "count",
+           "virtual");
+  }
+}
+
+void BenchReporter::add_profile(const prof::Profiler& profiler) {
+  for (const auto& [label, stat] : profiler.by_label()) {
+    metric("wall.self_ms." + label,
+           static_cast<double>(stat.self_ns) / 1e6, "ms", "wall");
+  }
+}
+
+std::string trajectory_path(const std::string& name) {
+  return "BENCH_" + name + ".json";
+}
+
+bool BenchReporter::append_to(const std::string& path,
+                              std::string* error) const {
+  Trajectory t;
+  t.name = name_;
+  std::ifstream in(path, std::ios::binary);
+  if (in) {
+    std::string load_error;
+    const auto existing = load_trajectory(in, &load_error);
+    if (!existing) {
+      if (error) *error = path + ": " + load_error;
+      return false;
+    }
+    if (existing->schema != kSchemaVersion) {
+      if (error) {
+        *error = path + ": schema v" + std::to_string(existing->schema) +
+                 " != v" + std::to_string(kSchemaVersion);
+      }
+      return false;
+    }
+    if (existing->name != name_) {
+      if (error) {
+        *error = path + ": trajectory is for '" + existing->name + "', not '" +
+                 name_ + "'";
+      }
+      return false;
+    }
+    t = *existing;
+  }
+  t.entries.push_back(entry_);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error) *error = "cannot write " + tmp;
+      return false;
+    }
+    write_trajectory(out, t);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = "cannot rename " + tmp + " to " + path;
+    return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kOk: return "OK";
+    case Verdict::kWarn: return "WARN";
+    case Verdict::kFail: return "FAIL";
+    case Verdict::kSchemaMismatch: return "SCHEMA-MISMATCH";
+  }
+  return "?";
+}
+
+DiffResult compare_entries(const BenchEntry& before, const BenchEntry& after,
+                           const DiffThresholds& thresholds) {
+  DiffResult result;
+  for (const auto& [name, b] : before.metrics) {
+    MetricDelta d;
+    d.name = name;
+    d.source = b.source;
+    d.before = b.value;
+    const auto it = after.metrics.find(name);
+    if (it == after.metrics.end()) {
+      d.only_in_one = true;
+      d.gated = false;
+      result.deltas.push_back(std::move(d));
+      continue;
+    }
+    const Metric& a = it->second;
+    d.after = a.value;
+    d.gated = b.source == "virtual" || thresholds.gate_wall;
+    if (b.value != 0) {
+      const double change_pct = (a.value - b.value) / std::fabs(b.value) * 100;
+      d.regress_pct = b.lower_is_better ? change_pct : -change_pct;
+    } else if (a.value != 0) {
+      // From zero to nonzero: a regression iff growth is bad.
+      d.regress_pct = b.lower_is_better ? 100.0 : -100.0;
+    }
+    if (d.gated && d.regress_pct > thresholds.fail_pct) {
+      d.severity = Verdict::kFail;
+    } else if (d.gated && d.regress_pct > thresholds.warn_pct) {
+      d.severity = Verdict::kWarn;
+    }
+    if (static_cast<int>(d.severity) > static_cast<int>(result.verdict)) {
+      result.verdict = d.severity;
+    }
+    result.deltas.push_back(std::move(d));
+  }
+  for (const auto& [name, a] : after.metrics) {
+    if (before.metrics.contains(name)) continue;
+    MetricDelta d;
+    d.name = name;
+    d.source = a.source;
+    d.after = a.value;
+    d.only_in_one = true;
+    d.gated = false;
+    result.deltas.push_back(std::move(d));
+  }
+  std::sort(result.deltas.begin(), result.deltas.end(),
+            [](const MetricDelta& x, const MetricDelta& y) {
+              return x.name < y.name;
+            });
+  return result;
+}
+
+DiffResult compare_trajectories(const Trajectory& before,
+                                const Trajectory* after,
+                                const DiffThresholds& thresholds) {
+  DiffResult result;
+  const auto mismatch = [&result](std::string why) {
+    result.verdict = Verdict::kSchemaMismatch;
+    result.error = std::move(why);
+    return result;
+  };
+  if (before.schema != kSchemaVersion) {
+    return mismatch("unsupported schema v" + std::to_string(before.schema));
+  }
+  if (after != nullptr) {
+    if (after->schema != kSchemaVersion) {
+      return mismatch("unsupported schema v" + std::to_string(after->schema));
+    }
+    if (before.name != after->name) {
+      return mismatch("trajectory names differ: '" + before.name + "' vs '" +
+                      after->name + "'");
+    }
+    if (before.entries.empty() || after->entries.empty()) {
+      return mismatch("empty trajectory");
+    }
+    return compare_entries(before.entries.back(), after->entries.back(),
+                           thresholds);
+  }
+  if (before.entries.size() < 2) {
+    return mismatch("need two entries to compare, have " +
+                    std::to_string(before.entries.size()));
+  }
+  return compare_entries(before.entries[before.entries.size() - 2],
+                         before.entries.back(), thresholds);
+}
+
+void write_diff_report(std::ostream& os, const DiffResult& result) {
+  char buf[512];
+  if (result.verdict == Verdict::kSchemaMismatch) {
+    os << "benchdiff: " << result.error << "\n";
+    return;
+  }
+  std::snprintf(buf, sizeof(buf), "  %-44s %12s %12s %9s  %s\n", "metric",
+                "before", "after", "regress%", "verdict");
+  os << buf;
+  for (const MetricDelta& d : result.deltas) {
+    if (d.only_in_one) {
+      std::snprintf(buf, sizeof(buf), "  %-44s %12s %12s %9s  %s\n",
+                    d.name.c_str(), d.before != 0 ? "-" : "(new)",
+                    d.before != 0 ? "(gone)" : "-", "-", "-");
+      os << buf;
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-44s %12.4g %12.4g %+9.2f  %s%s\n",
+                  d.name.c_str(), d.before, d.after, d.regress_pct,
+                  d.severity == Verdict::kOk ? (d.gated ? "ok" : "info")
+                                             : verdict_name(d.severity),
+                  d.gated ? "" : " (ungated)");
+    os << buf;
+  }
+  os << "verdict: " << verdict_name(result.verdict) << "\n";
+}
+
+}  // namespace argus::obs::bench

@@ -1,0 +1,152 @@
+// Bench trajectory files: persisted wall+virtual performance history.
+//
+// Every bench binary funnels its headline numbers through a BenchReporter,
+// which appends one entry to a schema-versioned `BENCH_<name>.json`
+// trajectory file:
+//
+//   {"schema":1,"name":"fig6e","entries":[ {entry}, {entry}, ... ]}
+//
+// An entry carries run metadata (git sha, UTC date, worker threads, CPU
+// count, repeat factor) plus a flat metric map. Each metric is tagged with
+// its unit, its source — "virtual" (simulator clock / MetricsRegistry:
+// deterministic, regression-gateable) or "wall" (profiler / steady_clock:
+// machine-dependent, informational on shared runners) — and its
+// improvement direction, so `tools/benchdiff` can compare the last two
+// entries without a side table of conventions.
+//
+// The diff engine lives here (not in the CLI) so its verdicts are unit-
+// testable: compare_entries() classifies each metric delta against
+// warn/fail thresholds and compare_trajectories() adds schema/name checks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+
+namespace argus::obs::bench {
+
+inline constexpr int kSchemaVersion = 1;
+
+struct Metric {
+  double value = 0;
+  std::string unit;           // "ms", "ops/s", "us/op", "count", ...
+  std::string source;         // "virtual" | "wall"
+  bool lower_is_better = true;
+};
+
+struct BenchEntry {
+  std::string git_sha;
+  std::string date_utc;  // "YYYY-MM-DDTHH:MM:SSZ"
+  std::size_t threads = 0;
+  std::size_t cpus = 0;
+  std::uint64_t repeat = 1;
+  std::map<std::string, Metric> metrics;
+};
+
+struct Trajectory {
+  int schema = kSchemaVersion;
+  std::string name;
+  std::vector<BenchEntry> entries;
+};
+
+/// Parse a trajectory file. Returns nullopt and fills `error` on
+/// malformed JSON or a schema/shape mismatch.
+std::optional<Trajectory> load_trajectory(std::istream& is,
+                                          std::string* error = nullptr);
+/// Canonical serialization: one entry per line inside the entries array.
+void write_trajectory(std::ostream& os, const Trajectory& t);
+
+class BenchReporter {
+ public:
+  /// `name` keys the trajectory ("fig6e" -> BENCH_fig6e.json). Git sha,
+  /// date, and CPU count are filled automatically.
+  explicit BenchReporter(std::string name);
+
+  void set_threads(std::size_t threads);
+  void set_repeat(std::uint64_t repeat);
+
+  /// Record one metric. Virtual-source metrics are the regression-gated
+  /// ones; keep their names stable across PRs.
+  void metric(const std::string& name, double value, const std::string& unit,
+              const std::string& source, bool lower_is_better = true);
+
+  /// Convenience: all counters from a registry as virtual-source counts
+  /// under `<prefix><counter name>`.
+  void add_counters(const MetricsRegistry& metrics, const std::string& prefix);
+  /// Convenience: per-label profiler self-times as wall-source
+  /// `wall.self_ms.<label>` metrics (leaf labels, not full paths).
+  void add_profile(const prof::Profiler& profiler);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const BenchEntry& entry() const { return entry_; }
+
+  /// Append this entry to the trajectory at `path` (created if absent,
+  /// atomically replaced via rename). False + `error` if the existing
+  /// file does not parse or names a different bench/schema.
+  bool append_to(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  std::string name_;
+  BenchEntry entry_;
+};
+
+/// Default trajectory path for a bench name: "BENCH_<name>.json".
+std::string trajectory_path(const std::string& name);
+
+// --------------------------------------------------------------------------
+// Diff engine (tools/benchdiff).
+
+enum class Verdict {
+  kOk = 0,
+  kWarn,            // some gated metric regressed past warn_pct
+  kFail,            // some gated metric regressed past fail_pct
+  kSchemaMismatch,  // schema/name disagreement or nothing to compare
+};
+
+struct DiffThresholds {
+  double warn_pct = 10.0;
+  double fail_pct = 30.0;
+  /// Gate wall-source metrics too (default: informational only — shared
+  /// CI runners make wall time too noisy to fail a build on).
+  bool gate_wall = false;
+};
+
+struct MetricDelta {
+  std::string name;
+  std::string source;
+  double before = 0;
+  double after = 0;
+  /// Regression percentage: positive = worse (direction-aware).
+  double regress_pct = 0;
+  Verdict severity = Verdict::kOk;  // kOk / kWarn / kFail per metric
+  bool gated = true;
+  bool only_in_one = false;  // metric present in just one entry
+};
+
+struct DiffResult {
+  Verdict verdict = Verdict::kOk;
+  std::vector<MetricDelta> deltas;  // sorted by name
+  std::string error;                // set for kSchemaMismatch
+};
+
+[[nodiscard]] const char* verdict_name(Verdict v);
+
+/// Compare two entries metric by metric.
+DiffResult compare_entries(const BenchEntry& before, const BenchEntry& after,
+                           const DiffThresholds& thresholds);
+/// Compare the last entries of two trajectories (schema + name must
+/// match), or — when `after` is null — the last two entries of `before`.
+DiffResult compare_trajectories(const Trajectory& before,
+                                const Trajectory* after,
+                                const DiffThresholds& thresholds);
+
+/// Human-readable delta table plus the verdict line.
+void write_diff_report(std::ostream& os, const DiffResult& result);
+
+}  // namespace argus::obs::bench

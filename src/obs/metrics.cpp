@@ -59,6 +59,21 @@ double Histogram::percentile(double q) const {
   return max_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("Histogram::merge: bucket bounds differ");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    min_ = count_ > 0 ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ > 0 ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   return counters_[name];
 }
@@ -85,6 +100,17 @@ const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].inc(c.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    // Find-or-create with the source's bounds, so a rollup adopts each
+    // histogram's layout from its first contributor.
+    histogram(name, h.bounds()).merge(h);
+  }
 }
 
 std::string MetricsRegistry::render() const {

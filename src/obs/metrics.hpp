@@ -56,6 +56,13 @@ class Histogram {
     return buckets_;
   }
 
+  /// Bucket-wise accumulate `other` into this histogram. Bucket layouts
+  /// must match exactly (same bounds); throws std::invalid_argument
+  /// otherwise. Count/sum/min/max merge exactly, so merging is
+  /// associative and order-independent for integral observations (float
+  /// sums associate up to rounding).
+  void merge(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> buckets_;
@@ -82,6 +89,12 @@ class MetricsRegistry {
   [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
   }
+
+  /// Accumulate every instrument of `other` into this registry
+  /// (find-or-create by name; histograms merge bucket-wise and throw
+  /// std::invalid_argument on mismatched bounds). Lets SweepRunner roll
+  /// per-run registries up into one grid-level registry.
+  void merge_from(const MetricsRegistry& other);
 
   /// Deterministic text dump (one instrument per line, sorted by name).
   [[nodiscard]] std::string render() const;

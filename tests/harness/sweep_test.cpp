@@ -379,5 +379,112 @@ TEST(SpecTest, ParsesChaosAxes) {
   EXPECT_NE(error.find("crash"), std::string::npos);
 }
 
+
+// --------------------------------------------------------------------------
+// Wall-clock profiling must be invisible to virtual time, and metric
+// rollups must be thread-count invariant.
+
+TEST(SweepProfilerTest, ProfilingDoesNotChangeGoldenDigests) {
+  GridSpec spec;
+  spec.levels = {1, 2, 3};
+  spec.objects = {4};
+  const auto grid = expand(spec);
+
+  const auto plain = SweepRunner({.threads = 2}).run(grid);
+
+  obs::prof::Profiler profiler;
+  SweepRunner::Options opts;
+  opts.threads = 2;
+  opts.profiler = &profiler;
+  const auto profiled = SweepRunner(opts).run(grid);
+
+  ASSERT_EQ(plain.size(), profiled.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].digest, profiled[i].digest) << plain[i].label;
+  }
+  // ... and the profiler actually saw the runs, keyed by grid lane.
+  EXPECT_FALSE(profiler.empty());
+  const auto by_label = profiler.by_label();
+  ASSERT_EQ(by_label.count("harness.run"), 1u);
+  EXPECT_EQ(by_label.at("harness.run").count, grid.size());
+  const auto merged = profiler.merged_events();
+  for (const auto& ev : merged) {
+    EXPECT_GE(ev.lane, 1u);               // lane = grid index + 1
+    EXPECT_LE(ev.lane, grid.size());
+  }
+}
+
+TEST(SweepRollupTest, KeepMetricsRetainsPerRunRegistries) {
+  GridSpec spec;
+  spec.levels = {2};
+  spec.objects = {2, 3};
+  const auto grid = expand(spec);
+  const auto without = SweepRunner({.threads = 1}).run(grid);
+  for (const auto& res : without) EXPECT_FALSE(res.metrics.has_value());
+
+  SweepRunner::Options opts;
+  opts.threads = 1;
+  opts.keep_metrics = true;
+  const auto with = SweepRunner(opts).run(grid);
+  for (const auto& res : with) {
+    ASSERT_TRUE(res.metrics.has_value());
+    EXPECT_FALSE(res.metrics->counters().empty());
+  }
+  // Digests are independent of metric retention.
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(without[i].digest, with[i].digest);
+  }
+}
+
+TEST(SweepRollupTest, RollupIsThreadCountInvariant) {
+  GridSpec spec;
+  spec.levels = {1, 2, 3};
+  spec.objects = {3};
+  spec.drop = {0.0, 0.1};
+  const auto grid = expand(spec);
+
+  SweepRunner::Options serial_opts;
+  serial_opts.threads = 1;
+  serial_opts.keep_metrics = true;
+  SweepRunner::Options parallel_opts = serial_opts;
+  parallel_opts.threads = 4;
+
+  const auto serial = SweepRunner(serial_opts).run(grid);
+  const auto parallel = SweepRunner(parallel_opts).run(grid);
+  const auto rollup_a = rollup_metrics(serial);
+  const auto rollup_b = rollup_metrics(parallel);
+  // render() covers every counter and histogram quantile, so one string
+  // compare proves the rollup is a pure function of the grid.
+  EXPECT_EQ(rollup_a.render(), rollup_b.render());
+
+  std::ostringstream line_a, line_b;
+  write_rollup_line(line_a, rollup_a, serial.size());
+  write_rollup_line(line_b, rollup_b, parallel.size());
+  EXPECT_EQ(line_a.str(), line_b.str());
+  EXPECT_NE(line_a.str().find("\"rollup\":true"), std::string::npos);
+  EXPECT_NE(line_a.str().find("\"runs\":6"), std::string::npos);
+}
+
+TEST(SweepRollupTest, RollupAggregatesAcrossRuns) {
+  GridSpec spec;
+  spec.levels = {2};
+  spec.objects = {2};
+  spec.seeds = {17, 18};
+  const auto grid = expand(spec);
+  SweepRunner::Options opts;
+  opts.threads = 1;
+  opts.keep_metrics = true;
+  const auto results = SweepRunner(opts).run(grid);
+  const auto rollup = rollup_metrics(results);
+
+  std::uint64_t expected = 0;
+  for (const auto& res : results) {
+    expected += res.metrics->find_counter("net.msg.count.QUE1")->value();
+  }
+  ASSERT_NE(rollup.find_counter("net.msg.count.QUE1"), nullptr);
+  EXPECT_EQ(rollup.find_counter("net.msg.count.QUE1")->value(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
 }  // namespace
 }  // namespace argus::harness

@@ -107,5 +107,85 @@ TEST(MetricsRegistryTest, ClearEmpties) {
   EXPECT_TRUE(reg.histograms().empty());
 }
 
+
+TEST(HistogramMergeTest, BucketwiseAndStatsExact) {
+  Histogram a({1.0, 10.0, 100.0});
+  Histogram b({1.0, 10.0, 100.0});
+  a.observe(0.5);
+  a.observe(5);
+  b.observe(50);
+  b.observe(500);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 500);
+  EXPECT_EQ(a.buckets(), (std::vector<std::uint64_t>{1, 1, 1, 1}));
+}
+
+TEST(HistogramMergeTest, MergingEmptyIsIdentity) {
+  Histogram a, empty;
+  a.observe(3);
+  const auto before = a.buckets();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.buckets(), before);
+  EXPECT_DOUBLE_EQ(a.min(), 3);
+  // Empty absorbs too: min/max come from the non-empty side.
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.min(), 3);
+  EXPECT_DOUBLE_EQ(empty.max(), 3);
+}
+
+TEST(HistogramMergeTest, MismatchedBoundsThrow) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  Histogram c({1.0, 2.0, 3.0});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(HistogramMergeTest, MergeIsAssociativeForCounts) {
+  // ((a+b)+c) and (a+(b+c)) agree bucket-for-bucket and in count/sum.
+  const auto mk = [](std::initializer_list<double> xs) {
+    Histogram h({1.0, 10.0});
+    for (double x : xs) h.observe(x);
+    return h;
+  };
+  Histogram left_a = mk({0.5, 2}), b1 = mk({20}), c1 = mk({5, 0.1});
+  left_a.merge(b1);
+  left_a.merge(c1);
+  Histogram right_b = mk({20}), right_a = mk({0.5, 2});
+  right_b.merge(mk({5, 0.1}));
+  right_a.merge(right_b);
+  EXPECT_EQ(left_a.buckets(), right_a.buckets());
+  EXPECT_EQ(left_a.count(), right_a.count());
+  EXPECT_DOUBLE_EQ(left_a.sum(), right_a.sum());
+  EXPECT_DOUBLE_EQ(left_a.min(), right_a.min());
+  EXPECT_DOUBLE_EQ(left_a.max(), right_a.max());
+}
+
+TEST(MetricsRegistryMergeTest, MergeFromAccumulatesAndCreates) {
+  MetricsRegistry a, b;
+  a.counter("shared").inc(2);
+  b.counter("shared").inc(3);
+  b.counter("only_b").inc(1);
+  b.histogram("h", {1.0, 2.0}).observe(1.5);
+  a.merge_from(b);
+  EXPECT_EQ(a.find_counter("shared")->value(), 5u);
+  EXPECT_EQ(a.find_counter("only_b")->value(), 1u);
+  // The created histogram adopts the source's bucket layout.
+  ASSERT_NE(a.find_histogram("h"), nullptr);
+  EXPECT_EQ(a.find_histogram("h")->bounds(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(a.find_histogram("h")->count(), 1u);
+}
+
+TEST(MetricsRegistryMergeTest, MergeFromRejectsMismatchedBounds) {
+  MetricsRegistry a, b;
+  a.histogram("h", {1.0, 2.0}).observe(1);
+  b.histogram("h", {5.0, 6.0}).observe(5.5);
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace argus::obs

@@ -1,0 +1,217 @@
+#include "obs/prof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+namespace argus::obs::prof {
+namespace {
+
+TEST(ProfScopeTest, NoOpWithoutAttachedBuffer) {
+  ASSERT_EQ(t_current, nullptr);
+  {
+    ARGUS_PROF_SCOPE("ghost");
+    ARGUS_PROF_SCOPE("ghost.child");
+  }
+  Profiler profiler;
+  EXPECT_TRUE(profiler.empty());
+}
+
+TEST(ProfScopeTest, RecordsNestedPathsAndSelfTime) {
+  Profiler profiler;
+  {
+    Profiler::Attach attach(profiler, 0);
+    {
+      ARGUS_PROF_SCOPE("outer");
+      { ARGUS_PROF_SCOPE("inner"); }
+      { ARGUS_PROF_SCOPE("inner"); }
+    }
+  }
+  EXPECT_EQ(t_current, nullptr);
+
+  const auto by_path = profiler.by_path();
+  ASSERT_EQ(by_path.size(), 2u);
+  const auto& outer = by_path.at("outer");
+  const auto& inner = by_path.at("outer;inner");
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_EQ(inner.count, 2u);
+  // Self excludes children: outer self + both inner inclusives = outer
+  // inclusive.
+  EXPECT_EQ(outer.self_ns + inner.incl_ns, outer.incl_ns);
+  EXPECT_EQ(inner.self_ns, inner.incl_ns);
+}
+
+TEST(ProfScopeTest, SameLabelUnderDifferentParentsIsDistinctPath) {
+  Profiler profiler;
+  {
+    Profiler::Attach attach(profiler, 0);
+    {
+      ARGUS_PROF_SCOPE("a");
+      ARGUS_PROF_SCOPE("leaf");
+    }
+    {
+      ARGUS_PROF_SCOPE("b");
+      ARGUS_PROF_SCOPE("leaf");
+    }
+  }
+  const auto by_path = profiler.by_path();
+  EXPECT_EQ(by_path.count("a;leaf"), 1u);
+  EXPECT_EQ(by_path.count("b;leaf"), 1u);
+  // by_label folds both to the leaf label.
+  const auto by_label = profiler.by_label();
+  EXPECT_EQ(by_label.at("leaf").count, 2u);
+}
+
+TEST(ProfScopeTest, MergedEventsSortedByLaneThenSeq) {
+  Profiler profiler;
+  {
+    Profiler::Attach attach(profiler, 7);
+    ARGUS_PROF_SCOPE("x");
+  }
+  std::thread worker([&profiler] {
+    Profiler::Attach attach(profiler, 3);
+    ARGUS_PROF_SCOPE("y");
+    ARGUS_PROF_SCOPE("z");
+  });
+  worker.join();
+
+  const auto merged = profiler.merged_events();
+  ASSERT_EQ(merged.size(), 3u);
+  // Lane order, not attach order; seq is *begin* order within a lane.
+  EXPECT_EQ(merged[0].lane, 3u);
+  EXPECT_EQ(merged[0].path, "y");
+  EXPECT_EQ(merged[1].path, "y;z");
+  EXPECT_EQ(merged[2].lane, 7u);
+  EXPECT_EQ(merged[2].path, "x");
+  EXPECT_LT(merged[0].event.seq, merged[1].event.seq);
+}
+
+TEST(ProfScopeTest, NestedAttachRestoresPrevious) {
+  Profiler a, b;
+  Profiler::Attach attach_a(a, 0);
+  ThreadBuffer* buf_a = t_current;
+  {
+    Profiler::Attach attach_b(b, 0);
+    EXPECT_NE(t_current, buf_a);
+    ARGUS_PROF_SCOPE("in_b");
+  }
+  EXPECT_EQ(t_current, buf_a);
+  EXPECT_TRUE(a.by_path().empty());
+  EXPECT_EQ(b.by_path().count("in_b"), 1u);
+}
+
+TEST(ProfScopeTest, EventCapTruncatesListButNotAggregates) {
+  Profiler profiler(Profiler::Options{.max_events_per_lane = 4});
+  {
+    Profiler::Attach attach(profiler, 0);
+    for (int i = 0; i < 10; ++i) {
+      ARGUS_PROF_SCOPE("hot");
+    }
+  }
+  EXPECT_TRUE(profiler.truncated());
+  EXPECT_EQ(profiler.merged_events().size(), 4u);
+  EXPECT_EQ(profiler.by_path().at("hot").count, 10u);  // aggregates exact
+}
+
+TEST(ProfScopeTest, ClearEmptiesEverything) {
+  Profiler profiler;
+  {
+    Profiler::Attach attach(profiler, 0);
+    ARGUS_PROF_SCOPE("gone");
+  }
+  ASSERT_FALSE(profiler.empty());
+  profiler.clear();
+  EXPECT_TRUE(profiler.empty());
+  EXPECT_TRUE(profiler.merged_events().empty());
+  EXPECT_FALSE(profiler.truncated());
+}
+
+TEST(ProfExportTest, CollapsedStackFormat) {
+  Profiler profiler;
+  {
+    Profiler::Attach attach(profiler, 0);
+    ARGUS_PROF_SCOPE("root");
+    ARGUS_PROF_SCOPE("leaf");
+  }
+  std::ostringstream os;
+  profiler.write_collapsed(os);
+  const std::string out = os.str();
+  // One "path;segments <self_us>" line per path.
+  EXPECT_NE(out.find("root;leaf "), std::string::npos);
+  for (const char c : out) {
+    ASSERT_TRUE(c == '\n' || c >= ' ') << "control char in collapsed output";
+  }
+}
+
+TEST(ProfExportTest, JsonExportHasSchemaPathsAndEvents) {
+  Profiler profiler;
+  {
+    Profiler::Attach attach(profiler, 2);
+    ARGUS_PROF_SCOPE("span");
+  }
+  std::ostringstream os;
+  profiler.write_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"schema\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"span\""), std::string::npos);
+  EXPECT_NE(out.find("\"events\":["), std::string::npos);
+  EXPECT_NE(out.find("\"lane\":2"), std::string::npos);
+}
+
+TEST(ProfScopeTest, UnbalancedExitIsIgnored) {
+  Profiler profiler;
+  {
+    Profiler::Attach attach(profiler, 0);
+    t_current->exit();  // no matching enter: must not crash or record
+    ARGUS_PROF_SCOPE("ok");
+  }
+  EXPECT_EQ(profiler.by_path().size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Shared flat-span aggregation (tools/traceview --top).
+
+TEST(FlatSpanTest, SelfTimeAttributionPerGroup) {
+  // Group 1: parent [0,10) with child [2,5). Group 2: lone span [0,4).
+  std::vector<FlatSpan> spans = {
+      {1, 0, 10, "parent"},
+      {1, 2, 3, "child"},
+      {2, 0, 4, "child"},
+  };
+  const auto stats = aggregate_flat_spans(std::move(spans), /*unit_to_ns=*/1.0);
+  EXPECT_EQ(stats.at("parent").count, 1u);
+  EXPECT_EQ(stats.at("parent").incl_ns, 10u);
+  EXPECT_EQ(stats.at("parent").self_ns, 7u);  // 10 - 3 nested
+  EXPECT_EQ(stats.at("child").count, 2u);
+  EXPECT_EQ(stats.at("child").incl_ns, 7u);
+  EXPECT_EQ(stats.at("child").self_ns, 7u);
+}
+
+TEST(FlatSpanTest, GroupsDoNotNestAcrossEachOther) {
+  // Identical timestamps in different groups must not be treated as
+  // parent/child.
+  std::vector<FlatSpan> spans = {{1, 0, 10, "a"}, {2, 1, 2, "b"}};
+  const auto stats = aggregate_flat_spans(std::move(spans), 1.0);
+  EXPECT_EQ(stats.at("a").self_ns, 10u);
+  EXPECT_EQ(stats.at("b").self_ns, 2u);
+}
+
+TEST(FlatSpanTest, TopTableRanksBySelfTime) {
+  std::map<std::string, PathStat> stats;
+  stats["cold"] = {1, 5, 5};
+  stats["hot"] = {2, 100, 90};
+  stats["warm"] = {3, 50, 40};
+  std::ostringstream os;
+  write_top_table(os, stats, 2, /*unit_div=*/1.0);
+  const std::string out = os.str();
+  const auto hot = out.find("hot");
+  const auto warm = out.find("warm");
+  EXPECT_NE(hot, std::string::npos);
+  EXPECT_NE(warm, std::string::npos);
+  EXPECT_LT(hot, warm);                              // ranked by self time
+  EXPECT_EQ(out.find("cold"), std::string::npos);    // cut by top-2
+}
+
+}  // namespace
+}  // namespace argus::obs::prof

@@ -1,0 +1,63 @@
+#!/bin/sh
+# CLI exit-code contract for tools/benchdiff (the CI soft gate relies on
+# it): 0 ok, 2 usage/IO/schema, 3 warn, 4 fail. Fixture trajectories are
+# built inline; the verdict *logic* is unit-tested in
+# tests/obs/bench_report_test.cpp — this exercises the binary end to end.
+set -u
+
+BENCHDIFF="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+rc=0
+
+check() {
+  desc="$1"; want="$2"; shift 2
+  "$@" > "$DIR/out.txt" 2>&1
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: exit $got, want $want"
+    cat "$DIR/out.txt"
+    rc=1
+  else
+    echo "ok: $desc (exit $got)"
+  fi
+}
+
+entry() {  # entry VALUE -> one trajectory entry with one gated metric
+  printf '{"git_sha":"t","date_utc":"2026-01-01T00:00:00Z","threads":1,"cpus":1,"repeat":1,"metrics":{"virtual.t":{"value":%s,"unit":"ms","source":"virtual","dir":"lower"}}}' "$1"
+}
+
+traj() {  # traj NAME FILE VALUES... -> trajectory file
+  name="$1"; file="$2"; shift 2
+  {
+    printf '{"schema":1,"name":"%s","entries":[\n' "$name"
+    sep=""
+    for v in "$@"; do
+      printf '%s' "$sep"; entry "$v"; sep=','
+    done
+    printf '\n]}\n'
+  } > "$file"
+}
+
+traj base "$DIR/ok.json"   100 104
+traj base "$DIR/warn.json" 100 115
+traj base "$DIR/fail.json" 100 150
+traj base "$DIR/old.json"  100
+traj base "$DIR/new.json"  115
+traj other "$DIR/other.json" 100
+traj base "$DIR/single.json" 100
+echo 'not json' > "$DIR/garbage.json"
+
+check "within thresholds"            0 "$BENCHDIFF" "$DIR/ok.json"
+check "regression past --warn"       3 "$BENCHDIFF" "$DIR/warn.json"
+check "regression past --fail"       4 "$BENCHDIFF" "$DIR/fail.json"
+check "two-file compare warns"       3 "$BENCHDIFF" "$DIR/old.json" "$DIR/new.json"
+check "custom thresholds downgrade"  0 "$BENCHDIFF" --warn 20 --fail 50 "$DIR/warn.json"
+check "custom thresholds upgrade"    4 "$BENCHDIFF" --warn 5 --fail 10 "$DIR/warn.json"
+check "name mismatch is schema error" 2 "$BENCHDIFF" "$DIR/old.json" "$DIR/other.json"
+check "single entry cannot compare"  2 "$BENCHDIFF" "$DIR/single.json"
+check "malformed file"               2 "$BENCHDIFF" "$DIR/garbage.json"
+check "missing file"                 2 "$BENCHDIFF" "$DIR/does-not-exist.json"
+check "no arguments is usage"        2 "$BENCHDIFF"
+
+exit "$rc"

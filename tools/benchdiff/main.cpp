@@ -1,0 +1,97 @@
+// benchdiff — compare bench trajectory entries (obs/bench_report.hpp).
+//
+//   benchdiff BENCH_fig6e.json              last two entries of one file
+//   benchdiff OLD.json NEW.json             last entry of each file
+//   --warn PCT    warn threshold (default 10)
+//   --fail PCT    fail threshold (default 30)
+//   --gate-wall   gate wall-source metrics too (default: informational)
+//
+// Exit codes (CI contract):
+//   0  ok          no gated metric regressed past --warn
+//   2  usage / IO / schema error (unreadable file, name mismatch,
+//      fewer than two entries to compare)
+//   3  warn        a gated metric regressed past --warn but not --fail
+//   4  fail        a gated metric regressed past --fail
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "obs/bench_report.hpp"
+
+using namespace argus::obs::bench;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: benchdiff [--warn PCT] [--fail PCT] [--gate-wall] "
+               "BEFORE.json [AFTER.json]\n");
+  return 2;
+}
+
+std::optional<Trajectory> load(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "benchdiff: cannot read %s\n", path);
+    return std::nullopt;
+  }
+  std::string error;
+  auto t = load_trajectory(in, &error);
+  if (!t) {
+    std::fprintf(stderr, "benchdiff: %s: %s\n", path, error.c_str());
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DiffThresholds thresholds;
+  const char* before_path = nullptr;
+  const char* after_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--warn") == 0 && i + 1 < argc) {
+      thresholds.warn_pct = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--fail") == 0 && i + 1 < argc) {
+      thresholds.fail_pct = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--gate-wall") == 0) {
+      thresholds.gate_wall = true;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (before_path == nullptr) {
+      before_path = argv[i];
+    } else if (after_path == nullptr) {
+      after_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (before_path == nullptr) return usage();
+
+  const auto before = load(before_path);
+  if (!before) return 2;
+  std::optional<Trajectory> after;
+  if (after_path != nullptr) {
+    after = load(after_path);
+    if (!after) return 2;
+  }
+
+  const DiffResult result = compare_trajectories(
+      *before, after ? &*after : nullptr, thresholds);
+  write_diff_report(std::cout, result);
+  switch (result.verdict) {
+    case Verdict::kOk:
+      return 0;
+    case Verdict::kWarn:
+      return 3;
+    case Verdict::kFail:
+      return 4;
+    case Verdict::kSchemaMismatch:
+      return 2;
+  }
+  return 2;
+}

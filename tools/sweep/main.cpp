@@ -11,7 +11,9 @@
 // two to check determinism, diff against a committed file to catch
 // behavioural drift.
 //
-// With --out PREFIX, writes PREFIX.jsonl (one record per run) and
+// With --out PREFIX, writes PREFIX.jsonl (one record per run followed by
+// one grid-level rollup record — every counter plus histogram quantiles,
+// merged in grid order so it is thread-count invariant) and
 // PREFIX.digests (one "digest  label" line per run). With
 // --trace PREFIX, additionally retains each run's protocol trace and
 // writes it to PREFIX-<index>.jsonl for tools/traceview — the way to
@@ -158,8 +160,9 @@ int main(int argc, char** argv) {
   }
 
   const auto grid = harness::expand(spec);
-  const harness::SweepRunner runner(
-      {.threads = threads, .keep_traces = !trace_prefix.empty()});
+  const harness::SweepRunner runner({.threads = threads,
+                                     .keep_traces = !trace_prefix.empty(),
+                                     .keep_metrics = !out_prefix.empty()});
   const auto t0 = std::chrono::steady_clock::now();
   const auto results = runner.run(grid);
   const double wall_s =
@@ -169,6 +172,10 @@ int main(int argc, char** argv) {
   std::ostringstream jsonl;
   for (std::size_t i = 0; i < grid.size(); ++i) {
     harness::write_jsonl_line(jsonl, grid[i], results[i]);
+  }
+  if (!out_prefix.empty()) {
+    harness::write_rollup_line(jsonl, harness::rollup_metrics(results),
+                               results.size());
   }
   if (!out_prefix.empty()) {
     std::ofstream jf(out_prefix + ".jsonl", std::ios::binary);

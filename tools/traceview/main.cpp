@@ -1,6 +1,6 @@
 // traceview — summarise a JSONL protocol trace (obs/trace.hpp schema).
 //
-//   traceview [--audit] [--chrome OUT.json] TRACE.jsonl
+//   traceview [--audit] [--top N] [--chrome OUT.json] TRACE.jsonl
 //
 // Prints totals, a per-category event census, traffic by message type,
 // per-phase span timing, the chaos layer's fault timeline, rejection
@@ -8,23 +8,31 @@
 // flood traffic — when the trace has any), and the indistinguishability
 // auditor's verdict.
 // `--audit` makes a FAIL verdict the exit status (2), for CI gating;
+// `--top N` prints the N hottest spans ranked by *self* time (inclusive
+// minus nested children, per node — the wall-clock profiler's
+// attribution applied to virtual-time spans);
 // `--chrome OUT.json` additionally converts the trace for
 // chrome://tracing / Perfetto.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 
 #include "fault/plan.hpp"
 #include "obs/audit.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [--audit] [--chrome OUT.json] TRACE.jsonl\n",
+  std::fprintf(stderr,
+               "usage: %s [--audit] [--top N] [--chrome OUT.json] "
+               "TRACE.jsonl\n",
                argv0);
   return 1;
 }
@@ -49,11 +57,14 @@ int main(int argc, char** argv) {
   bool gate_on_audit = false;
   const char* chrome_out = nullptr;
   const char* path = nullptr;
+  std::size_t top_n = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--audit") == 0) {
       gate_on_audit = true;
     } else if (std::strcmp(argv[i], "--chrome") == 0 && i + 1 < argc) {
       chrome_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else if (path == nullptr) {
@@ -159,6 +170,18 @@ int main(int argc, char** argv) {
                   acc.total_ms,
                   acc.total_ms / static_cast<double>(acc.count));
     }
+  }
+  if (top_n > 0 && !spans.empty()) {
+    // Hot spans by self time: nesting is per node (Tracer guarantees
+    // spans nest within a node), so each node is one aggregation group.
+    std::vector<argus::obs::prof::FlatSpan> flat;
+    flat.reserve(spans.size());
+    for (const auto& span : spans) {
+      flat.push_back({span.node, span.ts, span.dur, span.name});
+    }
+    const auto stats = argus::obs::prof::aggregate_flat_spans(std::move(flat));
+    std::printf("\n  hottest spans by self time (virtual ms)\n");
+    argus::obs::prof::write_top_table(std::cout, stats, top_n);
   }
 
   if (!faults.empty()) {
