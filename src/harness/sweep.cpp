@@ -1,5 +1,6 @@
 #include "harness/sweep.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <ostream>
 #include <sstream>
@@ -240,6 +241,81 @@ std::vector<RunResult> SweepRunner::run(
     spec.scenarios.push_back(make_scenario(grid[i]));
     return spec;
   });
+}
+
+PartitionedResult SweepRunner::run_partitioned(const SweepPoint& point,
+                                               std::size_t shards) const {
+  if (shards == 0) throw std::invalid_argument("run_partitioned: 0 shards");
+  shards = std::min(shards, std::max<std::size_t>(point.objects, 1));
+  // Even split, remainder on the leading shards — the partition is a
+  // function of (objects, shards) alone, never of thread scheduling.
+  const std::size_t base = point.objects / shards;
+  const std::size_t rem = point.objects % shards;
+  std::vector<RunResult> results =
+      run(shards, [&point, base, rem, shards](std::size_t i) {
+        SweepPoint shard = point;
+        shard.objects = base + (i < rem ? 1 : 0);
+        // Distinct backend/radio/fault realm per shard; shard 0 keeps the
+        // point's own seed so a 1-shard partition is the plain run.
+        shard.seed = point.seed + i;
+        RunSpec spec;
+        spec.label = point_label(point) + " shard=" + std::to_string(i) + "/" +
+                     std::to_string(shards);
+        spec.scenarios.push_back(make_scenario(shard));
+        return spec;
+      });
+  PartitionedResult out;
+  crypto::Sha256 h;
+  core::DiscoveryReport& sum = out.combined;
+  for (const RunResult& res : results) {
+    const core::DiscoveryReport& r = res.report();
+    // Shards run concurrently (independent buildings): the campus is done
+    // when its slowest shard is.
+    sum.total_ms = std::max(sum.total_ms, r.total_ms);
+    sum.services.insert(sum.services.end(), r.services.begin(),
+                        r.services.end());
+    sum.timeline.insert(sum.timeline.end(), r.timeline.begin(),
+                        r.timeline.end());
+    sum.outcomes.insert(sum.outcomes.end(), r.outcomes.begin(),
+                        r.outcomes.end());
+    sum.net_stats.messages += r.net_stats.messages;
+    sum.net_stats.bytes += r.net_stats.bytes;
+    sum.net_stats.hop_bytes += r.net_stats.hop_bytes;
+    sum.net_stats.channel_busy_ms += r.net_stats.channel_busy_ms;
+    sum.net_stats.deliveries += r.net_stats.deliveries;
+    sum.net_stats.dropped += r.net_stats.dropped;
+    sum.net_stats.duplicates += r.net_stats.duplicates;
+    sum.net_stats.fault_dropped += r.net_stats.fault_dropped;
+    sum.net_stats.no_dest_dropped += r.net_stats.no_dest_dropped;
+    sum.net_stats.queue_rejected += r.net_stats.queue_rejected;
+    sum.net_stats.queue_evicted += r.net_stats.queue_evicted;
+    sum.net_stats.queue_peak =
+        std::max(sum.net_stats.queue_peak, r.net_stats.queue_peak);
+    sum.subject_compute_ms += r.subject_compute_ms;
+    sum.object_compute_ms += r.object_compute_ms;
+    for (const auto& [type, bytes] : r.bytes_by_msg) {
+      sum.bytes_by_msg[type] += bytes;
+    }
+    sum.offered_messages += r.offered_messages;
+    sum.offered_bytes += r.offered_bytes;
+    sum.que1_retransmits += r.que1_retransmits;
+    sum.que2_retransmits += r.que2_retransmits;
+    for (const auto& [kind, count] : r.fault_counts) {
+      sum.fault_counts[kind] += count;
+    }
+    sum.shed_overload += r.shed_overload;
+    sum.rate_limited += r.rate_limited;
+    h.update(str_bytes(res.digest));
+  }
+  const std::uint64_t rx =
+      sum.net_stats.deliveries + sum.net_stats.dropped;
+  sum.delivery_ratio =
+      rx == 0 ? 1.0
+              : static_cast<double>(sum.net_stats.deliveries) /
+                    static_cast<double>(rx);
+  out.digest = to_hex(h.finish());
+  out.shards = std::move(results);
+  return out;
 }
 
 void write_jsonl_line(std::ostream& os, const SweepPoint& point,

@@ -112,6 +112,23 @@ struct RunResult {
   }
 };
 
+/// Combined outcome of a sharded giant-fleet run (run_partitioned).
+struct PartitionedResult {
+  /// Per-shard results, in shard order (shard i covers objects
+  /// [i*share, ...) of the conceptual fleet).
+  std::vector<RunResult> shards;
+  /// Shard reports merged: traffic/compute/outcome fields are sums (or
+  /// concatenations in shard order); total_ms is the max over shards —
+  /// the buildings discover concurrently, so the campus finishes when
+  /// the slowest shard does; delivery_ratio is recomputed from the
+  /// summed delivery counts; queue_peak is the max over shards.
+  core::DiscoveryReport combined;
+  /// SHA-256 over the shard digests in shard order: one string that
+  /// pins the whole campus, thread-count invariant because run()'s
+  /// results are.
+  std::string digest;
+};
+
 class SweepRunner {
  public:
   struct Options {
@@ -141,6 +158,16 @@ class SweepRunner {
   /// Run a grid of standard fleet scenarios.
   [[nodiscard]] std::vector<RunResult> run(
       const std::vector<SweepPoint>& grid) const;
+
+  /// One giant-fleet point simulated as `shards` independent sub-fleets
+  /// (a campus of buildings: each shard owns its subject, backend realm,
+  /// radio channel and DRBG stream, seeded `point.seed + shard`), sharded
+  /// across the ThreadPool via run(). Object counts split as evenly as
+  /// possible with the remainder on the leading shards; `shards` is
+  /// clamped to the object count. Results merge in shard order, so the
+  /// combined report and digest are byte-identical for 1 and N threads.
+  [[nodiscard]] PartitionedResult run_partitioned(const SweepPoint& point,
+                                                  std::size_t shards) const;
 
  private:
   Options opts_{};

@@ -8,25 +8,83 @@
 
 namespace argus::net {
 
+namespace {
+/// Retired frame allocations kept for reuse; beyond this they free.
+constexpr std::size_t kFramePoolMax = 256;
+}  // namespace
+
 Network::Network(Simulator& sim, RadioParams radio, std::uint64_t seed)
-    : sim_(sim), radio_(radio), rng_(crypto::make_rng(seed, "network")) {}
+    : sim_(sim), radio_(radio), rng_(crypto::make_rng(seed, "network")) {
+  nodes_.resize(1);  // slot 0: NodeId 0 is never issued
+}
+
+Network::NodeSlot& Network::slot(NodeId id) {
+  if (id == 0 || id >= nodes_.size() || nodes_[id].node == nullptr) {
+    throw std::out_of_range("Network: unknown node " + std::to_string(id));
+  }
+  return nodes_[id];
+}
+
+const Network::NodeSlot& Network::slot(NodeId id) const {
+  if (id == 0 || id >= nodes_.size() || nodes_[id].node == nullptr) {
+    throw std::out_of_range("Network: unknown node " + std::to_string(id));
+  }
+  return nodes_[id];
+}
 
 NodeId Network::add_node(SimNode* node, unsigned hops) {
   const NodeId id = next_id_++;
   node->net_ = this;
   node->id_ = id;
-  nodes_[id] = NodeSlot{node, hops, 0};
+  NodeSlot s;
+  s.node = node;
+  s.hops = hops;
+  nodes_.push_back(std::move(s));
+  if (rings_.size() <= hops) rings_.resize(hops + 1);
+  rings_[hops].push_back(id);
+  if (hops > max_hops_) max_hops_ = hops;
   return id;
 }
 
+void Network::unindex_ring(NodeId id, unsigned hops) {
+  auto& ring = rings_[hops];
+  for (auto it = ring.begin(); it != ring.end(); ++it) {
+    if (*it == id) {
+      ring.erase(it);
+      break;
+    }
+  }
+  while (max_hops_ > 0 && rings_[max_hops_].empty()) --max_hops_;
+}
+
+void Network::remove_node(NodeId node) {
+  NodeSlot& s = slot(node);
+  unindex_ring(node, s.hops);
+  s.node->net_ = nullptr;
+  s.node = nullptr;  // departed: has_node() is false, slot() throws
+  s.up = false;
+  s.busy_until = sim_.now();
+  // Entries still parked keep their wake timers; each wake finds the
+  // node gone and records a traced no_dest drop, mirroring how a crash
+  // drains its queue.
+}
+
+void Network::set_node_hops(NodeId node, unsigned hops) {
+  NodeSlot& s = slot(node);
+  if (s.hops == hops) return;
+  unindex_ring(node, s.hops);
+  s.hops = hops;
+  if (rings_.size() <= hops) rings_.resize(hops + 1);
+  rings_[hops].push_back(node);
+  if (hops > max_hops_) max_hops_ = hops;
+}
+
 unsigned Network::hops_between(NodeId a, NodeId b) const {
-  const auto ia = nodes_.find(a);
-  const auto ib = nodes_.find(b);
-  if (ia == nodes_.end() || ib == nodes_.end()) {
+  if (!has_node(a) || !has_node(b)) {
     throw std::invalid_argument("Network: unknown node");
   }
-  const unsigned ha = ia->second.hops;
-  const unsigned hb = ib->second.hops;
+  const unsigned ha = nodes_[a].hops;
+  const unsigned hb = nodes_[b].hops;
   const unsigned d = ha > hb ? ha - hb : hb - ha;
   return d == 0 ? 1 : d;  // distinct nodes are at least one hop apart
 }
@@ -52,26 +110,47 @@ SimTime Network::reserve_channel(unsigned ring, SimTime earliest,
   return start;
 }
 
-void Network::deliver(NodeId from, NodeId to, Bytes payload, SimTime arrival) {
-  sim_.schedule_at(arrival, [this, from, to,
-                             payload = std::move(payload)]() mutable {
-    if (!nodes_.at(to).up) {
-      fault_drop(from, to, payload.size());
+Network::Frame Network::acquire_frame(Bytes payload) {
+  if (!frame_pool_.empty()) {
+    std::shared_ptr<Bytes> reused = std::move(frame_pool_.back());
+    frame_pool_.pop_back();
+    *reused = std::move(payload);
+    return reused;
+  }
+  return std::make_shared<Bytes>(std::move(payload));
+}
+
+void Network::retire_frame(Frame frame) {
+  // use_count == 1 means ours is the last reference: no other scheduled
+  // copy can observe the buffer again, so its allocation may be reused.
+  if (frame.use_count() == 1 && frame_pool_.size() < kFramePoolMax) {
+    frame_pool_.push_back(std::const_pointer_cast<Bytes>(std::move(frame)));
+  }
+}
+
+void Network::deliver(NodeId from, NodeId to, Frame frame, SimTime arrival) {
+  sim_.schedule_at(arrival, [this, from, to, frame = std::move(frame)]() mutable {
+    if (!has_node(to)) {
+      no_dest_drop(from, to, frame->size());
+      return;
+    }
+    if (!nodes_[to].up) {
+      fault_drop(from, to, frame->size());
       return;
     }
     if (tracer_) {
-      tracer_->instant(sim_.now(), to, "rx", "net", payload.size(), from);
+      tracer_->instant(sim_.now(), to, "rx", "net", frame->size(), from);
     }
-    process(from, to, std::move(payload));
+    process(from, to, std::move(frame));
   });
 }
 
-void Network::process(NodeId from, NodeId to, Bytes payload) {
-  auto& slot = nodes_.at(to);
+void Network::process(NodeId from, NodeId to, Frame frame) {
+  NodeSlot& s = nodes_[to];
   // The node may have crashed while the message waited behind its busy
   // window — a queued copy dies with the node.
-  if (!slot.up) {
-    fault_drop(from, to, payload.size());
+  if (!s.up) {
+    fault_drop(from, to, frame->size());
     return;
   }
   // The node is a serial processor: a mid-compute receiver parks the
@@ -79,96 +158,103 @@ void Network::process(NodeId from, NodeId to, Bytes payload) {
   // may have moved again by then (another queued message's handler ran
   // first), so wake() re-checks at fire time rather than trusting a
   // snapshot taken at arrival.
-  if (slot.busy_until > sim_.now()) {
-    park(from, to, std::move(payload));
+  if (s.busy_until > sim_.now()) {
+    park(from, to, std::move(frame));
     return;
   }
   ++stats_.deliveries;
-  slot.node->on_message(from, payload);
+  s.node->on_message(from, *frame);
+  retire_frame(std::move(frame));
 }
 
-void Network::park(NodeId from, NodeId to, Bytes payload) {
-  auto& slot = nodes_.at(to);
-  if (queue_full(to) && !make_room(to, payload)) {
-    queue_shed(from, to, payload.size(), /*evicted=*/false);
+void Network::park(NodeId from, NodeId to, Frame frame) {
+  NodeSlot& s = nodes_[to];
+  if (queue_full(to) && !make_room(to, *frame)) {
+    queue_shed(from, to, frame->size(), /*evicted=*/false);
     return;
   }
   Parked entry;
   entry.park_id = next_park_++;
   entry.from = from;
-  entry.bytes = payload.size();
+  entry.bytes = frame->size();
   entry.enqueued = sim_.now();
-  entry.prio = payload.empty() ? 0xFF : payload[0];
+  entry.prio = frame->empty() ? 0xFF : (*frame)[0];
   const std::uint64_t park_id = entry.park_id;
   // The wake timer targets the exact stored busy_until: the same fire
   // time the legacy re-check used, so unbounded runs keep an identical
   // event timeline.
   entry.timer = sim_.schedule_timer_at(
-      slot.busy_until,
-      [this, from, to, park_id, payload = std::move(payload)]() mutable {
-        wake(from, to, park_id, std::move(payload));
+      s.busy_until,
+      [this, from, to, park_id, frame = std::move(frame)]() mutable {
+        wake(from, to, park_id, std::move(frame));
       });
-  slot.parked.push_back(entry);
+  s.parked.push_back(entry);
   stats_.queue_peak =
-      std::max<std::uint64_t>(stats_.queue_peak, slot.parked.size());
+      std::max<std::uint64_t>(stats_.queue_peak, s.parked.size());
   if (metrics_) {
     metrics_->histogram("net.queue.depth")
-        .observe(static_cast<double>(slot.parked.size()));
+        .observe(static_cast<double>(s.parked.size()));
   }
 }
 
 void Network::wake(NodeId from, NodeId to, std::uint64_t park_id,
-                   Bytes payload) {
-  auto& slot = nodes_.at(to);
+                   Frame frame) {
+  NodeSlot& s = nodes_[to];
   SimTime enqueued = sim_.now();
-  for (auto it = slot.parked.begin(); it != slot.parked.end(); ++it) {
+  for (auto it = s.parked.begin(); it != s.parked.end(); ++it) {
     if (it->park_id == park_id) {
       enqueued = it->enqueued;
-      slot.parked.erase(it);
+      s.parked.erase(it);
       break;
     }
   }
-  if (!slot.up) {
-    fault_drop(from, to, payload.size());
+  if (s.node == nullptr) {
+    // Departed while this message sat in its queue.
+    no_dest_drop(from, to, frame->size());
     return;
   }
-  if (slot.busy_until > sim_.now()) {
+  if (!s.up) {
+    fault_drop(from, to, frame->size());
+    return;
+  }
+  if (s.busy_until > sim_.now()) {
     // Still busy (an earlier wake's handler extended the window): go to
     // the back of the queue again, exactly like the legacy re-check.
-    park(from, to, std::move(payload));
+    park(from, to, std::move(frame));
     return;
   }
   if (metrics_) {
     metrics_->histogram("net.queue.wait_ms").observe(sim_.now() - enqueued);
   }
   ++stats_.deliveries;
-  slot.node->on_message(from, payload);
+  s.node->on_message(from, *frame);
+  retire_frame(std::move(frame));
 }
 
 bool Network::make_room(NodeId to, const Bytes& arriving) {
-  auto& slot = nodes_.at(to);
+  NodeSlot& s = nodes_[to];
   switch (radio_.queue_policy) {
     case QueuePolicy::kDropTail:
       return false;
     case QueuePolicy::kDropOldest: {
-      const Parked victim = slot.parked.front();
+      const Parked victim = s.parked.front();
       sim_.cancel_timer(victim.timer);
-      slot.parked.pop_front();
+      s.parked.pop_front();
       queue_shed(victim.from, to, victim.bytes, /*evicted=*/true);
       return true;
     }
     case QueuePolicy::kPriority: {
       // Weakest class loses; newest of the weakest class goes first so
       // the oldest strong entries keep their place in line.
-      auto worst = slot.parked.begin();
-      for (auto it = slot.parked.begin(); it != slot.parked.end(); ++it) {
+      auto worst = s.parked.begin();
+      for (auto it = s.parked.begin(); it != s.parked.end(); ++it) {
         if (it->prio >= worst->prio) worst = it;
       }
       const std::uint8_t arriving_prio = arriving.empty() ? 0xFF : arriving[0];
       if (arriving_prio >= worst->prio) return false;
       const Parked victim = *worst;
       sim_.cancel_timer(victim.timer);
-      slot.parked.erase(worst);
+      s.parked.erase(worst);
       queue_shed(victim.from, to, victim.bytes, /*evicted=*/true);
       return true;
     }
@@ -202,19 +288,36 @@ void Network::fault_drop(NodeId from, NodeId to, std::size_t bytes) {
   }
 }
 
+void Network::no_dest_drop(NodeId from, NodeId to, std::size_t bytes) {
+  ++stats_.no_dest_dropped;
+  if (metrics_) metrics_->counter("net.msg.no_dest_dropped").inc();
+  if (tracer_) {
+    tracer_->instant(sim_.now(), to, "drop.no_dest", "net", bytes, from);
+  }
+}
+
 void Network::set_node_up(NodeId node, bool up) {
-  auto& slot = nodes_.at(node);
-  slot.up = up;
+  NodeSlot& s = slot(node);
+  s.up = up;
   // A crash forgets in-progress compute; a rebooted node starts idle.
-  slot.busy_until = sim_.now();
+  s.busy_until = sim_.now();
 }
 
 void Network::set_compute_factor(NodeId node, double factor) {
-  nodes_.at(node).compute_factor = factor;
+  slot(node).compute_factor = factor;
 }
 
 SendOutcome Network::unicast(NodeId from, NodeId to, Bytes payload) {
-  auto& src = nodes_.at(from);
+  NodeSlot& src = slot(from);
+  if (!has_node(to)) {
+    // Crash-then-deregister race: the sender addressed a node that has
+    // left the network. A traced drop, not an exception — the sender's
+    // retry/timeout machinery handles it like any other lost message.
+    no_dest_drop(from, to, payload.size());
+    SendOutcome out;
+    out.drops = 1;
+    return out;
+  }
   const unsigned hops = hops_between(from, to);
   const double occupancy =
       static_cast<double>(payload.size()) / radio_.bandwidth_bytes_per_ms;
@@ -224,7 +327,8 @@ SendOutcome Network::unicast(NodeId from, NodeId to, Bytes payload) {
 
   // The sender cannot transmit before it finishes computing.
   // The ring index of each traversed hop: between rings min..max-1.
-  const unsigned base = std::min(nodes_.at(from).hops, nodes_.at(to).hops);
+  const unsigned base = std::min(src.hops, nodes_[to].hops);
+  const std::size_t size = payload.size();
   SimTime ready = std::max(sim_.now(), src.busy_until);
   SimTime arrival = ready;
   bool lost = false;
@@ -236,7 +340,7 @@ SendOutcome Network::unicast(NodeId from, NodeId to, Bytes payload) {
       metrics_->histogram("net.hop_latency_ms").observe(leg_end - arrival);
     }
     arrival = leg_end;
-    stats_.hop_bytes += payload.size();  // this leg was transmitted
+    stats_.hop_bytes += size;  // this leg was transmitted
     // A lost copy still occupied the channel up to the dropping hop; the
     // remaining legs never happen.
     if (chance(radio_.drop_prob)) {
@@ -252,7 +356,7 @@ SendOutcome Network::unicast(NodeId from, NodeId to, Bytes payload) {
     ++stats_.dropped;
     if (metrics_) metrics_->counter("net.msg.dropped").inc();
     if (tracer_) {
-      tracer_->instant(arrival, to, "drop", "net", payload.size(), from);
+      tracer_->instant(arrival, to, "drop", "net", size, from);
     }
     return out;
   }
@@ -261,25 +365,27 @@ SendOutcome Network::unicast(NodeId from, NodeId to, Bytes payload) {
   }
   out.delivered = true;
   out.duplicates = extra;
+  const Frame frame = acquire_frame(std::move(payload));
   for (unsigned c = 0; c < extra; ++c) {
     ++stats_.duplicates;
     if (metrics_) metrics_->counter("net.msg.duplicated").inc();
-    deliver(from, to, payload, arrival);
+    deliver(from, to, frame, arrival);
   }
-  deliver(from, to, std::move(payload), arrival);
+  deliver(from, to, frame, arrival);
   return out;
 }
 
 SendOutcome Network::broadcast(NodeId from, Bytes payload) {
-  auto& src = nodes_.at(from);
+  NodeSlot& src = slot(from);
   const double occupancy =
       static_cast<double>(payload.size()) / radio_.bandwidth_bytes_per_ms;
 
   // Flooding: the hop-h ring re-broadcasts once; ring k's transmission
   // happens after ring k-1 received the message. Channel occupancy is
-  // counted once per ring, inside reserve_channel.
-  unsigned max_hops = 0;
-  for (const auto& [id, slot] : nodes_) max_hops = std::max(max_hops, slot.hops);
+  // counted once per ring, inside reserve_channel. The ring index keeps
+  // the outermost occupied ring as a watermark — no fleet scan.
+  const unsigned max_hops = max_hops_;
+  const std::size_t size = payload.size();
 
   const SimTime ready = std::max(sim_.now(), src.busy_until);
   std::vector<SimTime> ring_arrival(max_hops + 1, ready);
@@ -291,44 +397,50 @@ SendOutcome Network::broadcast(NodeId from, Bytes payload) {
       metrics_->histogram("net.hop_latency_ms").observe(ring_arrival[h] - prev);
     }
     prev = ring_arrival[h];
-    stats_.hop_bytes += payload.size();
+    stats_.hop_bytes += size;
   }
   stats_.messages += 1;
-  stats_.bytes += payload.size();
+  stats_.bytes += size;
 
   // Each receiver's copy crosses its own `hops` legs; a drop on any leg
   // loses that receiver's copy (the ring relays themselves carry on).
+  // Delivery is O(members of the reached rings): ring-major, attach
+  // order within a ring — identical to the old all-nodes id scan for
+  // ring-monotone fleets (see header).
   SendOutcome out;
-  for (const auto& [id, slot] : nodes_) {
-    if (id == from) continue;
-    out.congested = out.congested || queue_full(id);
-    const unsigned h = std::max(1u, slot.hops);
-    const SimTime arrival = ring_arrival[std::min<unsigned>(h, max_hops)];
-    bool lost = false;
-    unsigned extra = 0;
-    for (unsigned leg = 0; leg < h && !lost; ++leg) {
-      if (chance(radio_.drop_prob)) {
-        lost = true;
-      } else if (chance(radio_.dup_prob)) {
-        ++extra;
+  const Frame frame = acquire_frame(std::move(payload));
+  for (unsigned ring = 0; ring < rings_.size(); ++ring) {
+    for (const NodeId id : rings_[ring]) {
+      if (id == from) continue;
+      out.congested = out.congested || queue_full(id);
+      const unsigned h = std::max(1u, ring);
+      const SimTime arrival = ring_arrival[std::min<unsigned>(h, max_hops)];
+      bool lost = false;
+      unsigned extra = 0;
+      for (unsigned leg = 0; leg < h && !lost; ++leg) {
+        if (chance(radio_.drop_prob)) {
+          lost = true;
+        } else if (chance(radio_.dup_prob)) {
+          ++extra;
+        }
       }
-    }
-    if (lost) {
-      ++out.drops;
-      ++stats_.dropped;
-      if (metrics_) metrics_->counter("net.msg.dropped").inc();
-      if (tracer_) {
-        tracer_->instant(arrival, id, "drop", "net", payload.size(), from);
+      if (lost) {
+        ++out.drops;
+        ++stats_.dropped;
+        if (metrics_) metrics_->counter("net.msg.dropped").inc();
+        if (tracer_) {
+          tracer_->instant(arrival, id, "drop", "net", size, from);
+        }
+        continue;
       }
-      continue;
-    }
-    out.delivered = true;
-    out.duplicates += extra;
-    deliver(from, id, payload, arrival);
-    for (unsigned c = 0; c < extra; ++c) {
-      ++stats_.duplicates;
-      if (metrics_) metrics_->counter("net.msg.duplicated").inc();
-      deliver(from, id, payload, arrival);
+      out.delivered = true;
+      out.duplicates += extra;
+      deliver(from, id, frame, arrival);
+      for (unsigned c = 0; c < extra; ++c) {
+        ++stats_.duplicates;
+        if (metrics_) metrics_->counter("net.msg.duplicated").inc();
+        deliver(from, id, frame, arrival);
+      }
     }
   }
   return out;
@@ -336,12 +448,12 @@ SendOutcome Network::broadcast(NodeId from, Bytes payload) {
 
 void Network::consume_compute(NodeId node, double ms) {
   if (ms < 0) throw std::invalid_argument("consume_compute: negative time");
-  auto& slot = nodes_.at(node);
+  NodeSlot& s = slot(node);
   // Straggler scaling; factor 1.0 multiplies exactly (IEEE), so healthy
   // nodes charge bit-identical times.
-  ms *= slot.compute_factor;
-  const SimTime start = std::max(slot.busy_until, sim_.now());
-  slot.busy_until = start + ms;
+  ms *= s.compute_factor;
+  const SimTime start = std::max(s.busy_until, sim_.now());
+  s.busy_until = start + ms;
   if (tracer_ && ms > 0) {
     tracer_->begin(start, node, "compute", "compute");
     tracer_->end(start + ms, node);

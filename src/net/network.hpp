@@ -14,11 +14,26 @@
 // that find the node busy wait in an explicit per-node ingress queue —
 // unbounded by default, or bounded (RadioParams::queue_depth) with a
 // configurable overflow policy for overload-protection experiments.
+//
+// Scale architecture (campus-sized fleets, see DESIGN.md):
+//   * node state lives in a flat, index-addressed table (`NodeId` is a
+//     dense index into one contiguous vector), so the per-message path
+//     never touches a tree map;
+//   * a per-ring membership index makes broadcast delivery O(members of
+//     the reached rings) and keeps max-hops maintenance O(1) per
+//     attach/re-ring, instead of an all-nodes scan per broadcast;
+//   * one payload buffer is shared (refcounted frame) by every scheduled
+//     copy of a send — broadcast to 10k receivers allocates one frame,
+//     not 10k — and retired frame allocations are pooled for reuse.
+// Delivery iteration is ring-major, attach order within a ring. Fleets
+// that attach nodes in ring-monotone order (every builtin grid and
+// scenario factory does) therefore keep the exact pre-index delivery and
+// RNG-draw order, which golden digests pin.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <map>
+#include <memory>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -111,11 +126,26 @@ class Network {
 
   /// Attach a node at `hops` from the subject (subject itself: hops 0).
   NodeId add_node(SimNode* node, unsigned hops);
+  /// Detach a node (it left the network for good, e.g. deregistered
+  /// after a crash). Its id stays retired; traffic already in flight to
+  /// it — and anything still parked in its ingress queue — is dropped
+  /// with a drop.no_dest trace instead of crashing the run.
+  void remove_node(NodeId node);
+  /// Move a node to a different hop ring mid-run (mobility / re-ring
+  /// faults). Copies already in flight keep the arrival time computed at
+  /// send time; future traffic uses the new ring.
+  void set_node_hops(NodeId node, unsigned hops);
+  /// True while `id` names an attached (not removed) node.
+  [[nodiscard]] bool has_node(NodeId id) const {
+    return id < nodes_.size() && nodes_[id].node != nullptr;
+  }
 
   /// Hop distance used for traffic between two nodes.
   [[nodiscard]] unsigned hops_between(NodeId a, NodeId b) const;
 
   /// Point-to-point send from the node currently processing (or idle).
+  /// An unknown or departed destination is a traced drop (drop.no_dest),
+  /// not an error: under churn a sender can race a deregistration.
   SendOutcome unicast(NodeId from, NodeId to, Bytes payload);
   /// Flooded broadcast: reaches every node; each hop ring re-transmits.
   SendOutcome broadcast(NodeId from, Bytes payload);
@@ -134,7 +164,7 @@ class Network {
   /// Earliest time the node is free of queued compute (used to timestamp
   /// when a node's current processing completes).
   [[nodiscard]] SimTime node_free_at(NodeId node) const {
-    return nodes_.at(node).busy_until;
+    return slot(node).busy_until;
   }
 
   /// Node fault controls (driven by the chaos layer). A down node loses
@@ -144,9 +174,7 @@ class Network {
   /// lost copies. Both controls default to the values that make them
   /// no-ops, so fault-free runs are untouched.
   void set_node_up(NodeId node, bool up);
-  [[nodiscard]] bool node_up(NodeId node) const {
-    return nodes_.at(node).up;
-  }
+  [[nodiscard]] bool node_up(NodeId node) const { return slot(node).up; }
   /// Straggler dial: multiply the node's future compute charges.
   void set_compute_factor(NodeId node, double factor);
 
@@ -161,6 +189,9 @@ class Network {
     std::uint64_t dropped = 0;        // copies lost in flight
     std::uint64_t duplicates = 0;     // extra copies delivered
     std::uint64_t fault_dropped = 0;  // copies lost to a crashed node
+    /// Copies addressed to an unknown/departed node (crash-then-
+    /// deregister race under churn); zero unless remove_node is used.
+    std::uint64_t no_dest_dropped = 0;
     // Bounded-queue sheds (zero on unbounded networks).
     std::uint64_t queue_rejected = 0;  // arrivals refused at a full queue
     std::uint64_t queue_evicted = 0;   // queued messages displaced by policy
@@ -182,15 +213,20 @@ class Network {
   /// Current ingress-queue length of a node (messages parked behind its
   /// busy window). Exposed for backpressure-aware callers and tests.
   [[nodiscard]] std::size_t queue_length(NodeId node) const {
-    return nodes_.at(node).parked.size();
+    return slot(node).parked.size();
   }
 
  private:
-  /// One message parked behind a busy receiver. The payload lives in the
-  /// wake timer's closure; the entry carries what eviction and metering
-  /// need. `park_id` matches a firing wake event back to its entry
-  /// (entries can fire out of deque order across a reboot, when a newer
-  /// arrival parks against an earlier busy_until).
+  /// Refcounted in-flight payload: every scheduled copy of one send
+  /// (per-receiver broadcast copies, loss-model duplicates) shares a
+  /// single buffer.
+  using Frame = std::shared_ptr<const Bytes>;
+
+  /// One message parked behind a busy receiver. The payload frame lives
+  /// in the wake timer's closure; the entry carries what eviction and
+  /// metering need. `park_id` matches a firing wake event back to its
+  /// entry (entries can fire out of deque order across a reboot, when a
+  /// newer arrival parks against an earlier busy_until).
   struct Parked {
     std::uint64_t park_id = 0;
     TimerId timer = 0;
@@ -201,7 +237,7 @@ class Network {
   };
 
   struct NodeSlot {
-    SimNode* node = nullptr;
+    SimNode* node = nullptr;  // null: slot 0 sentinel or departed node
     unsigned hops = 0;
     SimTime busy_until = 0;
     bool up = true;
@@ -209,20 +245,25 @@ class Network {
     std::deque<Parked> parked;  // explicit ingress queue, arrival order
   };
 
+  /// Bounds-checked slot access for attached nodes (throws out_of_range
+  /// like the map::at it replaced; removed nodes count as unknown).
+  NodeSlot& slot(NodeId id);
+  const NodeSlot& slot(NodeId id) const;
+
   /// Reserve the hop-ring channel `ring` for `occupancy` ms starting no
   /// earlier than `earliest`; returns the reserved start time. Each hop
   /// ring is its own contention domain (spatial reuse), so a relay two
   /// hops out does not block fresh transmissions at the subject.
   SimTime reserve_channel(unsigned ring, SimTime earliest, double occupancy);
-  void deliver(NodeId from, NodeId to, Bytes payload, SimTime arrival);
+  void deliver(NodeId from, NodeId to, Frame frame, SimTime arrival);
   /// Run the receiver's handler, or park the message in its ingress queue.
-  void process(NodeId from, NodeId to, Bytes payload);
+  void process(NodeId from, NodeId to, Frame frame);
   /// Park one message behind the receiver's busy window; enforces the
   /// bounded-queue policy first when queue_depth > 0.
-  void park(NodeId from, NodeId to, Bytes payload);
+  void park(NodeId from, NodeId to, Frame frame);
   /// A parked message's wake timer fired: retire its queue entry, then
   /// handle it (or re-park if the node is busy again / drop if it died).
-  void wake(NodeId from, NodeId to, std::uint64_t park_id, Bytes payload);
+  void wake(NodeId from, NodeId to, std::uint64_t park_id, Frame frame);
   /// Make room in a full queue per the policy. True if an entry was
   /// evicted; false means the arrival itself must be rejected.
   bool make_room(NodeId to, const Bytes& arriving);
@@ -231,10 +272,20 @@ class Network {
   /// True when `to` has a bounded ingress queue that is currently full.
   [[nodiscard]] bool queue_full(NodeId to) const {
     return radio_.queue_depth > 0 &&
-           nodes_.at(to).parked.size() >= radio_.queue_depth;
+           nodes_[to].parked.size() >= radio_.queue_depth;
   }
   /// Account one copy lost to a down node.
   void fault_drop(NodeId from, NodeId to, std::size_t bytes);
+  /// Account one copy addressed to an unknown/departed node.
+  void no_dest_drop(NodeId from, NodeId to, std::size_t bytes);
+  /// Wrap a payload as a shared in-flight frame, reusing a pooled
+  /// allocation when one is free.
+  Frame acquire_frame(Bytes payload);
+  /// Return a frame's allocation to the pool if this was the last copy.
+  void retire_frame(Frame frame);
+  /// Drop `id` from its ring's member list and refresh the max-hops
+  /// watermark (used by remove_node / set_node_hops).
+  void unindex_ring(NodeId id, unsigned hops);
   double jitter();
   /// One Bernoulli draw from the network DRBG; p <= 0 draws nothing, so
   /// lossless runs consume an unchanged RNG stream.
@@ -243,10 +294,20 @@ class Network {
   Simulator& sim_;
   RadioParams radio_;
   crypto::HmacDrbg rng_;
-  std::map<NodeId, NodeSlot> nodes_;
+  /// Flat node table indexed by NodeId (ids are dense, starting at 1;
+  /// slot 0 is an unused sentinel). The hot per-message path is one
+  /// vector index, no tree walk.
+  std::vector<NodeSlot> nodes_;
+  /// rings_[h] lists the attached nodes at hop distance h, in attach
+  /// order; max_hops_ is the highest non-empty ring. Maintained
+  /// incrementally so broadcast never scans the whole fleet.
+  std::vector<std::vector<NodeId>> rings_;
+  unsigned max_hops_ = 0;
   NodeId next_id_ = 1;
   std::uint64_t next_park_ = 1;
   std::vector<SimTime> ring_free_;  // per-hop-ring contention domains
+  /// Retired frame allocations, reused by the next send (bounded).
+  std::vector<std::shared_ptr<Bytes>> frame_pool_;
   Stats stats_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -34,24 +34,35 @@ TimerId Simulator::schedule_timer_at(SimTime when, std::function<void()> fn) {
 }
 
 bool Simulator::cancel_timer(TimerId id) {
-  return live_timers_.erase(id) > 0;
+  if (live_timers_.erase(id) == 0) return false;
+  // The event is still in the queue (its live entry is erased on pop),
+  // so this cancel created exactly one tombstone.
+  ++dead_;
+  maybe_compact();
+  return true;
+}
+
+void Simulator::maybe_compact() {
+  if (dead_ * 2 <= queue_.size()) return;
+  queue_.erase_if([this](const Event& ev) {
+    return ev.timer != 0 && !live_timers_.contains(ev.timer);
+  });
+  dead_ = 0;
 }
 
 void Simulator::prune() {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.timer == 0 || live_timers_.contains(top.timer)) return;
-    queue_.pop();  // cancelled: drop without firing or advancing the clock
+  while (const Event* top = queue_.peek()) {
+    if (top->timer == 0 || live_timers_.contains(top->timer)) return;
+    queue_.pop_min();  // cancelled: drop without firing or advancing time
+    --dead_;
   }
 }
 
 SimTime Simulator::run() {
-  if (tracer_) tracer_->begin(now_, 0, "sim.run", "sim", queue_.size());
+  if (tracer_) tracer_->begin(now_, 0, "sim.run", "sim", pending());
   const std::uint64_t before = executed_;
   for (prune(); !queue_.empty(); prune()) {
-    // Copy out before pop: fn may schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event ev = queue_.pop_min();
     if (ev.timer != 0) live_timers_.erase(ev.timer);
     now_ = ev.time;
     ++executed_;
@@ -65,11 +76,10 @@ SimTime Simulator::run() {
 }
 
 SimTime Simulator::run_until(SimTime deadline) {
-  if (tracer_) tracer_->begin(now_, 0, "sim.run", "sim", queue_.size());
+  if (tracer_) tracer_->begin(now_, 0, "sim.run", "sim", pending());
   const std::uint64_t before = executed_;
-  for (prune(); !queue_.empty() && queue_.top().time <= deadline; prune()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  for (prune(); !queue_.empty() && queue_.peek()->time <= deadline; prune()) {
+    Event ev = queue_.pop_min();
     if (ev.timer != 0) live_timers_.erase(ev.timer);
     now_ = ev.time;
     ++executed_;
@@ -84,11 +94,10 @@ SimTime Simulator::run_until(SimTime deadline) {
 }
 
 SimTime Simulator::drain_until(SimTime deadline) {
-  if (tracer_) tracer_->begin(now_, 0, "sim.run", "sim", queue_.size());
+  if (tracer_) tracer_->begin(now_, 0, "sim.run", "sim", pending());
   const std::uint64_t before = executed_;
-  for (prune(); !queue_.empty() && queue_.top().time <= deadline; prune()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  for (prune(); !queue_.empty() && queue_.peek()->time <= deadline; prune()) {
+    Event ev = queue_.pop_min();
     if (ev.timer != 0) live_timers_.erase(ev.timer);
     now_ = ev.time;
     ++executed_;

@@ -5,24 +5,24 @@
 // deterministic — a requirement for reproducing the paper's discovery
 // timelines and for the indistinguishability analyses, where timing IS the
 // observable.
+//
+// The event store is a calendar queue (net/event_queue.hpp): amortized
+// O(1) push/pop against the binary heap's O(log n), which matters once a
+// campus-scale broadcast parks tens of thousands of deliveries in flight.
+// Extraction order is identical to the heap by construction.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
-#include <vector>
+
+#include "net/event_queue.hpp"
 
 namespace argus::obs {
 class Tracer;
 }
 
 namespace argus::net {
-
-using SimTime = double;  // virtual milliseconds
-
-/// Handle for a cancellable timer; 0 is never a valid id.
-using TimerId = std::uint64_t;
 
 class Simulator {
  public:
@@ -42,7 +42,11 @@ class Simulator {
   /// (e.g. a node's busy_until) without a now+delta float round trip.
   TimerId schedule_timer_at(SimTime when, std::function<void()> fn);
   /// Cancel a pending timer. Returns false if it already fired (or was
-  /// already cancelled); cancelling is idempotent either way.
+  /// already cancelled); cancelling is idempotent either way. The queue
+  /// slot becomes a tombstone, discarded lazily on pop — but tombstones
+  /// are counted exactly, and when they outnumber live events the queue
+  /// is compacted in one pass, so cancel-heavy runs (retry storms) can't
+  /// accumulate unbounded dead entries.
   bool cancel_timer(TimerId id);
 
   /// Run until the event queue drains. Returns the final virtual time.
@@ -54,7 +58,9 @@ class Simulator {
   /// return value is the time of the last event actually fired.
   SimTime drain_until(SimTime deadline);
 
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  /// Live (uncancelled) events still queued. Exact: cancelled timers
+  /// awaiting lazy discard are not counted.
+  [[nodiscard]] std::size_t pending() const { return queue_.size() - dead_; }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
   /// Attach an event tracer (null detaches). With no tracer the only
@@ -63,29 +69,21 @@ class Simulator {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    TimerId timer = 0;  // 0: plain event; else cancellable
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  using Event = CalendarQueue::Event;
 
   /// Discard cancelled timers sitting at the head of the queue, so the
-  /// next top() is live. Skipped slots do not advance the clock or count
+  /// next peek() is live. Skipped slots do not advance the clock or count
   /// as executed.
   void prune();
+  /// One-pass removal of all tombstones once they exceed the live count.
+  void maybe_compact();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  CalendarQueue queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   TimerId next_timer_ = 1;
+  std::size_t dead_ = 0;  // cancelled timers still occupying queue slots
   std::unordered_set<TimerId> live_timers_;
   obs::Tracer* tracer_ = nullptr;
 };

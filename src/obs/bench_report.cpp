@@ -476,6 +476,7 @@ const char* verdict_name(Verdict v) {
     case Verdict::kWarn: return "WARN";
     case Verdict::kFail: return "FAIL";
     case Verdict::kSchemaMismatch: return "SCHEMA-MISMATCH";
+    case Verdict::kBaseline: return "BASELINE";
   }
   return "?";
 }
@@ -552,15 +553,26 @@ DiffResult compare_trajectories(const Trajectory& before,
       return mismatch("trajectory names differ: '" + before.name + "' vs '" +
                       after->name + "'");
     }
-    if (before.entries.empty() || after->entries.empty()) {
+    if (after->entries.empty()) {
       return mismatch("empty trajectory");
+    }
+    if (before.entries.empty()) {
+      // First run of a new bench: the before-file exists but holds no
+      // entries yet. The after-entry is the baseline, not a regression.
+      result.verdict = Verdict::kBaseline;
+      return result;
     }
     return compare_entries(before.entries.back(), after->entries.back(),
                            thresholds);
   }
-  if (before.entries.size() < 2) {
-    return mismatch("need two entries to compare, have " +
-                    std::to_string(before.entries.size()));
+  if (before.entries.size() == 1) {
+    // A freshly seeded trajectory: this entry is the baseline future
+    // entries will diff against.
+    result.verdict = Verdict::kBaseline;
+    return result;
+  }
+  if (before.entries.empty()) {
+    return mismatch("need two entries to compare, have 0");
   }
   return compare_entries(before.entries[before.entries.size() - 2],
                          before.entries.back(), thresholds);
@@ -570,6 +582,11 @@ void write_diff_report(std::ostream& os, const DiffResult& result) {
   char buf[512];
   if (result.verdict == Verdict::kSchemaMismatch) {
     os << "benchdiff: " << result.error << "\n";
+    return;
+  }
+  if (result.verdict == Verdict::kBaseline) {
+    os << "benchdiff: baseline recorded — first entry, nothing to compare "
+          "yet\n";
     return;
   }
   std::snprintf(buf, sizeof(buf), "  %-44s %12s %12s %9s  %s\n", "metric",

@@ -107,6 +107,11 @@ enum class Verdict {
   kWarn,            // some gated metric regressed past warn_pct
   kFail,            // some gated metric regressed past fail_pct
   kSchemaMismatch,  // schema/name disagreement or nothing to compare
+  /// A first-ever entry with no predecessor (one-entry trajectory, or an
+  /// empty before-file): nothing to diff, but not an error — the entry
+  /// IS the baseline future runs will be gated against. CI must treat a
+  /// freshly seeded trajectory as success, not a broken pipeline.
+  kBaseline,
 };
 
 struct DiffThresholds {

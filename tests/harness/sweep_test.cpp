@@ -465,6 +465,86 @@ TEST(SweepRollupTest, RollupIsThreadCountInvariant) {
   EXPECT_NE(line_a.str().find("\"runs\":6"), std::string::npos);
 }
 
+TEST(SweepPartitionTest, ShardDigestIsThreadCountInvariant) {
+  // The scale contract: one giant topology sharded across the pool must
+  // produce bit-identical shard digests, combined digest and combined
+  // report whether the shards ran on 1 thread or 4.
+  SweepPoint point;
+  point.level = 1;
+  point.objects = 24;
+  point.per_ring = 8;
+  SweepRunner::Options serial_opts;
+  serial_opts.threads = 1;
+  SweepRunner::Options parallel_opts;
+  parallel_opts.threads = 4;
+  const auto serial = SweepRunner(serial_opts).run_partitioned(point, 6);
+  const auto parallel = SweepRunner(parallel_opts).run_partitioned(point, 6);
+  ASSERT_EQ(serial.shards.size(), 6u);
+  ASSERT_EQ(parallel.shards.size(), 6u);
+  for (std::size_t i = 0; i < serial.shards.size(); ++i) {
+    EXPECT_EQ(serial.shards[i].digest, parallel.shards[i].digest) << i;
+  }
+  EXPECT_EQ(serial.digest, parallel.digest);
+  EXPECT_EQ(report_json(serial.combined), report_json(parallel.combined));
+}
+
+TEST(SweepPartitionTest, CombinedReportConservesFleet) {
+  // The merge must lose nothing: every object of the conceptual fleet is
+  // discovered exactly once, traffic totals are the shard sums, and the
+  // campus completion time is the slowest shard's.
+  SweepPoint point;
+  point.level = 1;
+  point.objects = 10;
+  point.per_ring = 4;
+  SweepRunner::Options opts;
+  opts.threads = 1;
+  const auto part = SweepRunner(opts).run_partitioned(point, 3);
+  ASSERT_EQ(part.shards.size(), 3u);
+  // 10 objects over 3 shards: 4 + 3 + 3.
+  EXPECT_EQ(part.shards[0].report().services.size(), 4u);
+  EXPECT_EQ(part.shards[1].report().services.size(), 3u);
+  EXPECT_EQ(part.shards[2].report().services.size(), 3u);
+  EXPECT_EQ(part.combined.services.size(), 10u);
+  double max_ms = 0;
+  std::uint64_t messages = 0;
+  for (const auto& shard : part.shards) {
+    max_ms = std::max(max_ms, shard.report().total_ms);
+    messages += shard.report().net_stats.messages;
+  }
+  EXPECT_EQ(part.combined.total_ms, max_ms);
+  EXPECT_EQ(part.combined.net_stats.messages, messages);
+  EXPECT_EQ(part.combined.delivery_ratio, 1.0);  // clean channel
+}
+
+TEST(SweepPartitionTest, SingleShardMatchesPlainRun) {
+  // A 1-shard partition is the plain run: same seed, same scenario, same
+  // digest — the partitioning layer adds nothing to the simulation.
+  SweepPoint point;
+  point.level = 2;
+  point.objects = 4;
+  SweepRunner::Options opts;
+  opts.threads = 1;
+  const auto part = SweepRunner(opts).run_partitioned(point, 1);
+  const auto plain = SweepRunner(opts).run({point});
+  ASSERT_EQ(part.shards.size(), 1u);
+  EXPECT_EQ(part.shards[0].digest, plain[0].digest);
+  EXPECT_EQ(part.combined.services.size(), 4u);
+}
+
+TEST(SweepPartitionTest, ShardCountClampsAndValidates) {
+  SweepPoint point;
+  point.level = 1;
+  point.objects = 2;
+  SweepRunner::Options opts;
+  opts.threads = 1;
+  EXPECT_THROW((void)SweepRunner(opts).run_partitioned(point, 0),
+               std::invalid_argument);
+  // More shards than objects: clamped so no shard simulates zero objects.
+  const auto part = SweepRunner(opts).run_partitioned(point, 8);
+  EXPECT_EQ(part.shards.size(), 2u);
+  EXPECT_EQ(part.combined.services.size(), 2u);
+}
+
 TEST(SweepRollupTest, RollupAggregatesAcrossRuns) {
   GridSpec spec;
   spec.levels = {2};

@@ -406,6 +406,130 @@ TEST(NetworkTest, UnboundedQueueNeverSheds) {
   EXPECT_EQ(net.stats().queue_peak, 5u);
 }
 
+TEST(NetworkTest, UnicastToUnknownDestinationIsTracedDrop) {
+  // Regression: an unknown destination used to surface as a std::map::at
+  // throw from deep inside the delivery path. Departed/never-attached
+  // destinations are a normal churn condition — the send must degrade to
+  // a counted drop, not an exception.
+  Simulator sim;
+  Network net(sim, quiet_radio(), 1);
+  Recorder a;
+  const NodeId ida = net.add_node(&a, 0);
+  SendOutcome out;
+  sim.schedule(0, [&] { out = net.unicast(ida, 999, Bytes(110, 1)); });
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.drops, 1u);
+  EXPECT_EQ(net.stats().no_dest_dropped, 1u);
+  // The send never reached the wire: no traffic accounting.
+  EXPECT_EQ(net.stats().messages, 0u);
+  EXPECT_EQ(net.stats().bytes, 0u);
+  // An unknown *sender* is still a programming error.
+  EXPECT_THROW((void)net.unicast(999, ida, Bytes(110, 1)),
+               std::out_of_range);
+}
+
+TEST(NetworkTest, RemovedNodeDropsInFlightDeliveries) {
+  // A frame already in the air when its destination departs must land as
+  // a traced no-destination drop, never a dangling-pointer dispatch.
+  Simulator sim;
+  Network net(sim, quiet_radio(), 1);
+  Recorder a, b;
+  const NodeId ida = net.add_node(&a, 0);
+  const NodeId idb = net.add_node(&b, 1);
+  sim.schedule(0, [&] { net.unicast(ida, idb, Bytes(110, 1)); });
+  sim.schedule(10, [&] { net.remove_node(idb); });  // mid-flight (arrival 53)
+  sim.run();
+  EXPECT_TRUE(b.log.empty());
+  EXPECT_EQ(net.stats().no_dest_dropped, 1u);
+  EXPECT_FALSE(net.has_node(idb));
+  // Sends to the departed node after removal take the same drop path.
+  SendOutcome out;
+  sim.schedule(0, [&] { out = net.unicast(ida, idb, Bytes(110, 2)); });
+  sim.run();
+  EXPECT_EQ(out.drops, 1u);
+  EXPECT_EQ(net.stats().no_dest_dropped, 2u);
+}
+
+TEST(NetworkTest, RemovedNodeLeavesBroadcastRecipientSet) {
+  Simulator sim;
+  Network net(sim, quiet_radio(), 1);
+  Recorder subject, near, gone;
+  const NodeId ids = net.add_node(&subject, 0);
+  net.add_node(&near, 1);
+  const NodeId idg = net.add_node(&gone, 1);
+  net.remove_node(idg);
+  sim.schedule(0, [&] { net.broadcast(ids, Bytes(110, 7)); });
+  sim.run();
+  EXPECT_EQ(near.log.size(), 1u);
+  EXPECT_TRUE(gone.log.empty());
+  // The removed node is not even a drop: broadcast iterates the ring
+  // index, and departed nodes are unindexed at removal.
+  EXPECT_EQ(net.stats().no_dest_dropped, 0u);
+}
+
+TEST(NetworkTest, ReRingMovesNodeAcrossRings) {
+  // set_node_hops re-homes the node in the ring index: broadcast timing,
+  // hops_between, and unicast latency all follow the new ring.
+  Simulator sim;
+  Network net(sim, quiet_radio(), 1);
+  Recorder subject, roamer;
+  const NodeId ids = net.add_node(&subject, 0);
+  const NodeId idr = net.add_node(&roamer, 3);
+  EXPECT_EQ(net.hops_between(ids, idr), 3u);
+  sim.schedule(0, [&] { net.unicast(ids, idr, Bytes(110, 1)); });
+  sim.run();
+  ASSERT_EQ(roamer.log.size(), 1u);
+  EXPECT_NEAR(roamer.log[0].at, 3 * 53.0, 1e-9);  // 3 hops out
+
+  net.set_node_hops(idr, 1);
+  EXPECT_EQ(net.hops_between(ids, idr), 1u);
+  const SimTime before = sim.now();
+  sim.schedule(0, [&] { net.broadcast(ids, Bytes(110, 2)); });
+  sim.run();
+  ASSERT_EQ(roamer.log.size(), 2u);
+  // Ring 1 delivery: one occupancy (1 ms) + one hop (52 ms).
+  EXPECT_NEAR(roamer.log[1].at - before, 53.0, 1e-9);
+  // Rebooting back out re-homes it again, and the empty inner ring
+  // shrinks the broadcast's ring walk rather than faulting on it.
+  net.set_node_hops(idr, 4);
+  EXPECT_EQ(net.hops_between(ids, idr), 4u);
+}
+
+TEST(NetworkTest, BroadcastRecipientSetMatchesAllNodesScan) {
+  // The ring index must reproduce exactly the recipient set and delivery
+  // schedule of the legacy scan-every-node broadcast. Fingerprint the
+  // deliveries (receiver, arrival) — including RNG-driven jitter, whose
+  // draw order is part of the determinism contract — and compare against
+  // the values the pre-index implementation produced.
+  Simulator sim;
+  RadioParams radio;  // default jitter: exercises per-receiver RNG order
+  Network net(sim, radio, 7);
+  Recorder subject;
+  std::vector<std::unique_ptr<Recorder>> fleet;
+  const NodeId ids = net.add_node(&subject, 0);
+  for (unsigned ring = 1; ring <= 3; ++ring) {
+    for (int k = 0; k < 3; ++k) {
+      fleet.push_back(std::make_unique<Recorder>());
+      net.add_node(fleet.back().get(), ring);
+    }
+  }
+  sim.schedule(0, [&] { net.broadcast(ids, Bytes(110, 7)); });
+  sim.run();
+  std::uint64_t fingerprint = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&fingerprint](std::uint64_t v) {
+    fingerprint = (fingerprint ^ v) * 1099511628211ull;
+  };
+  for (const auto& node : fleet) {
+    ASSERT_EQ(node->log.size(), 1u);
+    mix(node->node_id());
+    mix(static_cast<std::uint64_t>(node->log[0].at * 1e6));
+  }
+  // Golden value recorded from the all-nodes-scan broadcast (same seed,
+  // same topology) before the ring index landed.
+  EXPECT_EQ(fingerprint, 14924853729572494993ull);
+}
+
 TEST(ComputeModelTest, PaperAnchors) {
   const ComputeModel subj = ComputeModel::nexus6();
   // Level 2/3 subject op sequence: 1 sign + 3 verify + 2 ECDH = 27.4 ms.

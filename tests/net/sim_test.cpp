@@ -105,5 +105,119 @@ TEST(SimulatorTest, DrainUntilDoesNotForceClockForward) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(SimulatorTest, PendingIsExactUnderCancellation) {
+  // pending() counts live work only: a cancelled timer's tombstone slot
+  // must not be reported, however long it lingers in the queue.
+  Simulator sim;
+  sim.schedule(100, [] {});
+  std::vector<TimerId> timers;
+  for (int i = 0; i < 6; ++i) {
+    timers.push_back(sim.schedule_timer(10 + i, [] {}));
+  }
+  EXPECT_EQ(sim.pending(), 7u);
+  EXPECT_TRUE(sim.cancel_timer(timers[1]));
+  EXPECT_TRUE(sim.cancel_timer(timers[4]));
+  EXPECT_EQ(sim.pending(), 5u);
+  sim.run_until(11);  // fires timers[0] + prunes the timers[1] tombstone
+  EXPECT_EQ(sim.pending(), 4u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, TombstoneCompactionKeepsLiveOrder) {
+  // Cancel far more than half the queue: compaction must sweep the dead
+  // entries in one pass while every live event still fires, in order.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<TimerId> doomed;
+  for (int i = 0; i < 64; ++i) {
+    if (i % 4 == 0) {
+      const int tag = i;
+      sim.schedule_timer(static_cast<SimTime>(i) + 1,
+                         [&order, tag] { order.push_back(tag); });
+    } else {
+      doomed.push_back(sim.schedule_timer(static_cast<SimTime>(i) + 1, [&] {
+        ADD_FAILURE() << "cancelled timer fired";
+      }));
+    }
+  }
+  for (const TimerId id : doomed) EXPECT_TRUE(sim.cancel_timer(id));
+  // 48 of 64 cancelled: past the half-queue threshold, so the tombstones
+  // are compacted away and pending() is exact without any pops.
+  EXPECT_EQ(sim.pending(), 16u);
+  sim.run();
+  EXPECT_EQ(sim.executed(), 16u);
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);
+  }
+}
+
+TEST(SimulatorTest, CancelAfterCompactionIsIdempotent) {
+  Simulator sim;
+  std::vector<TimerId> timers;
+  for (int i = 0; i < 8; ++i) timers.push_back(sim.schedule_timer(10, [] {}));
+  for (int i = 0; i < 7; ++i) EXPECT_TRUE(sim.cancel_timer(timers[i]));
+  // The compaction pass already removed these entries; cancelling again
+  // must stay a no-op rather than corrupting the live count.
+  for (int i = 0; i < 7; ++i) EXPECT_FALSE(sim.cancel_timer(timers[i]));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(SimulatorTest, CalendarQueueStressKeepsExactOrder) {
+  // Storm of schedules at repeating + spread-out times (forces bucket
+  // growth, same-day collisions, and the sparse-tail fallback): events
+  // must still fire in exact (time, seq) order.
+  Simulator sim;
+  std::vector<std::pair<double, int>> fired;
+  int tag = 0;
+  std::uint64_t mix = 0x9e3779b97f4a7c15ull;
+  std::vector<std::pair<double, int>> expect;
+  for (int i = 0; i < 500; ++i) {
+    mix = mix * 6364136223846793005ull + 1442695040888963407ull;
+    // Times cluster at small values with occasional far-future spikes.
+    double when = static_cast<double>((mix >> 33) % 97);
+    if (i % 37 == 0) when += 1e5 + static_cast<double>(i);
+    if (i % 11 == 0) when = 42;  // heavy same-time pileup
+    const int id = tag++;
+    sim.schedule(when, [&fired, &sim, id] {
+      fired.emplace_back(sim.now(), id);
+    });
+    expect.emplace_back(when, id);
+  }
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  sim.run();
+  ASSERT_EQ(fired.size(), expect.size());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i].first, expect[i].first) << "index " << i;
+    EXPECT_EQ(fired[i].second, expect[i].second) << "index " << i;
+  }
+}
+
+TEST(SimulatorTest, StressWithInterleavedCancellation) {
+  // Mixed schedule/cancel churn: live timers all fire exactly once, in
+  // order, and pending() stays exact throughout.
+  Simulator sim;
+  int fired = 0;
+  std::vector<TimerId> ids;
+  for (int round = 0; round < 50; ++round) {
+    for (int j = 0; j < 8; ++j) {
+      ids.push_back(sim.schedule_timer(1 + ((round * 13 + j * 7) % 200),
+                                       [&fired] { ++fired; }));
+    }
+    // Cancel every third outstanding timer from this round.
+    for (std::size_t k = ids.size() - 8; k < ids.size(); k += 3) {
+      sim.cancel_timer(ids[k]);
+    }
+  }
+  const std::size_t live = sim.pending();
+  sim.run();
+  EXPECT_EQ(static_cast<std::size_t>(fired), live);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace argus::net

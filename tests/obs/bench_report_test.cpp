@@ -181,15 +181,43 @@ TEST(DiffTest, TrajectoryNameMismatchIsSchemaMismatch) {
   EXPECT_FALSE(result.error.empty());
 }
 
-TEST(DiffTest, SingleFileNeedsTwoEntries) {
+TEST(DiffTest, SingleEntryIsBaselineNotError) {
+  // A freshly seeded trajectory has exactly one entry: that is the
+  // baseline, not a pipeline failure. Zero entries is still an error —
+  // a comparison was requested and there is nothing at all.
   Trajectory t;
   t.name = "solo";
-  t.entries.push_back(entry_with({{"virtual.t", vm(100)}}));
   EXPECT_EQ(compare_trajectories(t, nullptr, kDefault).verdict,
             Verdict::kSchemaMismatch);
+  t.entries.push_back(entry_with({{"virtual.t", vm(100)}}));
+  const auto baseline = compare_trajectories(t, nullptr, kDefault);
+  EXPECT_EQ(baseline.verdict, Verdict::kBaseline);
+  EXPECT_TRUE(baseline.error.empty());
   t.entries.push_back(entry_with({{"virtual.t", vm(150)}}));
   EXPECT_EQ(compare_trajectories(t, nullptr, kDefault).verdict,
             Verdict::kFail);
+}
+
+TEST(DiffTest, EmptyBeforeFileIsBaseline) {
+  // Two-file mode, before-file present but never written to: the after
+  // entry is the first real measurement. An empty *after* is an error.
+  Trajectory before, after;
+  before.name = after.name = "fresh";
+  after.entries.push_back(entry_with({{"virtual.t", vm(100)}}));
+  EXPECT_EQ(compare_trajectories(before, &after, kDefault).verdict,
+            Verdict::kBaseline);
+  EXPECT_EQ(compare_trajectories(after, &before, kDefault).verdict,
+            Verdict::kSchemaMismatch);
+}
+
+TEST(DiffTest, BaselineReportPrintsNote) {
+  Trajectory t;
+  t.name = "solo";
+  t.entries.push_back(entry_with({{"virtual.t", vm(100)}}));
+  const auto result = compare_trajectories(t, nullptr, kDefault);
+  std::ostringstream os;
+  write_diff_report(os, result);
+  EXPECT_NE(os.str().find("baseline recorded"), std::string::npos);
 }
 
 TEST(DiffTest, ReportNamesVerdictAndMetrics) {

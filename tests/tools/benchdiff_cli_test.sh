@@ -46,6 +46,7 @@ traj base "$DIR/old.json"  100
 traj base "$DIR/new.json"  115
 traj other "$DIR/other.json" 100
 traj base "$DIR/single.json" 100
+traj base "$DIR/empty.json"
 echo 'not json' > "$DIR/garbage.json"
 
 check "within thresholds"            0 "$BENCHDIFF" "$DIR/ok.json"
@@ -55,7 +56,17 @@ check "two-file compare warns"       3 "$BENCHDIFF" "$DIR/old.json" "$DIR/new.js
 check "custom thresholds downgrade"  0 "$BENCHDIFF" --warn 20 --fail 50 "$DIR/warn.json"
 check "custom thresholds upgrade"    4 "$BENCHDIFF" --warn 5 --fail 10 "$DIR/warn.json"
 check "name mismatch is schema error" 2 "$BENCHDIFF" "$DIR/old.json" "$DIR/other.json"
-check "single entry cannot compare"  2 "$BENCHDIFF" "$DIR/single.json"
+# A first-ever entry is a baseline, not a broken pipeline: exit 0 plus a
+# "baseline recorded" note — both single-file and empty-before flavors.
+check "single entry is baseline"     0 "$BENCHDIFF" "$DIR/single.json"
+if ! grep -q "baseline recorded" "$DIR/out.txt"; then
+  echo "FAIL: single-entry baseline: missing 'baseline recorded' note"
+  cat "$DIR/out.txt"
+  rc=1
+fi
+check "empty before-file is baseline" 0 "$BENCHDIFF" "$DIR/empty.json" "$DIR/single.json"
+check "zero entries cannot compare"  2 "$BENCHDIFF" "$DIR/empty.json"
+check "empty after-file is error"    2 "$BENCHDIFF" "$DIR/single.json" "$DIR/empty.json"
 check "malformed file"               2 "$BENCHDIFF" "$DIR/garbage.json"
 check "missing file"                 2 "$BENCHDIFF" "$DIR/does-not-exist.json"
 check "no arguments is usage"        2 "$BENCHDIFF"

@@ -7,9 +7,12 @@
 //   --gate-wall   gate wall-source metrics too (default: informational)
 //
 // Exit codes (CI contract):
-//   0  ok          no gated metric regressed past --warn
+//   0  ok          no gated metric regressed past --warn; also a freshly
+//      seeded trajectory (single first entry / empty before-file), which
+//      prints a "baseline recorded" note — a new bench's first CI run is
+//      a baseline, not a broken pipeline
 //   2  usage / IO / schema error (unreadable file, name mismatch,
-//      fewer than two entries to compare)
+//      zero entries where a comparison was requested)
 //   3  warn        a gated metric regressed past --warn but not --fail
 //   4  fail        a gated metric regressed past --fail
 #include <cstdio>
@@ -85,6 +88,7 @@ int main(int argc, char** argv) {
   write_diff_report(std::cout, result);
   switch (result.verdict) {
     case Verdict::kOk:
+    case Verdict::kBaseline:
       return 0;
     case Verdict::kWarn:
       return 3;
