@@ -120,6 +120,28 @@ void ObjectEngine::note_eviction(std::uint64_t n) {
 void ObjectEngine::advance_clock(double virtual_ms) {
   if (virtual_ms <= now_ms_) return;
   now_ms_ = virtual_ms;
+  if (cfg_.resumption.enabled) {
+    // Epoch rotation: retire the semi-static key; the next handshake
+    // generates a fresh one, and cached premasters of the old epoch stop
+    // matching (their `epoch` field no longer equals epoch_).
+    if (cfg_.resumption.rotate_ms > 0 && epoch_eph_valid_ &&
+        now_ms_ - epoch_born_ms_ > cfg_.resumption.rotate_ms) {
+      ++epoch_;
+      epoch_eph_valid_ = false;
+    }
+    if (cfg_.resumption.ttl_ms > 0) {
+      std::uint64_t expired = 0;
+      for (auto it = resume_cache_.begin(); it != resume_cache_.end();) {
+        if (now_ms_ - it->second.born_ms > cfg_.resumption.ttl_ms) {
+          it = resume_cache_.erase(it);
+          ++expired;
+        } else {
+          ++it;
+        }
+      }
+      note_eviction(expired);
+    }
+  }
   const double ttl = cfg_.session_ttl_ms;
   if (ttl <= 0) return;
   std::uint64_t evicted = 0;
@@ -173,7 +195,25 @@ void ObjectEngine::bound_state() {
     seen_rs_.erase(victim);
     ++evicted;
   }
+  while (cfg_.resumption.capacity > 0 &&
+         resume_cache_.size() > cfg_.resumption.capacity) {
+    auto victim = resume_cache_.begin();
+    for (auto it = resume_cache_.begin(); it != resume_cache_.end(); ++it) {
+      if (it->second.lru < victim->second.lru) victim = it;
+    }
+    resume_cache_.erase(victim);
+    ++evicted;
+  }
   note_eviction(evicted);
+}
+
+const crypto::EcKeyPair& ObjectEngine::epoch_eph() {
+  if (!epoch_eph_valid_) {
+    epoch_eph_ = crypto::ecdh_generate(group_, rng_);
+    epoch_eph_valid_ = true;
+    epoch_born_ms_ = now_ms_;
+  }
+  return epoch_eph_;
 }
 
 Bytes ObjectEngine::res2_plaintext(const backend::Profile& prof) const {
@@ -257,8 +297,18 @@ HandleResult ObjectEngine::handle_que1(const Que1& msg, const Bytes& wire,
   Session sess;
   sess.r_s = msg.r_s;
   sess.r_o = rng_.generate(kNonceSize);
-  sess.eph = crypto::ecdh_generate(group_, rng_);
-  charge(net::CryptoOp::kEcdhGenerate);
+  if (cfg_.resumption.enabled) {
+    // Semi-static key: one scalar multiplication per epoch instead of one
+    // per handshake, and a stable KEXM_O the subject's premaster cache
+    // can match against.
+    const bool fresh = !epoch_eph_valid_;
+    sess.eph = epoch_eph();
+    sess.eph_epoch = epoch_;
+    if (fresh) charge(net::CryptoOp::kEcdhGenerate);
+  } else {
+    sess.eph = crypto::ecdh_generate(group_, rng_);
+    charge(net::CryptoOp::kEcdhGenerate);
+  }
 
   Res1 res;
   res.r_s = sess.r_s;
@@ -283,9 +333,9 @@ HandleResult ObjectEngine::handle_que1(const Que1& msg, const Bytes& wire,
   return {res_wire};
 }
 
-HandleResult ObjectEngine::handle_que2(const Que2& msg, std::uint64_t now,
-                                       std::uint64_t peer) {
-  ARGUS_PROF_SCOPE("object.handle_que2");
+std::optional<HandleResult> ObjectEngine::que2_front(const Que2& msg,
+                                                     std::uint64_t peer,
+                                                     Session* out) {
   // Duplicate QUE2 after a completed exchange: resend the cached RES2
   // byte-for-byte. Identical bytes carry no new information (the same
   // nonces seal the same plaintext), and the retransmitted copy lets a
@@ -294,7 +344,7 @@ HandleResult ObjectEngine::handle_que2(const Que2& msg, std::uint64_t now,
     ++stats_.replays_detected;
     ++stats_.retransmissions;
     cit->second.lru = lru_seq_++;
-    return {cit->second.wire, HandleStatus::kDuplicate};
+    return HandleResult{cit->second.wire, HandleStatus::kDuplicate};
   }
   const auto sit = sessions_.find(msg.r_s);
   if (sit == sessions_.end()) {
@@ -312,13 +362,30 @@ HandleResult ObjectEngine::handle_que2(const Que2& msg, std::uint64_t now,
   }
   // Work on a copy: a QUE2 that fails verification must leave the session
   // untouched so a later (possibly retransmitted) QUE2 can still complete.
-  Session sess = sit->second;
+  *out = sit->second;
   ++stats_.que2_handled;
+  return std::nullopt;
+}
 
+HandleResult ObjectEngine::handle_que2(const Que2& msg, std::uint64_t now,
+                                       std::uint64_t peer) {
+  ARGUS_PROF_SCOPE("object.handle_que2");
+  Session sess;
+  if (auto early = que2_front(msg, peer, &sess)) return std::move(*early);
+  return que2_complete(msg, now, std::move(sess), Que2Verdicts{});
+}
+
+HandleResult ObjectEngine::que2_complete(const Que2& msg, std::uint64_t now,
+                                         Session sess,
+                                         const Que2Verdicts& v) {
   // 1. Subject certificate: admin-signed, within validity.
   const auto cert = crypto::Certificate::parse(msg.cert);
   charge(net::CryptoOp::kEcdsaVerify);
-  if (!cert || !crypto::verify_certificate(group_, cfg_.admin_pub, *cert, now)) {
+  const bool cert_ok =
+      cert && (v.have ? v.cert_ok
+                      : crypto::verify_certificate(group_, cfg_.admin_pub,
+                                                   *cert, now));
+  if (!cert_ok) {
     ++stats_.drops;
     return fail(HandleStatus::kBadCert);
   }
@@ -335,7 +402,11 @@ HandleResult ObjectEngine::handle_que2(const Que2& msg, std::uint64_t now,
   const Bytes sig_digest = sess.transcript.digest();
   const auto sig = crypto::EcdsaSignature::from_bytes(group_, msg.sig);
   charge(net::CryptoOp::kEcdsaVerify);
-  if (!sig || !crypto::ecdsa_verify(group_, *subject_pub, sig_digest, *sig)) {
+  const bool sig_ok =
+      sig && (v.have ? v.sig_ok
+                     : crypto::ecdsa_verify(group_, *subject_pub, sig_digest,
+                                            *sig));
+  if (!sig_ok) {
     ++stats_.drops;
     return fail(HandleStatus::kBadSignature);
   }
@@ -344,8 +415,10 @@ HandleResult ObjectEngine::handle_que2(const Que2& msg, std::uint64_t now,
   // 3. Subject profile: admin-signed; its attributes drive Level 2.
   const auto prof = backend::Profile::parse(msg.prof);
   charge(net::CryptoOp::kEcdsaVerify);
-  if (!prof || !verify_profile(group_, cfg_.admin_pub, *prof) ||
-      prof->entity_id != cert->subject_id) {
+  const bool prof_ok =
+      prof && (v.have ? v.prof_ok
+                      : verify_profile(group_, cfg_.admin_pub, *prof));
+  if (!prof_ok || prof->entity_id != cert->subject_id) {
     ++stats_.drops;
     return fail(HandleStatus::kBadProfile);
   }
@@ -356,20 +429,56 @@ HandleResult ObjectEngine::handle_que2(const Que2& msg, std::uint64_t now,
     return fail(HandleStatus::kRevoked);
   }
 
-  // 5. Key agreement.
-  const auto peer_kexm = group_.decode_point(msg.kexm);
-  if (!peer_kexm) {
-    ++stats_.drops;
-    return fail(HandleStatus::kBadKex);
-  }
+  // 5. Key agreement — possibly resumed. A cache hit (same subject cert,
+  // same subject KEXM, same semi-static epoch, not expired) reuses the
+  // premaster and skips the scalar multiplication entirely.
   Bytes pre_k;
-  try {
-    pre_k = crypto::ecdh_shared_secret(group_, sess.eph.priv, *peer_kexm);
-  } catch (const std::invalid_argument&) {
-    ++stats_.drops;
-    return fail(HandleStatus::kBadKex);
+  bool resumed = false;
+  Bytes cert_hash;
+  if (cfg_.resumption.enabled) {
+    cert_hash = crypto::Sha256::hash(msg.cert);
+    const auto rit = resume_cache_.find(cert_hash);
+    if (rit != resume_cache_.end() && rit->second.epoch == sess.eph_epoch &&
+        rit->second.peer_kexm == msg.kexm &&
+        (cfg_.resumption.ttl_ms <= 0 ||
+         now_ms_ - rit->second.born_ms <= cfg_.resumption.ttl_ms)) {
+      rit->second.lru = lru_seq_++;
+      pre_k = rit->second.pre_k;
+      resumed = true;
+      ++stats_.resumption_hits;
+      if (cfg_.metrics != nullptr) {
+        cfg_.metrics->counter("object.resumption.hit").inc();
+      }
+    } else {
+      ++stats_.resumption_misses;
+      if (cfg_.metrics != nullptr) {
+        cfg_.metrics->counter("object.resumption.miss").inc();
+      }
+    }
   }
-  charge(net::CryptoOp::kEcdhCompute);
+  if (!resumed) {
+    const auto peer_kexm = group_.decode_point(msg.kexm);
+    if (!peer_kexm) {
+      ++stats_.drops;
+      return fail(HandleStatus::kBadKex);
+    }
+    // Non-throwing key agreement: a syntactically valid but degenerate
+    // peer point (e.g. the encoded identity) must land in the reject
+    // taxonomy, never escape the handler as an exception.
+    auto secret =
+        crypto::ecdh_shared_secret_checked(group_, sess.eph.priv, *peer_kexm);
+    if (!secret) {
+      ++stats_.drops;
+      return fail(HandleStatus::kBadKex);
+    }
+    pre_k = std::move(*secret);
+    charge(net::CryptoOp::kEcdhCompute);
+    if (cfg_.resumption.enabled) {
+      resume_cache_[cert_hash] =
+          ResumeEntry{msg.kexm, pre_k, sess.eph_epoch, now_ms_, lru_seq_++};
+      bound_state();
+    }
+  }
   const Bytes k2 = derive_k2(pre_k, sess.r_s, sess.r_o);
   charge(net::CryptoOp::kHmac);
 
@@ -445,6 +554,135 @@ HandleResult ObjectEngine::handle_que2(const Que2& msg, std::uint64_t now,
   res2_cache_[msg.r_s] = CachedRes2{res_wire, now_ms_, lru_seq_++};
   bound_state();
   return {res_wire};
+}
+
+std::vector<HandleResult> ObjectEngine::handle_batch(
+    const std::vector<BatchInput>& items) {
+  ARGUS_PROF_SCOPE("object.handle_batch");
+  // Three phases per flush window: the strictly-ordered cheap front half
+  // of every QUE2, one batched verification of all their signatures, then
+  // the expensive tails in arrival order with the precomputed verdicts.
+  // Anything that could make the reordering observable — a non-QUE2
+  // message, a repeated R_S, capacity pressure on the RES2 cache —
+  // flushes the pending window first, so the results equal a
+  // message-by-message handle() exactly.
+  constexpr std::size_t kMaxBatch = 16;
+  struct Pending {
+    std::size_t idx = 0;
+    Que2 msg;
+    std::uint64_t now = 0;
+    Session sess;
+  };
+  std::vector<HandleResult> out(items.size());
+  std::vector<Pending> pending;
+
+  const auto flush = [&] {
+    if (pending.empty()) return;
+    if (pending.size() == 1) {
+      // A lone QUE2 gains nothing from the batch equation; verify it
+      // exactly like the sequential path.
+      Pending& p = pending.front();
+      out[p.idx] = que2_complete(p.msg, p.now, std::move(p.sess), {});
+      pending.clear();
+      return;
+    }
+    // Phase B: gather every signature that parses — certificate,
+    // transcript, profile — into one batch. A job that fails a
+    // short-circuit the sequential path would have hit (expired validity
+    // window, unparseable signature) is simply not enqueued; its verdict
+    // stays false and que2_complete re-derives the matching reject.
+    struct Slot {
+      int cert = -1;
+      int sig = -1;
+      int prof = -1;
+    };
+    std::vector<crypto::EcdsaBatchItem> jobs;
+    std::vector<Slot> slots(pending.size());
+    std::vector<Que2Verdicts> verdicts(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const Pending& p = pending[i];
+      verdicts[i].have = true;
+      const auto cert = crypto::Certificate::parse(p.msg.cert);
+      if (!cert) continue;  // completion rejects at kBadCert
+      if (p.now >= cert->not_before && p.now <= cert->not_after) {
+        if (const auto csig =
+                crypto::EcdsaSignature::from_bytes(group_, cert->signature)) {
+          slots[i].cert = static_cast<int>(jobs.size());
+          jobs.push_back({cfg_.admin_pub, cert->tbs(), *csig});
+        }
+      }
+      if (const auto subject_pub = group_.decode_point(cert->pubkey)) {
+        Transcript t = p.sess.transcript;  // completion re-absorbs its own
+        t.absorb(p.msg.prof);
+        t.absorb(p.msg.cert);
+        t.absorb(p.msg.kexm);
+        if (const auto tsig =
+                crypto::EcdsaSignature::from_bytes(group_, p.msg.sig)) {
+          slots[i].sig = static_cast<int>(jobs.size());
+          jobs.push_back({*subject_pub, t.digest(), *tsig});
+        }
+      }
+      if (const auto prof = backend::Profile::parse(p.msg.prof)) {
+        if (const auto psig =
+                crypto::EcdsaSignature::from_bytes(group_, prof->signature)) {
+          slots[i].prof = static_cast<int>(jobs.size());
+          jobs.push_back({cfg_.admin_pub, prof->tbs(), *psig});
+        }
+      }
+    }
+    crypto::EcdsaBatchStats bstats;
+    const std::vector<bool> ok =
+        crypto::ecdsa_verify_batch(group_, jobs, &bstats);
+    stats_.batch_verified_sigs += bstats.batched;
+    stats_.batch_fallback_sigs += bstats.fallback_single;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      verdicts[i].cert_ok = slots[i].cert >= 0 && ok[slots[i].cert];
+      verdicts[i].sig_ok = slots[i].sig >= 0 && ok[slots[i].sig];
+      verdicts[i].prof_ok = slots[i].prof >= 0 && ok[slots[i].prof];
+    }
+    // Phase C: expensive tails, strictly in arrival order.
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      Pending& p = pending[i];
+      out[p.idx] = que2_complete(p.msg, p.now, std::move(p.sess), verdicts[i]);
+    }
+    pending.clear();
+  };
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchInput& item = items[i];
+    std::optional<Message> msg;
+    const bool oversized = cfg_.admission.enabled &&
+                           cfg_.admission.max_wire_bytes > 0 &&
+                           item.wire.size() > cfg_.admission.max_wire_bytes;
+    if (!oversized) msg = decode(item.wire);
+    const Que2* que2 = msg ? std::get_if<Que2>(&*msg) : nullptr;
+    if (que2 == nullptr) {
+      // Not a QUE2: drain the window, then take the sequential path (it
+      // repeats the size/decode checks, so the counting is identical).
+      flush();
+      out[i] = handle(item.wire, item.now, item.peer);
+      continue;
+    }
+    // Flush barriers. A repeated R_S must see the earlier item's effect
+    // (cached RES2 / consumed session); the capacity bound guarantees the
+    // window's completions never trigger an LRU eviction a later front in
+    // the same window ran ahead of.
+    const bool dup_rs =
+        std::any_of(pending.begin(), pending.end(),
+                    [&](const Pending& p) { return p.msg.r_s == que2->r_s; });
+    const bool capacity =
+        cfg_.session_capacity > 0 &&
+        res2_cache_.size() + pending.size() + 1 > cfg_.session_capacity;
+    if (dup_rs || capacity || pending.size() >= kMaxBatch) flush();
+    Session sess;
+    if (auto early = que2_front(*que2, item.peer, &sess)) {
+      out[i] = std::move(*early);
+    } else {
+      pending.push_back(Pending{i, *que2, item.now, std::move(sess)});
+    }
+  }
+  flush();
+  return out;
 }
 
 }  // namespace argus::core

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <set>
+#include <vector>
 
 #include "argus/messages.hpp"
 #include "argus/result.hpp"
@@ -69,6 +71,9 @@ struct ObjectEngineConfig {
   /// Overload protection (see AdmissionParams). Off by default: the
   /// admission path is never consulted and no bucket state is touched.
   AdmissionParams admission{};
+  /// ECDH session resumption (see ResumptionParams). Off by default: no
+  /// premaster cache, no semi-static key, bytes identical to before.
+  ResumptionParams resumption{};
   /// Optional sink for per-crypto-op modeled cost (null = no accounting,
   /// no overhead beyond one pointer test per op).
   obs::MetricsRegistry* metrics = nullptr;
@@ -85,6 +90,24 @@ class ObjectEngine {
   /// all anonymous traffic shares one bucket). Ignored unless admission
   /// control is enabled.
   HandleResult handle(ByteSpan wire, std::uint64_t now, std::uint64_t peer = 0);
+
+  /// One message of a drained ingress batch: the same arguments handle()
+  /// takes, captured so independent handshakes can be processed together.
+  struct BatchInput {
+    Bytes wire;
+    std::uint64_t now = 0;
+    std::uint64_t peer = 0;
+  };
+
+  /// Process a drained ingress-queue batch. Returns exactly the results
+  /// handle() would have produced called item by item, in order — the
+  /// batch path is a pure throughput optimisation. QUE2 signature checks
+  /// (certificate, transcript, profile) across the batch are verified
+  /// together via ecdsa_verify_batch; everything that could make batched
+  /// execution observable — a repeated R_S, a non-QUE2 message
+  /// interleaved in the batch, state-capacity pressure — flushes the
+  /// pending window first, so sequential semantics are preserved exactly.
+  std::vector<HandleResult> handle_batch(const std::vector<BatchInput>& items);
 
   /// Feed the engine virtual time (monotonic, ms). Sessions, cached
   /// replies, and replay entries older than the TTL are evicted here.
@@ -124,6 +147,13 @@ class ObjectEngine {
     // are neither drops nor rejects: the bytes were never inspected.
     std::uint64_t shed_overload = 0;  // engine-wide budget exhausted
     std::uint64_t rate_limited = 0;   // a peer's bucket ran dry
+    // Resumption-cache traffic (zero unless resumption is enabled).
+    std::uint64_t resumption_hits = 0;
+    std::uint64_t resumption_misses = 0;
+    // handle_batch: signatures settled by a batch equation vs re-checked
+    // individually after a failed batch.
+    std::uint64_t batch_verified_sigs = 0;
+    std::uint64_t batch_fallback_sigs = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t open_sessions() const { return sessions_.size(); }
@@ -135,8 +165,17 @@ class ObjectEngine {
   struct Session {
     Bytes r_s, r_o;
     crypto::EcKeyPair eph;
+    std::uint64_t eph_epoch = 0;  // which semi-static epoch eph came from
     Transcript transcript;
     Bytes res1_wire;  // cached reply: duplicate QUE1 resends it unchanged
+    double born_ms = 0;
+    std::uint64_t lru = 0;
+  };
+  /// Premaster cache entry, keyed by SHA-256 of the subject certificate.
+  struct ResumeEntry {
+    Bytes peer_kexm;  // subject KEXM the premaster was computed against
+    Bytes pre_k;
+    std::uint64_t epoch = 0;  // valid only for sessions of the same epoch
     double born_ms = 0;
     std::uint64_t lru = 0;
   };
@@ -157,6 +196,29 @@ class ObjectEngine {
                            std::uint64_t peer);
   HandleResult handle_que2(const Que2& msg, std::uint64_t now,
                            std::uint64_t peer);
+
+  /// Precomputed signature verdicts for one QUE2, produced by the batch
+  /// path. `have == false` (the sequential path) makes que2_complete
+  /// verify each signature inline instead.
+  struct Que2Verdicts {
+    bool have = false;
+    bool cert_ok = false;
+    bool sig_ok = false;
+    bool prof_ok = false;
+  };
+  /// Cheap, strictly-ordered front half of QUE2 handling: cached-resend,
+  /// session lookup, admission. Fills `out` and returns nullopt when the
+  /// expensive tail still has to run.
+  std::optional<HandleResult> que2_front(const Que2& msg, std::uint64_t peer,
+                                         Session* out);
+  /// Expensive tail of QUE2 handling (signatures, key agreement, MACs,
+  /// seal), identical for the sequential and batch paths.
+  HandleResult que2_complete(const Que2& msg, std::uint64_t now, Session sess,
+                             const Que2Verdicts& verdicts);
+
+  /// The object's semi-static ECDH key for the current resumption epoch
+  /// (generated on first use, invalidated by epoch rotation).
+  const crypto::EcKeyPair& epoch_eph();
 
   /// Admission check for one unit of fresh (non-cached) work. Refills
   /// both buckets from the virtual clock, then spends one token from
@@ -192,6 +254,11 @@ class ObjectEngine {
   crypto::HmacDrbg rng_;
   std::map<Bytes, Session> sessions_;  // keyed by R_S
   std::map<Bytes, CachedRes2> res2_cache_;  // R_S -> completed-exchange RES2
+  std::map<Bytes, ResumeEntry> resume_cache_;  // subject-cert hash -> preK
+  crypto::EcKeyPair epoch_eph_{};
+  bool epoch_eph_valid_ = false;
+  std::uint64_t epoch_ = 0;
+  double epoch_born_ms_ = 0;
   std::map<Bytes, std::uint64_t> seen_rs_;  // replay detection, LRU-stamped
   std::map<std::uint64_t, TokenBucket> peer_buckets_;  // admission, LRU-capped
   TokenBucket global_bucket_;

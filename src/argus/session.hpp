@@ -12,10 +12,36 @@
 // ciphertext invalidates the response MAC.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 #include "common/bytes.hpp"
 #include "crypto/sha256.hpp"
 
 namespace argus::core {
+
+/// ECDH session resumption (opt-in; off by default so existing runs stay
+/// bit-identical, like AdmissionParams). When enabled, both engines cache
+/// the premaster secret keyed by the *peer's certificate hash*, and the
+/// object serves handshakes from a semi-static ECDH key rotated per
+/// epoch. A re-discovery between the same certified pair then skips every
+/// ECDH scalar multiplication; session keys stay fresh because K2/K3
+/// still mix the per-round nonces. Invalidation: a changed certificate
+/// is a different cache key, a changed peer KEXM or a rotated epoch
+/// fails the entry match, TTL and LRU bound the table, and a reboot
+/// (fresh engine) starts empty. The tradeoff — forward secrecy widens
+/// from per-handshake to per-epoch — is why this is opt-in.
+struct ResumptionParams {
+  bool enabled = false;
+  /// Entry lifetime. The object measures it on its virtual clock
+  /// (advance_clock, ms); the subject measures it against the `now`
+  /// passed to handle(). <= 0 disables expiry.
+  double ttl_ms = 30'000;
+  std::size_t capacity = 256;  // LRU bound on cached peers
+  /// Object-side epoch length (virtual ms): how long one semi-static
+  /// ECDH key serves before rotation forces fresh key agreement.
+  double rotate_ms = 10'000;
+};
 
 inline constexpr std::string_view kLabelKey = "session key";
 inline constexpr std::string_view kLabelSubject = "subject finished";

@@ -145,19 +145,72 @@ HandleResult SubjectEngine::handle_res1(const Res1& msg, const Bytes& wire,
   }
   ++stats_.res1;
 
-  // 3. Ephemeral ECDH + key schedule. A syntactically valid but
-  // degenerate peer point (e.g. the identity) throws inside the scalar
-  // multiply — a hostile KEXM must reject, never abort.
-  const crypto::EcKeyPair eph = crypto::ecdh_generate(group_, rng_);
-  charge(net::CryptoOp::kEcdhGenerate);
+  // 3. Ephemeral ECDH + key schedule — possibly resumed. A cache hit
+  // (same object cert, same object KEXM, not expired) reuses our cached
+  // ephemeral key and premaster, skipping both scalar multiplications.
+  // The hit condition requires the object to present the same KEXM it did
+  // before (its semi-static epoch key), so both sides derive the same
+  // premaster; an object that rotated shows a fresh KEXM and we miss.
+  crypto::EcKeyPair eph;
   Bytes pre_k;
-  try {
-    pre_k = crypto::ecdh_shared_secret(group_, eph.priv, *peer_kexm);
-  } catch (const std::invalid_argument&) {
-    ++stats_.drops;
-    return fail(HandleStatus::kBadKex);
+  bool resumed = false;
+  Bytes cert_hash;
+  if (cfg_.resumption.enabled) {
+    cert_hash = crypto::Sha256::hash(msg.cert);
+    const auto rit = resume_cache_.find(cert_hash);
+    if (rit != resume_cache_.end() && rit->second.object_kexm == msg.kexm &&
+        (cfg_.resumption.ttl_ms <= 0 ||
+         (now >= rit->second.born_now &&
+          static_cast<double>(now - rit->second.born_now) <=
+              cfg_.resumption.ttl_ms))) {
+      rit->second.lru = lru_seq_++;
+      eph = rit->second.eph;
+      pre_k = rit->second.pre_k;
+      resumed = true;
+      ++stats_.resumption_hits;
+      if (cfg_.metrics != nullptr) {
+        cfg_.metrics->counter("subject.resumption.hit").inc();
+      }
+    } else {
+      ++stats_.resumption_misses;
+      if (cfg_.metrics != nullptr) {
+        cfg_.metrics->counter("subject.resumption.miss").inc();
+      }
+    }
   }
-  charge(net::CryptoOp::kEcdhCompute);
+  if (!resumed) {
+    eph = crypto::ecdh_generate(group_, rng_);
+    charge(net::CryptoOp::kEcdhGenerate);
+    // Non-throwing key agreement: a syntactically valid but degenerate
+    // peer point (e.g. the encoded identity) must land in the reject
+    // taxonomy, never escape the handler as an exception.
+    auto secret =
+        crypto::ecdh_shared_secret_checked(group_, eph.priv, *peer_kexm);
+    if (!secret) {
+      ++stats_.drops;
+      return fail(HandleStatus::kBadKex);
+    }
+    pre_k = std::move(*secret);
+    charge(net::CryptoOp::kEcdhCompute);
+    if (cfg_.resumption.enabled) {
+      resume_cache_[cert_hash] =
+          ResumeEntry{msg.kexm, eph, pre_k, now, lru_seq_++};
+      std::uint64_t evicted = 0;
+      while (cfg_.resumption.capacity > 0 &&
+             resume_cache_.size() > cfg_.resumption.capacity) {
+        auto victim = resume_cache_.begin();
+        for (auto it = resume_cache_.begin(); it != resume_cache_.end();
+             ++it) {
+          if (it->second.lru < victim->second.lru) victim = it;
+        }
+        resume_cache_.erase(victim);
+        ++evicted;
+      }
+      if (evicted > 0 && cfg_.metrics != nullptr) {
+        cfg_.metrics->counter("subject.resumption.evict").inc(evicted);
+      }
+    }
+  }
   const Bytes k2 = derive_k2(pre_k, msg.r_s, msg.r_o);
   charge(net::CryptoOp::kHmac);
   const auto& gk = cfg_.creds.group_keys[group_idx_];

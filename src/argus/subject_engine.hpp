@@ -31,6 +31,10 @@ struct SubjectEngineConfig {
   /// v2.0 only: whether this round seeks Level 3 services (v3.0 always
   /// does; v1.0 never does).
   bool seek_level3 = true;
+  /// ECDH session resumption (see ResumptionParams). Off by default: no
+  /// premaster cache, bytes identical to before. The subject's TTL is
+  /// measured in the units of the `now` argument passed to handle().
+  ResumptionParams resumption{};
   /// Optional sink for per-crypto-op modeled cost (null = no accounting,
   /// no overhead beyond one pointer test per op).
   obs::MetricsRegistry* metrics = nullptr;
@@ -79,6 +83,9 @@ class SubjectEngine {
     std::uint64_t drops = 0;
     std::uint64_t rejects = 0;  // subset of drops: is_reject statuses
     std::uint64_t retransmissions = 0;  // cached QUE2 resends
+    // Resumption-cache traffic (zero unless resumption is enabled).
+    std::uint64_t resumption_hits = 0;
+    std::uint64_t resumption_misses = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -88,6 +95,16 @@ class SubjectEngine {
     Bytes k2, k3;
     Transcript transcript;
     Bytes que2_wire;  // cached reply: duplicate RES1 resends it unchanged
+  };
+  /// Premaster cache entry, keyed by SHA-256 of the object certificate.
+  /// A hit reuses both our ephemeral key and the premaster, skipping the
+  /// keygen and the shared-secret scalar multiplications.
+  struct ResumeEntry {
+    Bytes object_kexm;  // object KEXM the premaster was computed against
+    crypto::EcKeyPair eph;
+    Bytes pre_k;
+    std::uint64_t born_now = 0;
+    std::uint64_t lru = 0;
   };
 
   HandleResult handle_res1_l1(const Res1Level1& msg);
@@ -115,6 +132,8 @@ class SubjectEngine {
   Bytes que1_wire_;    // current round QUE1 bytes (transcript prefix)
   std::size_t group_idx_ = 0;
   std::map<Bytes, Session> sessions_;  // keyed by R_O
+  std::map<Bytes, ResumeEntry> resume_cache_;  // object-cert hash -> preK
+  std::uint64_t lru_seq_ = 0;
   std::set<Bytes> completed_;          // R_O of finished exchanges this round
   std::vector<DiscoveredService> discovered_;
   double consumed_ms_ = 0;

@@ -2,9 +2,20 @@
 
 #include <stdexcept>
 
+#include "crypto/ec_precomp.hpp"
 #include "obs/prof.hpp"
 
 namespace argus::crypto {
+
+namespace {
+
+EcFastPaths g_fast_paths{};
+
+}  // namespace
+
+const EcFastPaths& ec_fast_paths() { return g_fast_paths; }
+
+void set_ec_fast_paths(const EcFastPaths& paths) { g_fast_paths = paths; }
 
 const char* strength_name(Strength s) {
   switch (s) {
@@ -120,6 +131,17 @@ EcGroup::EcGroup(const CurveParams& params)
     : params_(params), fp_(params.p), fn_(params.n) {
   a_m_ = fp_.to_mont(params_.a);
   b_m_ = fp_.to_mont(params_.b);
+  a_is_minus3_ = params_.a == crypto::sub(params_.p, UInt::from_u64(3));
+}
+
+EcGroup::~EcGroup() = default;
+
+const EcFixedBaseTable& EcGroup::fixed_base_table() const {
+  std::call_once(fixed_base_once_, [this] {
+    fixed_base_ =
+        std::make_unique<EcFixedBaseTable>(build_fixed_base_table(*this));
+  });
+  return *fixed_base_;
 }
 
 bool EcGroup::on_curve(const EcPoint& pt) const {
@@ -148,8 +170,38 @@ EcPoint EcGroup::to_affine(const Jacobian& pt) const {
                  fp_.from_mont(fp_.mul(pt.y, zinv3)), false};
 }
 
-// dbl-2007-bl (general a), operands in Montgomery form.
+// Doubling dispatch. The a = -3 specialisation (dbl-2001-b) computes the
+// *same Jacobian representative* as the general formula — S = 4XY^2 = 4B,
+// M = 3X^2 + aZ^4 = 3(X - Z^2)(X + Z^2) = alpha, and Z3 is the identical
+// expression — so switching it on cannot perturb any downstream bytes.
 EcGroup::Jacobian EcGroup::jdbl(const Jacobian& p) const {
+  if (!a_is_minus3_ || !g_fast_paths.fast_double) return jdbl_generic(p);
+  if (p.z.is_zero() || p.y.is_zero()) return jac_identity();
+  const UInt delta = fp_.sqr(p.z);
+  const UInt gamma = fp_.sqr(p.y);
+  const UInt beta = fp_.mul(p.x, gamma);
+  // alpha = 3*(X - delta)*(X + delta)
+  UInt alpha = fp_.mul(fp_.sub(p.x, delta), fp_.add(p.x, delta));
+  alpha = fp_.add(fp_.add(alpha, alpha), alpha);
+  const UInt b4 = fp_.add(fp_.add(beta, beta), fp_.add(beta, beta));
+  Jacobian r;
+  // X3 = alpha^2 - 8*beta
+  r.x = fp_.sub(fp_.sqr(alpha), fp_.add(b4, b4));
+  // Z3 = (Y + Z)^2 - gamma - delta
+  UInt z3 = fp_.sqr(fp_.add(p.y, p.z));
+  z3 = fp_.sub(z3, gamma);
+  r.z = fp_.sub(z3, delta);
+  // Y3 = alpha*(4*beta - X3) - 8*gamma^2
+  UInt g8 = fp_.sqr(gamma);
+  g8 = fp_.add(g8, g8);
+  g8 = fp_.add(g8, g8);
+  g8 = fp_.add(g8, g8);
+  r.y = fp_.sub(fp_.mul(alpha, fp_.sub(b4, r.x)), g8);
+  return r;
+}
+
+// dbl-2007-bl (general a), operands in Montgomery form.
+EcGroup::Jacobian EcGroup::jdbl_generic(const Jacobian& p) const {
   if (p.z.is_zero() || p.y.is_zero()) {
     return Jacobian{fp_.one(), fp_.one(), UInt::zero()};
   }
@@ -219,6 +271,36 @@ EcGroup::Jacobian EcGroup::jadd(const Jacobian& p, const Jacobian& q) const {
   return r;
 }
 
+// madd (add-2007-bl with Z2 = 1). With Z2 = 1 the general formula's
+// Z3 = ((Z1+Z2)^2 - Z1^2 - 1)*H collapses to 2*Z1*H — the same field
+// element — and every other intermediate is unchanged, so this produces
+// the bit-identical representative jadd would.
+EcGroup::Jacobian EcGroup::jadd_mixed(const Jacobian& p, const AffM& q) const {
+  if (p.z.is_zero()) return Jacobian{q.x, q.y, fp_.one()};
+  const UInt z1z1 = fp_.sqr(p.z);
+  const UInt u2 = fp_.mul(q.x, z1z1);
+  const UInt s2 = fp_.mul(q.y, fp_.mul(p.z, z1z1));
+  if (p.x == u2) {
+    if (p.y == s2) return jdbl(p);
+    return jac_identity();  // P + (-P)
+  }
+  const UInt h = fp_.sub(u2, p.x);
+  UInt i = fp_.add(h, h);
+  i = fp_.sqr(i);
+  const UInt j = fp_.mul(h, i);
+  UInt r0 = fp_.sub(s2, p.y);
+  r0 = fp_.add(r0, r0);
+  const UInt v = fp_.mul(p.x, i);
+  Jacobian r;
+  r.x = fp_.sub(fp_.sub(fp_.sqr(r0), j), fp_.add(v, v));
+  UInt s1j = fp_.mul(p.y, j);
+  s1j = fp_.add(s1j, s1j);
+  r.y = fp_.sub(fp_.mul(r0, fp_.sub(v, r.x)), s1j);
+  UInt z3 = fp_.mul(p.z, h);
+  r.z = fp_.add(z3, z3);
+  return r;
+}
+
 EcPoint EcGroup::add(const EcPoint& a, const EcPoint& b) const {
   return to_affine(jadd(to_jacobian(a), to_jacobian(b)));
 }
@@ -237,14 +319,14 @@ EcPoint EcGroup::scalar_mul(const EcPoint& pt, const UInt& k) const {
   const UInt kr = mod(k, params_.n);
   if (kr.is_zero() || pt.infinity) return EcPoint::identity();
 
-  // 4-bit window.
+  // 4-bit window; jdbl dispatches to the a = -3 doubling when enabled.
   const Jacobian base = to_jacobian(pt);
   Jacobian table[16];
-  table[0] = Jacobian{fp_.one(), fp_.one(), UInt::zero()};
+  table[0] = jac_identity();
   table[1] = base;
   for (int i = 2; i < 16; ++i) table[i] = jadd(table[i - 1], base);
 
-  Jacobian acc{fp_.one(), fp_.one(), UInt::zero()};
+  Jacobian acc = jac_identity();
   const std::size_t bits = kr.bit_length();
   const std::size_t nibbles = (bits + 3) / 4;
   for (std::size_t i = nibbles; i-- > 0;) {
@@ -262,6 +344,58 @@ EcPoint EcGroup::scalar_mul(const EcPoint& pt, const UInt& k) const {
     if (nib != 0) acc = jadd(acc, table[nib]);
   }
   return to_affine(acc);
+}
+
+// The frozen pre-pipeline algorithm: identical to scalar_mul except every
+// doubling goes through the general-a formula, exactly as before the fast
+// paths existed. Differential tests byte-compare the fast paths against
+// this, and the throughput bench runs it as the "before" configuration.
+EcPoint EcGroup::scalar_mul_reference(const EcPoint& pt, const UInt& k) const {
+  ARGUS_PROF_SCOPE("crypto.ec.scalar_mul");
+  const UInt kr = mod(k, params_.n);
+  if (kr.is_zero() || pt.infinity) return EcPoint::identity();
+
+  const Jacobian base = to_jacobian(pt);
+  Jacobian table[16];
+  table[0] = jac_identity();
+  table[1] = base;
+  for (int i = 2; i < 16; ++i) table[i] = jadd(table[i - 1], base);
+
+  Jacobian acc = jac_identity();
+  const std::size_t bits = kr.bit_length();
+  const std::size_t nibbles = (bits + 3) / 4;
+  for (std::size_t i = nibbles; i-- > 0;) {
+    if (i != nibbles - 1) {
+      acc = jdbl_generic(acc);
+      acc = jdbl_generic(acc);
+      acc = jdbl_generic(acc);
+      acc = jdbl_generic(acc);
+    }
+    std::size_t nib = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      const std::size_t idx = i * 4 + b;
+      if (idx < bits && kr.bit(idx)) nib |= 1u << b;
+    }
+    if (nib != 0) acc = jadd(acc, table[nib]);
+  }
+  return to_affine(acc);
+}
+
+EcPoint EcGroup::scalar_mul_base(const UInt& k) const {
+  if (!g_fast_paths.fixed_base) return scalar_mul(generator(), k);
+  ARGUS_PROF_SCOPE("crypto.ec.scalar_mul_base");
+  return fixed_base_mul(*this, k);
+}
+
+std::optional<EcPoint> EcGroup::lift_x(const UInt& x) const {
+  if (cmp(x, params_.p) >= 0) return std::nullopt;
+  const UInt x_m = fp_.to_mont(x);
+  UInt rhs = fp_.mul(fp_.sqr(x_m), x_m);
+  rhs = fp_.add(rhs, fp_.mul(a_m_, x_m));
+  rhs = fp_.add(rhs, b_m_);
+  const auto y_m = fp_.sqrt(rhs);
+  if (!y_m) return std::nullopt;
+  return EcPoint{x, fp_.from_mont(*y_m), false};
 }
 
 UInt EcGroup::random_scalar(HmacDrbg& rng) const {

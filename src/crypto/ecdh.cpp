@@ -4,16 +4,22 @@
 
 namespace argus::crypto {
 
+std::optional<Bytes> ecdh_shared_secret_checked(const EcGroup& group,
+                                                const UInt& priv,
+                                                const EcPoint& peer_pub) {
+  if (peer_pub.infinity || !group.on_curve(peer_pub)) return std::nullopt;
+  const EcPoint shared = group.scalar_mul(peer_pub, priv);
+  if (shared.infinity) return std::nullopt;
+  return shared.x.to_bytes_be(group.params().field_bytes);
+}
+
 Bytes ecdh_shared_secret(const EcGroup& group, const UInt& priv,
                          const EcPoint& peer_pub) {
-  if (peer_pub.infinity || !group.on_curve(peer_pub)) {
+  auto secret = ecdh_shared_secret_checked(group, priv, peer_pub);
+  if (!secret) {
     throw std::invalid_argument("ecdh: invalid peer public key");
   }
-  const EcPoint shared = group.scalar_mul(peer_pub, priv);
-  if (shared.infinity) {
-    throw std::invalid_argument("ecdh: degenerate shared point");
-  }
-  return shared.x.to_bytes_be(group.params().field_bytes);
+  return std::move(*secret);
 }
 
 }  // namespace argus::crypto

@@ -15,6 +15,14 @@ inline EcKeyPair ecdh_generate(const EcGroup& group, HmacDrbg& rng) {
 }
 
 /// preK = X coordinate of priv * peer_pub, serialized field-size bytes.
+/// nullopt when the peer key is the identity, off-curve, or yields a
+/// degenerate shared point — the non-throwing form engine handlers use so
+/// a malformed KEXM stays inside the HandleResult reject accounting.
+std::optional<Bytes> ecdh_shared_secret_checked(const EcGroup& group,
+                                                const UInt& priv,
+                                                const EcPoint& peer_pub);
+
+/// preK = X coordinate of priv * peer_pub, serialized field-size bytes.
 /// Throws std::invalid_argument on the identity result (invalid peer key).
 Bytes ecdh_shared_secret(const EcGroup& group, const UInt& priv,
                          const EcPoint& peer_pub);

@@ -1,0 +1,288 @@
+// Differential tests for the precomputed-table hot paths: every fast
+// scalar-multiplication route (comb fixed-base, per-key window tables,
+// Shamir's trick, a = -3 doubling) is byte-compared against the frozen
+// reference implementation across seeded random scalars and the classic
+// edge cases (0, 1, n-1, n, k >= n).
+#include "crypto/ec_precomp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "crypto/drbg.hpp"
+#include "crypto/ec.hpp"
+#include "crypto/mont.hpp"
+
+namespace argus::crypto {
+namespace {
+
+/// Scoped fast-path override; restores the previous configuration so test
+/// order cannot leak one case's toggles into another.
+class FastPathGuard {
+ public:
+  explicit FastPathGuard(const EcFastPaths& paths) : saved_(ec_fast_paths()) {
+    set_ec_fast_paths(paths);
+  }
+  ~FastPathGuard() { set_ec_fast_paths(saved_); }
+
+ private:
+  EcFastPaths saved_;
+};
+
+std::vector<UInt> fuzz_scalars(const EcGroup& g, std::string_view seed,
+                               int count) {
+  const UInt& n = g.params().n;
+  std::vector<UInt> out;
+  // Edge scalars first: 0, 1, n-1, n, n+1, 2n-1, and a far-above-n value
+  // (the reference path reduces mod n, so the fast paths must too).
+  out.push_back(UInt{});
+  out.push_back(UInt::from_u64(1));
+  out.push_back(sub(n, UInt::from_u64(1)));
+  out.push_back(n);
+  out.push_back(add(n, UInt::from_u64(1)));
+  out.push_back(sub(add(n, n), UInt::from_u64(1)));
+  out.push_back(add(add(n, n), UInt::from_u64(12345)));
+  HmacDrbg rng(str_bytes(seed));
+  for (int i = 0; i < count; ++i) out.push_back(g.random_scalar(rng));
+  return out;
+}
+
+class EcPrecompTest : public ::testing::TestWithParam<Strength> {
+ protected:
+  const EcGroup& g() const { return group_for(GetParam()); }
+};
+
+TEST_P(EcPrecompTest, FixedBaseMatchesReference) {
+  for (const UInt& k : fuzz_scalars(g(), "fixed-base-fuzz", 24)) {
+    const EcPoint want = g().scalar_mul_reference(g().generator(), k);
+    EXPECT_EQ(fixed_base_mul(g(), k), want);
+    EXPECT_EQ(g().scalar_mul_base(k), want);  // dispatch path
+  }
+}
+
+TEST_P(EcPrecompTest, ScalarMulFastDoubleMatchesReference) {
+  // scalar_mul uses the a = -3 specialised doubling when enabled; the
+  // reference path uses the general formula. Results must be identical.
+  HmacDrbg rng(str_bytes("fast-double-pt"));
+  const EcPoint p = g().scalar_mul_reference(g().generator(),
+                                             g().random_scalar(rng));
+  for (const UInt& k : fuzz_scalars(g(), "fast-double-fuzz", 16)) {
+    EXPECT_EQ(g().scalar_mul(p, k), g().scalar_mul_reference(p, k));
+  }
+}
+
+TEST_P(EcPrecompTest, PerKeyTableMatchesReference) {
+  HmacDrbg rng(str_bytes("precomp-pt"));
+  const EcPoint p = g().scalar_mul_reference(g().generator(),
+                                             g().random_scalar(rng));
+  const EcPrecomp tab(g(), p);
+  for (const UInt& k : fuzz_scalars(g(), "precomp-fuzz", 16)) {
+    EXPECT_EQ(tab.mul(k), g().scalar_mul_reference(p, k));
+  }
+}
+
+TEST_P(EcPrecompTest, PrecompOfIdentityIsIdentity) {
+  const EcPrecomp tab(g(), EcPoint::identity());
+  EXPECT_TRUE(tab.is_identity_point());
+  EXPECT_TRUE(tab.mul(UInt::from_u64(7)).infinity);
+}
+
+TEST_P(EcPrecompTest, CacheReturnsWorkingTables) {
+  HmacDrbg rng(str_bytes("cache-pt"));
+  EcPrecompCache cache(2);
+  const EcPoint a = g().scalar_mul_reference(g().generator(),
+                                             g().random_scalar(rng));
+  const EcPoint b = g().scalar_mul_reference(g().generator(),
+                                             g().random_scalar(rng));
+  const EcPoint c = g().scalar_mul_reference(g().generator(),
+                                             g().random_scalar(rng));
+  const UInt k = g().random_scalar(rng);
+  EXPECT_EQ(cache.get(g(), a)->mul(k), g().scalar_mul_reference(a, k));
+  EXPECT_EQ(cache.get(g(), a)->mul(k), g().scalar_mul_reference(a, k));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // Capacity 2: a third point evicts, but the handed-out table (shared
+  // ownership) keeps working.
+  const auto tab_a = cache.get(g(), a);
+  (void)cache.get(g(), b);
+  (void)cache.get(g(), c);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_EQ(tab_a->mul(k), g().scalar_mul_reference(a, k));
+}
+
+TEST_P(EcPrecompTest, ShamirVerifyMatchesReferenceEquation) {
+  HmacDrbg rng(str_bytes("shamir-fuzz"));
+  const UInt& n = g().params().n;
+  const MontCtx fn(n);
+  for (int i = 0; i < 12; ++i) {
+    const UInt u1 = g().random_scalar(rng);
+    const UInt u2 = g().random_scalar(rng);
+    const EcPoint q = g().scalar_mul_reference(g().generator(),
+                                               g().random_scalar(rng));
+    const EcPrecomp qtab(g(), q);
+    const EcPoint sum = g().add(g().scalar_mul_reference(g().generator(), u1),
+                                g().scalar_mul_reference(q, u2));
+    ASSERT_FALSE(sum.infinity);
+    const UInt r = fn.reduce(sum.x);
+    EXPECT_TRUE(shamir_verify_x(g(), qtab, u1, u2, r));
+    // Any other r must fail.
+    const UInt bad = addmod(r, UInt::from_u64(1), n);
+    EXPECT_FALSE(shamir_verify_x(g(), qtab, u1, u2, bad));
+  }
+}
+
+TEST_P(EcPrecompTest, ShamirVerifyRejectsSumAtInfinity) {
+  // u1*G + u2*Q with Q = -G and u1 == u2 sums to the identity; the
+  // reference epilogue rejects that, so the fused check must too.
+  const EcPoint q = g().negate(g().generator());
+  const EcPrecomp qtab(g(), q);
+  const UInt u = UInt::from_u64(42);
+  EXPECT_FALSE(shamir_verify_x(g(), qtab, u, u, UInt::from_u64(1)));
+}
+
+TEST_P(EcPrecompTest, MsmMatchesReferenceSum) {
+  HmacDrbg rng(str_bytes("msm-fuzz"));
+  const UInt& n = g().params().n;
+  std::vector<EcPoint> pts;
+  std::vector<UInt> ks;
+  std::vector<EcPrecomp> tabs;
+  tabs.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    pts.push_back(g().scalar_mul_reference(g().generator(),
+                                           g().random_scalar(rng)));
+    ks.push_back(mod(g().random_scalar(rng), n));
+    tabs.emplace_back(g(), pts.back());
+  }
+  std::vector<MsmTerm> terms;
+  EcPoint want = EcPoint::identity();
+  for (int i = 0; i < 4; ++i) {
+    terms.push_back({&tabs[i], ks[i]});
+    want = g().add(want, g().scalar_mul_reference(pts[i], ks[i]));
+  }
+  const EcGroup::Jacobian acc = msm(g(), terms);
+  EXPECT_EQ(g().to_affine(acc), want);
+}
+
+TEST_P(EcPrecompTest, ScalarMulJacMatchesReference) {
+  HmacDrbg rng(str_bytes("jac-fuzz"));
+  const EcPoint p = g().scalar_mul_reference(g().generator(),
+                                             g().random_scalar(rng));
+  for (int i = 0; i < 8; ++i) {
+    const UInt k = mod(g().random_scalar(rng), g().params().n);
+    EXPECT_EQ(g().to_affine(scalar_mul_jac(g(), p, k)),
+              g().scalar_mul_reference(p, k));
+  }
+}
+
+TEST_P(EcPrecompTest, DisabledFastPathsStillMatch) {
+  // With every toggle off, the dispatchers must collapse to the frozen
+  // reference algorithms — and produce the same bytes they do when on.
+  HmacDrbg rng(str_bytes("toggle-fuzz"));
+  const UInt k = g().random_scalar(rng);
+  const EcPoint fast = g().scalar_mul_base(k);
+  FastPathGuard guard(EcFastPaths{false, false, false, false});
+  EXPECT_EQ(g().scalar_mul_base(k), fast);
+  EXPECT_EQ(g().scalar_mul_base(k),
+            g().scalar_mul_reference(g().generator(), k));
+}
+
+TEST_P(EcPrecompTest, LiftXRecoversCurvePoints) {
+  HmacDrbg rng(str_bytes("lift-x"));
+  for (int i = 0; i < 8; ++i) {
+    const EcPoint p = g().scalar_mul_reference(g().generator(),
+                                               g().random_scalar(rng));
+    const auto lifted = g().lift_x(p.x);
+    ASSERT_TRUE(lifted.has_value());
+    EXPECT_TRUE(g().on_curve(*lifted));
+    EXPECT_EQ(lifted->x, p.x);
+    // The recovered y is p.y or its negation.
+    const bool matches = lifted->y == p.y || lifted->y == g().negate(p).y;
+    EXPECT_TRUE(matches);
+  }
+}
+
+TEST_P(EcPrecompTest, FixedBaseTableShape) {
+  const EcFixedBaseTable& tab = g().fixed_base_table();
+  const std::size_t bits = g().params().n.bit_length();
+  EXPECT_EQ(tab.windows, (bits + 7) / 8);
+  EXPECT_EQ(tab.entries.size(),
+            tab.windows * EcFixedBaseTable::kEntriesPerWindow);
+  // Spot-check one entry: (window 1, v 3) is 3 * 2^8 * G in
+  // affine-Montgomery form — exactly to_jacobian(want)'s x and y, since
+  // to_jacobian of an affine point uses z = 1.
+  const EcGroup::AffM& e = tab.entry(1, 3);
+  const EcGroup::Jacobian want = g().to_jacobian(
+      g().scalar_mul_reference(g().generator(), UInt::from_u64(3 * 256)));
+  EXPECT_EQ(e.x, want.x);
+  EXPECT_EQ(e.y, want.y);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrengths, EcPrecompTest,
+                         ::testing::Values(Strength::b112, Strength::b128,
+                                           Strength::b192, Strength::b256));
+
+// ---------------------------------------------------------------------------
+// Montgomery-context helpers the pipeline leans on: sqrt and batch_inv.
+
+class MontExtTest : public ::testing::TestWithParam<Strength> {
+ protected:
+  const EcGroup& g() const { return group_for(GetParam()); }
+};
+
+TEST_P(MontExtTest, SqrtRoundTripsSquares) {
+  const MontCtx fp(g().params().p);
+  HmacDrbg rng(str_bytes("sqrt-fuzz"));
+  for (int i = 0; i < 12; ++i) {
+    const UInt a = mod(UInt::from_bytes_be(rng.generate(48)), g().params().p);
+    const UInt a_m = fp.to_mont(a);
+    const UInt sq = fp.sqr(a_m);
+    const auto root = fp.sqrt(sq);
+    ASSERT_TRUE(root.has_value());
+    // Either root of a^2 is acceptable; both square back to a^2.
+    EXPECT_EQ(fp.sqr(*root), sq);
+  }
+  EXPECT_EQ(fp.sqrt(UInt{}), UInt{});
+}
+
+TEST_P(MontExtTest, SqrtRejectsNonResidues) {
+  const MontCtx fp(g().params().p);
+  HmacDrbg rng(str_bytes("nonresidue-fuzz"));
+  int rejected = 0;
+  for (int i = 0; i < 24 && rejected < 4; ++i) {
+    const UInt a = mod(UInt::from_bytes_be(rng.generate(48)), g().params().p);
+    if (a.is_zero()) continue;
+    if (!fp.sqrt(fp.to_mont(a)).has_value()) ++rejected;
+  }
+  // Half of all nonzero field elements are non-residues; 24 draws missing
+  // four of them has probability ~2^-18.
+  EXPECT_GE(rejected, 4);
+}
+
+TEST_P(MontExtTest, BatchInvMatchesSingleInv) {
+  const MontCtx fp(g().params().p);
+  HmacDrbg rng(str_bytes("batchinv-fuzz"));
+  std::vector<UInt> vals;
+  std::vector<UInt> want;
+  for (int i = 0; i < 9; ++i) {
+    UInt a;
+    do {
+      a = mod(UInt::from_bytes_be(rng.generate(48)), g().params().p);
+    } while (a.is_zero());
+    vals.push_back(fp.to_mont(a));
+    want.push_back(fp.inv(vals.back()));
+  }
+  fp.batch_inv(vals);
+  EXPECT_EQ(vals, want);
+  std::vector<UInt> empty;
+  fp.batch_inv(empty);  // no-op, must not throw
+  std::vector<UInt> with_zero{fp.one(), UInt{}};
+  EXPECT_THROW(fp.batch_inv(with_zero), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrengths, MontExtTest,
+                         ::testing::Values(Strength::b112, Strength::b128,
+                                           Strength::b192, Strength::b256));
+
+}  // namespace
+}  // namespace argus::crypto

@@ -1,0 +1,220 @@
+// Negative-vector tests for batch signature verification: the contract is
+// that ecdsa_verify_batch returns exactly the verdicts per-item
+// ecdsa_verify would — so a batch with one corrupted entry must fall back
+// and reject only that entry, and Wycheproof-style malformed values
+// (r or s = 0, s >= n, identity keys) must be rejected identically by the
+// single and batched paths.
+#include "crypto/ecdsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "crypto/ec.hpp"
+
+namespace argus::crypto {
+namespace {
+
+struct Fixture {
+  const EcGroup& g;
+  std::vector<EcKeyPair> keys;
+  std::vector<EcdsaBatchItem> items;
+
+  explicit Fixture(Strength s, int count, std::string_view seed)
+      : g(group_for(s)) {
+    HmacDrbg rng(str_bytes(seed));
+    for (int i = 0; i < count; ++i) {
+      keys.push_back(ec_generate(g, rng));
+      Bytes msg = rng.generate(40);
+      EcdsaBatchItem item;
+      item.pub = keys.back().pub;
+      item.message = std::move(msg);
+      item.sig = ecdsa_sign(g, keys.back().priv, item.message);
+      items.push_back(std::move(item));
+    }
+  }
+};
+
+std::vector<bool> single_verdicts(const EcGroup& g,
+                                  const std::vector<EcdsaBatchItem>& items) {
+  std::vector<bool> out;
+  out.reserve(items.size());
+  for (const auto& it : items) {
+    out.push_back(ecdsa_verify(g, it.pub, it.message, it.sig));
+  }
+  return out;
+}
+
+void expect_matches_single(const EcGroup& g,
+                           const std::vector<EcdsaBatchItem>& items) {
+  EcdsaBatchStats stats;
+  EXPECT_EQ(ecdsa_verify_batch(g, items, &stats),
+            single_verdicts(g, items));
+}
+
+class EcdsaBatchTest : public ::testing::TestWithParam<Strength> {};
+
+TEST_P(EcdsaBatchTest, AllValidBatchAccepts) {
+  Fixture f(GetParam(), 9, "batch-valid");
+  EcdsaBatchStats stats;
+  const auto verdicts = ecdsa_verify_batch(f.g, f.items, &stats);
+  for (bool v : verdicts) EXPECT_TRUE(v);
+  // All nine items settle through batch equations, none individually.
+  EXPECT_EQ(stats.batched, 9u);
+  EXPECT_EQ(stats.fallback_single, 0u);
+  EXPECT_EQ(stats.batch_failures, 0u);
+}
+
+TEST_P(EcdsaBatchTest, EmptyBatchIsEmpty) {
+  const EcGroup& g = group_for(GetParam());
+  EXPECT_TRUE(ecdsa_verify_batch(g, {}).empty());
+}
+
+TEST_P(EcdsaBatchTest, FlippedRBitRejectsOnlyThatItem) {
+  Fixture f(GetParam(), 8, "batch-flip-r");
+  // Flip the low bit of one r: the sub-batch equation fails, the fallback
+  // re-checks each member, and only the tampered item is rejected.
+  f.items[3].sig.r.w[0] ^= 1;
+  EcdsaBatchStats stats;
+  const auto verdicts = ecdsa_verify_batch(f.g, f.items, &stats);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i], i != 3) << "item " << i;
+  }
+  // The tampered item was re-checked individually — either its sub-batch
+  // equation failed, or the flipped r stopped being a curve x-coordinate
+  // and it shunted straight to the single path.
+  EXPECT_GE(stats.fallback_single, 1u);
+  expect_matches_single(f.g, f.items);
+}
+
+TEST_P(EcdsaBatchTest, SwappedMessageRejectsOnlyThatItem) {
+  Fixture f(GetParam(), 8, "batch-swap-msg");
+  // Swap two messages (signatures stay with their original items): both
+  // affected items must reject, the rest must accept.
+  std::swap(f.items[1].message, f.items[6].message);
+  const auto verdicts = ecdsa_verify_batch(f.g, f.items);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i], i != 1 && i != 6) << "item " << i;
+  }
+  expect_matches_single(f.g, f.items);
+}
+
+TEST_P(EcdsaBatchTest, WrongPubkeyRejectsOnlyThatItem) {
+  Fixture f(GetParam(), 8, "batch-wrong-pub");
+  f.items[5].pub = f.keys[2].pub;  // valid curve point, wrong signer
+  const auto verdicts = ecdsa_verify_batch(f.g, f.items);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i], i != 5) << "item " << i;
+  }
+  expect_matches_single(f.g, f.items);
+}
+
+TEST_P(EcdsaBatchTest, IdentityPubkeyRejectsOnlyThatItem) {
+  Fixture f(GetParam(), 8, "batch-identity-pub");
+  f.items[2].pub = EcPoint::identity();
+  const auto verdicts = ecdsa_verify_batch(f.g, f.items);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i], i != 2) << "item " << i;
+  }
+  expect_matches_single(f.g, f.items);
+}
+
+TEST_P(EcdsaBatchTest, MalformedScalarsMatchSingleVerify) {
+  // Wycheproof-style malformed values: r = 0, s = 0, s = n, s > n,
+  // r = n, r = n - 1 (wrong but in range). Each lives in an otherwise
+  // valid batch; the batch verdicts must equal the single verdicts, i.e.
+  // every malformed item rejects and every honest one accepts.
+  const struct {
+    const char* label;
+    void (*mutate)(const EcGroup&, EcdsaSignature&);
+  } kCases[] = {
+      {"r=0", [](const EcGroup&, EcdsaSignature& s) { s.r = UInt{}; }},
+      {"s=0", [](const EcGroup&, EcdsaSignature& s) { s.s = UInt{}; }},
+      {"s=n", [](const EcGroup& g, EcdsaSignature& s) { s.s = g.params().n; }},
+      {"s>n",
+       [](const EcGroup& g, EcdsaSignature& s) {
+         s.s = add(g.params().n, UInt::from_u64(5));
+       }},
+      {"r=n", [](const EcGroup& g, EcdsaSignature& s) { s.r = g.params().n; }},
+      {"r=n-1",
+       [](const EcGroup& g, EcdsaSignature& s) {
+         s.r = sub(g.params().n, UInt::from_u64(1));
+       }},
+  };
+  for (const auto& c : kCases) {
+    Fixture f(GetParam(), 6, "batch-malformed");
+    c.mutate(f.g, f.items[4].sig);
+    const auto verdicts = ecdsa_verify_batch(f.g, f.items);
+    const auto singles = single_verdicts(f.g, f.items);
+    EXPECT_EQ(verdicts, singles) << c.label;
+    EXPECT_FALSE(verdicts[4]) << c.label;
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      if (i != 4) {
+        EXPECT_TRUE(verdicts[i]) << c.label << " item " << i;
+      }
+    }
+  }
+}
+
+TEST_P(EcdsaBatchTest, NonCanonicalEncodingRejectedIdentically) {
+  // A non-canonical encoding (s >= n written out in the fixed-width wire
+  // form, then decoded back) must be rejected by the single and batch
+  // paths identically — the range check is the same pre-screen in both.
+  Fixture f(GetParam(), 5, "batch-noncanon");
+  const EcGroup& g = f.g;
+  EcdsaSignature bad = f.items[0].sig;
+  bad.s = add(g.params().n, UInt::from_u64(1));
+  const auto decoded = EcdsaSignature::from_bytes(g, bad.to_bytes(g));
+  ASSERT_TRUE(decoded.has_value());
+  f.items[0].sig = *decoded;
+  EXPECT_FALSE(ecdsa_verify(g, f.items[0].pub, f.items[0].message,
+                            f.items[0].sig));
+  const auto verdicts = ecdsa_verify_batch(g, f.items);
+  EXPECT_FALSE(verdicts[0]);
+  for (std::size_t i = 1; i < verdicts.size(); ++i) {
+    EXPECT_TRUE(verdicts[i]) << "item " << i;
+  }
+  expect_matches_single(g, f.items);
+}
+
+TEST_P(EcdsaBatchTest, MultipleCorruptionsAcrossSubBatches) {
+  // Corrupt items in different sub-batches (stride 4): every sub-batch
+  // containing a corruption falls back; clean sub-batches stay batched.
+  // Corrupt s (not r), so both items keep a recoverable R point and stay
+  // inside their batch equations instead of shunting to the single path.
+  Fixture f(GetParam(), 12, "batch-multi");
+  f.items[0].sig.s.w[0] ^= 1;
+  f.items[9].sig.s.w[0] ^= 2;
+  EcdsaBatchStats stats;
+  const auto verdicts = ecdsa_verify_batch(f.g, f.items, &stats);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i], i != 0 && i != 9) << "item " << i;
+  }
+  // The clean middle sub-batch (items 4..7) still settles via the batch
+  // equation.
+  EXPECT_GE(stats.batched, 4u);
+  EXPECT_EQ(stats.batch_failures, 2u);
+  expect_matches_single(f.g, f.items);
+}
+
+TEST_P(EcdsaBatchTest, DifferentialFuzzAgainstSingleVerify) {
+  // Randomized corruption sweep: every batch verdict vector must equal
+  // the single-verify vector, whatever we break.
+  HmacDrbg rng(str_bytes("batch-fuzz"));
+  for (int round = 0; round < 6; ++round) {
+    Fixture f(GetParam(), 7, "batch-fuzz-items");
+    // Corrupt a pseudo-random subset.
+    const Bytes picks = rng.generate(7);
+    for (std::size_t i = 0; i < f.items.size(); ++i) {
+      if (picks[i] & 1) f.items[i].sig.s.w[0] ^= (picks[i] | 1);
+      if (picks[i] & 2) f.items[i].message.push_back(0x5a);
+    }
+    expect_matches_single(f.g, f.items);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrengths, EcdsaBatchTest,
+                         ::testing::Values(Strength::b112, Strength::b128,
+                                           Strength::b192, Strength::b256));
+
+}  // namespace
+}  // namespace argus::crypto
