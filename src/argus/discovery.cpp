@@ -128,6 +128,7 @@ class ObjectNode final : public net::SimNode {
   }
 
   ObjectEngine& engine() { return engine_->inner(); }
+  [[nodiscard]] const ObjectEngine& engine() const { return engine_->inner(); }
 
  private:
   ObjectEngineConfig cfg_;  // kept for reboot-time engine rebuilds
@@ -247,6 +248,7 @@ class SubjectNode final : public net::SimNode {
   }
 
   SubjectEngine& engine() { return engine_; }
+  [[nodiscard]] const SubjectEngine& engine() const { return engine_; }
   [[nodiscard]] const std::map<net::NodeId, Exchange>& exchanges() const {
     return exchanges_;
   }
@@ -447,156 +449,219 @@ std::size_t DiscoveryReport::count_level(int level) const {
                     [&](const DiscoveredService& s) { return s.level == level; }));
 }
 
-DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
+/// Everything run_discovery used to hold on its stack, kept alive so the
+/// testbed can reach between rounds. Construction order (and therefore
+/// every node id, tracer event, and DRBG draw) is exactly the historical
+/// run_discovery sequence — golden digests depend on it.
+struct DiscoveryTestbed::Impl {
+  DiscoveryScenario scenario;
   net::Simulator sim;
-  net::Network net(sim, scenario.radio, scenario.seed);
-  sim.set_tracer(scenario.tracer);
-  net.set_tracer(scenario.tracer);
-  net.set_metrics(scenario.metrics);
-
+  net::Network net;
   DiscoveryReport report;
   // Message tallies always land in a run-local registry (the report is
-  // derived from it below); a user-supplied registry receives a copy at
-  // the end so cross-run accumulation never skews this run's report.
+  // derived from it in finalize); a user-supplied registry receives a
+  // copy at the end so cross-run accumulation never skews this report.
   obs::MetricsRegistry local_metrics;
-  Shared shared{&report, scenario.epoch, scenario.tracer, &local_metrics};
-
-  SubjectEngineConfig scfg;
-  scfg.version = scenario.version;
-  scfg.creds = scenario.subject;
-  scfg.admin_pub = scenario.admin_pub;
-  scfg.strength = scenario.strength;
-  scfg.seed = scenario.seed;
-  scfg.compute = scenario.subject_compute;
-  scfg.seek_level3 = scenario.seek_level3;
-  scfg.metrics = scenario.metrics;
-  SubjectNode subject(std::move(scfg), &shared);
-  net.add_node(&subject, 0);
-  if (scenario.tracer) {
-    scenario.tracer->instant(sim.now(), subject.node_id(), "node", "meta", 0,
-                             0, scenario.subject.id);
-  }
-
+  Shared shared;
+  std::optional<SubjectNode> subject;  // optional: nodes must never move
   std::vector<std::unique_ptr<ObjectNode>> objects;
   std::vector<net::NodeId> object_ids;
-  objects.reserve(scenario.objects.size());
-  object_ids.reserve(scenario.objects.size());
-  for (std::size_t i = 0; i < scenario.objects.size(); ++i) {
-    ObjectEngineConfig ocfg;
-    ocfg.version = scenario.version;
-    ocfg.creds = scenario.objects[i].creds;
-    ocfg.admin_pub = scenario.admin_pub;
-    ocfg.strength = scenario.strength;
-    ocfg.seed = scenario.seed + 1000 + i;
-    ocfg.compute = scenario.object_compute;
-    ocfg.pad_res2 = scenario.pad_res2;
-    ocfg.equalize_timing = scenario.equalize_timing;
-    ocfg.admission = scenario.admission;
-    ocfg.metrics = scenario.metrics;
-    objects.push_back(std::make_unique<ObjectNode>(std::move(ocfg), &shared));
-    const net::NodeId id =
-        net.add_node(objects.back().get(), std::max(1u, scenario.objects[i].hops));
-    object_ids.push_back(id);
-    subject.track_object(id, scenario.objects[i].creds.id);
-    if (scenario.tracer) {
-      scenario.tracer->instant(
-          sim.now(), id, "node", "meta",
-          static_cast<std::uint64_t>(scenario.objects[i].creds.level),
-          scenario.objects[i].hops, scenario.objects[i].creds.id);
-    }
-  }
-
-  // Flooding adversary: one extra node spraying the object fleet. Unarmed
-  // specs add no node and schedule nothing.
-  const bool flooded = scenario.flood.armed();
   std::optional<FlooderNode> flooder;
-  if (flooded) {
-    flooder.emplace(scenario.flood, object_ids, &shared);
-    const net::NodeId fid =
-        net.add_node(&*flooder, std::max(1u, scenario.flood.hops));
+  bool flooded = false;
+  bool faulted = false;
+  bool retries = false;
+  std::optional<fault::ChaosScheduler> chaos;
+  /// Per-object sealed snapshot captured at crash time; consulted by the
+  /// reboot hook under RebootPolicy::kFromSnapshot.
+  std::vector<Bytes> crash_snapshots;
+  std::size_t rounds = 1;
+
+  explicit Impl(const DiscoveryScenario& s)
+      : scenario(s),
+        net(sim, scenario.radio, scenario.seed),
+        shared{&report, scenario.epoch, scenario.tracer, &local_metrics} {
+    sim.set_tracer(scenario.tracer);
+    net.set_tracer(scenario.tracer);
+    net.set_metrics(scenario.metrics);
+
+    SubjectEngineConfig scfg;
+    scfg.version = scenario.version;
+    scfg.creds = scenario.subject;
+    scfg.admin_pub = scenario.admin_pub;
+    scfg.strength = scenario.strength;
+    scfg.seed = scenario.seed;
+    scfg.compute = scenario.subject_compute;
+    scfg.seek_level3 = scenario.seek_level3;
+    scfg.metrics = scenario.metrics;
+    subject.emplace(std::move(scfg), &shared);
+    net.add_node(&*subject, 0);
     if (scenario.tracer) {
-      scenario.tracer->instant(sim.now(), fid, "node", "meta", 0,
-                               scenario.flood.hops, "flooder");
+      scenario.tracer->instant(sim.now(), subject->node_id(), "node", "meta",
+                               0, 0, scenario.subject.id);
     }
-    flooder->start();
+
+    objects.reserve(scenario.objects.size());
+    object_ids.reserve(scenario.objects.size());
+    for (std::size_t i = 0; i < scenario.objects.size(); ++i) {
+      ObjectEngineConfig ocfg;
+      ocfg.version = scenario.version;
+      ocfg.creds = scenario.objects[i].creds;
+      ocfg.admin_pub = scenario.admin_pub;
+      ocfg.strength = scenario.strength;
+      ocfg.seed = scenario.seed + 1000 + i;
+      ocfg.compute = scenario.object_compute;
+      ocfg.pad_res2 = scenario.pad_res2;
+      ocfg.equalize_timing = scenario.equalize_timing;
+      ocfg.admission = scenario.admission;
+      ocfg.replay_window = scenario.replay_window;
+      ocfg.metrics = scenario.metrics;
+      objects.push_back(
+          std::make_unique<ObjectNode>(std::move(ocfg), &shared));
+      const net::NodeId id = net.add_node(
+          objects.back().get(), std::max(1u, scenario.objects[i].hops));
+      object_ids.push_back(id);
+      subject->track_object(id, scenario.objects[i].creds.id);
+      if (scenario.tracer) {
+        scenario.tracer->instant(
+            sim.now(), id, "node", "meta",
+            static_cast<std::uint64_t>(scenario.objects[i].creds.level),
+            scenario.objects[i].hops, scenario.objects[i].creds.id);
+      }
+    }
+    crash_snapshots.resize(scenario.objects.size());
+
+    // Flooding adversary: one extra node spraying the object fleet.
+    // Unarmed specs add no node and schedule nothing.
+    flooded = scenario.flood.armed();
+    if (flooded) {
+      flooder.emplace(scenario.flood, object_ids, &shared);
+      const net::NodeId fid =
+          net.add_node(&*flooder, std::max(1u, scenario.flood.hops));
+      if (scenario.tracer) {
+        scenario.tracer->instant(sim.now(), fid, "node", "meta", 0,
+                                 scenario.flood.hops, "flooder");
+      }
+      flooder->start();
+    }
+
+    // Retries default to kAuto: armed only when the radio can actually
+    // lose or duplicate frames, a fault plan is live, or a flooder is
+    // spraying (shed traffic needs the backoff driver — and the round
+    // deadline — to recover), so a lossless fault-free run never
+    // schedules a timer and its event sequence (and therefore every
+    // derived number) is unchanged.
+    faulted = scenario.faults.armed();
+    const bool lossy =
+        scenario.radio.drop_prob > 0.0 || scenario.radio.dup_prob > 0.0;
+    retries = scenario.retry.mode == RetryMode::kOn ||
+              (scenario.retry.mode == RetryMode::kAuto &&
+               (lossy || faulted || flooded));
+    subject->configure_retries(scenario.retry, retries);
+
+    // Chaos layer: translate the plan's timeline into node/engine faults.
+    // An unarmed plan schedules nothing (arm() below is skipped), so this
+    // block adds zero events to fault-free runs.
+    fault::ChaosHooks hooks;
+    hooks.crash = [this](std::size_t i) {
+      net.set_node_up(object_ids[i], false);
+      shared.metrics->counter("fault.crash").inc();
+      if (scenario.tracer) {
+        scenario.tracer->instant(sim.now(), object_ids[i], "fault.crash",
+                                 "fault");
+      }
+      if (scenario.faults.reboot_policy ==
+          fault::RebootPolicy::kFromSnapshot) {
+        // Capture the sealed engine state the reboot will restore from.
+        // Only under the snapshot policy: blank-reboot runs take neither
+        // the counter nor the trace event, keeping their bytes intact.
+        crash_snapshots[i] = objects[i]->engine().snapshot();
+        shared.metrics->counter("persist.snapshot").inc();
+        if (scenario.tracer) {
+          scenario.tracer->instant(sim.now(), object_ids[i],
+                                   "persist.snapshot", "persist",
+                                   crash_snapshots[i].size());
+        }
+      }
+    };
+    hooks.reboot = [this](std::size_t i) {
+      objects[i]->restart_engine();  // empty session table, fresh DRBG
+      if (scenario.faults.reboot_policy ==
+          fault::RebootPolicy::kFromSnapshot) {
+        // Strict restore: any integrity/identity failure leaves the
+        // engine blank — exactly the historical reboot — and is traced,
+        // never thrown.
+        const persist::RestoreError err =
+            crash_snapshots[i].empty()
+                ? persist::RestoreError::kIoError
+                : objects[i]->engine().restore(crash_snapshots[i]);
+        if (err == persist::RestoreError::kOk) {
+          shared.metrics->counter("persist.restore").inc();
+          if (scenario.tracer) {
+            scenario.tracer->instant(sim.now(), object_ids[i],
+                                     "persist.restore", "persist",
+                                     crash_snapshots[i].size());
+          }
+        } else {
+          shared.metrics->counter("persist.restore_failed").inc();
+          if (scenario.tracer) {
+            scenario.tracer->instant(
+                sim.now(), object_ids[i], "persist.restore_failed",
+                "persist", static_cast<std::uint64_t>(err), 0,
+                persist::restore_error_name(err));
+          }
+        }
+        crash_snapshots[i].clear();
+      }
+      net.set_node_up(object_ids[i], true);
+      shared.metrics->counter("fault.reboot").inc();
+      if (scenario.tracer) {
+        scenario.tracer->instant(sim.now(), object_ids[i], "fault.reboot",
+                                 "fault");
+      }
+    };
+    hooks.straggle_begin = [this](std::size_t i, double factor) {
+      net.set_compute_factor(object_ids[i], factor);
+      shared.metrics->counter("fault.straggle").inc();
+      if (scenario.tracer) {
+        scenario.tracer->instant(sim.now(), object_ids[i],
+                                 "fault.straggle.begin", "fault",
+                                 static_cast<std::uint64_t>(factor));
+      }
+    };
+    hooks.straggle_end = [this](std::size_t i) {
+      net.set_compute_factor(object_ids[i], 1.0);
+      if (scenario.tracer) {
+        scenario.tracer->instant(sim.now(), object_ids[i],
+                                 "fault.straggle.end", "fault");
+      }
+    };
+    hooks.zombie = [this](std::size_t i) {
+      objects[i]->make_zombie();
+      shared.metrics->counter("fault.zombie").inc();
+      if (scenario.tracer) {
+        scenario.tracer->instant(sim.now(), object_ids[i], "fault.zombie",
+                                 "fault");
+      }
+    };
+    hooks.byzantine = [this](std::size_t i, fault::ByzantineMode mode,
+                             std::uint64_t seed) {
+      objects[i]->arm_byzantine(mode, seed);
+      shared.metrics->counter("fault.byzantine").inc();
+      if (scenario.tracer) {
+        scenario.tracer->instant(sim.now(), object_ids[i], "fault.byzantine",
+                                 "fault", static_cast<std::uint64_t>(mode));
+      }
+    };
+    chaos.emplace(sim, std::move(hooks));
+    if (faulted) chaos->arm(scenario.faults, scenario.objects.size());
+
+    rounds = std::min<std::size_t>(std::max<std::size_t>(1, scenario.rounds),
+                                   subject->engine().group_key_count());
   }
 
-  // Retries default to kAuto: armed only when the radio can actually lose
-  // or duplicate frames, a fault plan is live, or a flooder is spraying
-  // (shed traffic needs the backoff driver — and the round deadline — to
-  // recover), so a lossless fault-free run never schedules a timer and
-  // its event sequence (and therefore every derived number) is unchanged.
-  const bool faulted = scenario.faults.armed();
-  const bool lossy =
-      scenario.radio.drop_prob > 0.0 || scenario.radio.dup_prob > 0.0;
-  const bool retries =
-      scenario.retry.mode == RetryMode::kOn ||
-      (scenario.retry.mode == RetryMode::kAuto &&
-       (lossy || faulted || flooded));
-  subject.configure_retries(scenario.retry, retries);
-
-  // Chaos layer: translate the plan's timeline into node/engine faults.
-  // An unarmed plan schedules nothing (arm() below is skipped), so this
-  // block adds zero events to fault-free runs.
-  fault::ChaosHooks hooks;
-  hooks.crash = [&](std::size_t i) {
-    net.set_node_up(object_ids[i], false);
-    shared.metrics->counter("fault.crash").inc();
-    if (scenario.tracer) {
-      scenario.tracer->instant(sim.now(), object_ids[i], "fault.crash",
-                               "fault");
-    }
-  };
-  hooks.reboot = [&](std::size_t i) {
-    objects[i]->restart_engine();  // empty session table, fresh DRBG
-    net.set_node_up(object_ids[i], true);
-    shared.metrics->counter("fault.reboot").inc();
-    if (scenario.tracer) {
-      scenario.tracer->instant(sim.now(), object_ids[i], "fault.reboot",
-                               "fault");
-    }
-  };
-  hooks.straggle_begin = [&](std::size_t i, double factor) {
-    net.set_compute_factor(object_ids[i], factor);
-    shared.metrics->counter("fault.straggle").inc();
-    if (scenario.tracer) {
-      scenario.tracer->instant(sim.now(), object_ids[i],
-                               "fault.straggle.begin", "fault",
-                               static_cast<std::uint64_t>(factor));
-    }
-  };
-  hooks.straggle_end = [&](std::size_t i) {
-    net.set_compute_factor(object_ids[i], 1.0);
-    if (scenario.tracer) {
-      scenario.tracer->instant(sim.now(), object_ids[i], "fault.straggle.end",
-                               "fault");
-    }
-  };
-  hooks.zombie = [&](std::size_t i) {
-    objects[i]->make_zombie();
-    shared.metrics->counter("fault.zombie").inc();
-    if (scenario.tracer) {
-      scenario.tracer->instant(sim.now(), object_ids[i], "fault.zombie",
-                               "fault");
-    }
-  };
-  hooks.byzantine = [&](std::size_t i, fault::ByzantineMode mode,
-                        std::uint64_t seed) {
-    objects[i]->arm_byzantine(mode, seed);
-    shared.metrics->counter("fault.byzantine").inc();
-    if (scenario.tracer) {
-      scenario.tracer->instant(sim.now(), object_ids[i], "fault.byzantine",
-                               "fault", static_cast<std::uint64_t>(mode));
-    }
-  };
-  fault::ChaosScheduler chaos(sim, std::move(hooks));
-  if (faulted) chaos.arm(scenario.faults, scenario.objects.size());
-
-  const std::size_t rounds =
-      std::min<std::size_t>(std::max<std::size_t>(1, scenario.rounds),
-                            subject.engine().group_key_count());
-  for (std::size_t round = 0; round < rounds; ++round) {
-    sim.schedule(0, [&subject, round] { subject.begin_round(round); });
+  void run_round(std::size_t group_idx) {
+    const std::size_t idx = group_idx % subject->engine().group_key_count();
+    sim.schedule(0, [this, idx] { subject->begin_round(idx); });
     if (retries || flooded) {
       // Bounded round: the deadline guarantees termination even if every
       // retransmission is lost (or a flooder's tick chain never ends);
@@ -606,10 +671,24 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
     } else {
       sim.run();
     }
-    subject.finish_round();
+    subject->finish_round();
   }
 
-  report.services = subject.engine().discovered();
+  Bytes fleet_bundle() const {
+    persist::BundleEntries entries;
+    entries.emplace_back("subject", subject->engine().snapshot());
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      entries.emplace_back("object:" + scenario.objects[i].creds.id,
+                           objects[i]->engine().snapshot());
+    }
+    return persist::seal_bundle(entries);
+  }
+
+  DiscoveryReport finalize();
+};
+
+DiscoveryReport DiscoveryTestbed::Impl::finalize() {
+  report.services = subject->engine().discovered();
   // Traffic accounting: totals and the per-type split both derive from
   // the same counters, so they cannot disagree (hop_bytes and channel
   // occupancy remain radio-model quantities).
@@ -677,8 +756,8 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
       }
     }
     bool timed_out = false;
-    if (const auto it = subject.exchanges().find(object_ids[i]);
-        it != subject.exchanges().end()) {
+    if (const auto it = subject->exchanges().find(object_ids[i]);
+        it != subject->exchanges().end()) {
       out.que2_retransmits = it->second.retransmits;
       out.rejects = it->second.rejects;
       timed_out = it->second.phase == SubjectNode::Exchange::kTimedOut;
@@ -692,9 +771,9 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
       // echo. Both count as detection.
       const bool rejected_by_peer = objects[i]->engine().stats().rejects > 0;
       const auto& ostats = objects[i]->engine().stats();
-      if (chaos.ever(i, FaultKind::kCrash)) {
+      if (chaos->ever(i, FaultKind::kCrash)) {
         out.reason = FailReason::kCrashed;
-      } else if (chaos.ever(i, FaultKind::kByzantine) &&
+      } else if (chaos->ever(i, FaultKind::kByzantine) &&
                  (out.rejects > 0 || rejected_by_peer)) {
         out.reason = FailReason::kByzantineDetected;
       } else if (out.rejects > 0) {
@@ -703,7 +782,7 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
         // The object was actively shedding; the subject's traffic was
         // (at least partly) load it refused, not loss.
         out.reason = FailReason::kOverloaded;
-      } else if (timed_out || chaos.ever(i, FaultKind::kZombie)) {
+      } else if (timed_out || chaos->ever(i, FaultKind::kZombie)) {
         out.reason = FailReason::kTimedOut;
       } else {
         out.reason = FailReason::kSilent;
@@ -720,7 +799,114 @@ DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
     // long the run actually took instead of a misleading zero.
     report.total_ms = sim.now();
   }
+
+  // Optional state dump, strictly after the report is built: snapshots
+  // read engine state without mutating it and tally nothing, so runs
+  // with and without a snapshot_path stay byte-identical.
+  if (!scenario.snapshot_path.empty()) {
+    (void)persist::write_snapshot_file(scenario.snapshot_path, fleet_bundle());
+  }
   return report;
+}
+
+DiscoveryTestbed::DiscoveryTestbed(const DiscoveryScenario& scenario)
+    : impl_(std::make_unique<Impl>(scenario)) {}
+DiscoveryTestbed::~DiscoveryTestbed() = default;
+DiscoveryTestbed::DiscoveryTestbed(DiscoveryTestbed&&) noexcept = default;
+DiscoveryTestbed& DiscoveryTestbed::operator=(DiscoveryTestbed&&) noexcept =
+    default;
+
+std::size_t DiscoveryTestbed::planned_rounds() const { return impl_->rounds; }
+
+void DiscoveryTestbed::run_round(std::size_t group_idx) {
+  impl_->run_round(group_idx);
+}
+
+DiscoveryReport DiscoveryTestbed::finalize() { return impl_->finalize(); }
+
+double DiscoveryTestbed::now() const { return impl_->sim.now(); }
+
+std::size_t DiscoveryTestbed::object_count() const {
+  return impl_->objects.size();
+}
+
+DiscoveryTestbed::FleetGauges DiscoveryTestbed::gauges() const {
+  FleetGauges g;
+  for (const auto& obj : impl_->objects) {
+    const ObjectEngine& e = obj->engine();
+    g.object_sessions += e.open_sessions();
+    g.object_cached_replies += e.cached_replies();
+    g.object_resume_entries += e.resume_entries();
+    g.object_replay_entries += e.replay_entries();
+    g.object_peer_buckets += e.peer_bucket_count();
+  }
+  const SubjectEngine& s = impl_->subject->engine();
+  g.subject_sessions = s.open_sessions();
+  g.subject_resume_entries = s.resume_entries();
+  g.timeline_events = impl_->report.timeline.size();
+  g.sim_pending = impl_->sim.pending();
+  g.metrics_counters = impl_->local_metrics.counters().size();
+  g.metrics_histograms = impl_->local_metrics.histograms().size();
+  if (impl_->scenario.metrics != nullptr) {
+    g.metrics_counters += impl_->scenario.metrics->counters().size();
+    g.metrics_histograms += impl_->scenario.metrics->histograms().size();
+  }
+  return g;
+}
+
+std::uint64_t DiscoveryTestbed::fleet_evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& obj : impl_->objects) {
+    total += obj->engine().stats().evictions;
+  }
+  return total;
+}
+
+Bytes DiscoveryTestbed::snapshot_object(std::size_t index) const {
+  return impl_->objects.at(index)->engine().snapshot();
+}
+
+persist::RestoreError DiscoveryTestbed::restore_object(std::size_t index,
+                                                       ByteSpan sealed) {
+  return impl_->objects.at(index)->engine().restore(sealed);
+}
+
+Bytes DiscoveryTestbed::snapshot_subject() const {
+  return impl_->subject->engine().snapshot();
+}
+
+persist::RestoreError DiscoveryTestbed::restore_subject(ByteSpan sealed) {
+  return impl_->subject->engine().restore(sealed);
+}
+
+Bytes DiscoveryTestbed::object_state_digest(std::size_t index) const {
+  return impl_->objects.at(index)->engine().state_digest();
+}
+
+Bytes DiscoveryTestbed::subject_state_digest() const {
+  return impl_->subject->engine().state_digest();
+}
+
+Bytes DiscoveryTestbed::fleet_bundle() const { return impl_->fleet_bundle(); }
+
+void DiscoveryTestbed::rearm_faults(const fault::FaultPlan& plan) {
+  if (!plan.armed()) return;
+  impl_->faulted = true;
+  impl_->chaos->arm(plan, impl_->objects.size(), impl_->sim.now());
+}
+
+void DiscoveryTestbed::reset_window() {
+  impl_->report.timeline.clear();
+  impl_->report.timeline.shrink_to_fit();
+}
+
+DiscoveryReport run_discovery(const DiscoveryScenario& scenario) {
+  DiscoveryTestbed testbed(scenario);
+  const std::size_t rounds = testbed.planned_rounds();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    testbed.run_round(round);
+  }
+  return testbed.finalize();
 }
 
 }  // namespace argus::core

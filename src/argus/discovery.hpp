@@ -1,8 +1,16 @@
 // Discovery driver: runs the 3-in-1 protocol over the simulated ground
 // network and reports the timing/series the paper's Fig 6(e)-(h) plot.
+//
+// Two entry points share one implementation: run_discovery() runs a
+// scenario start-to-finish (the historical API, byte-identical), and
+// DiscoveryTestbed keeps the simulated fleet alive between rounds so
+// long-horizon drivers (the soak harness, persistence tools) can
+// interleave rounds with snapshot/restore cycles, re-armed fault plans,
+// and state-size probes.
 #pragma once
 
 #include <map>
+#include <memory>
 
 #include "argus/object_engine.hpp"
 #include "argus/subject_engine.hpp"
@@ -10,6 +18,7 @@
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "persist/snapshot.hpp"
 
 namespace argus::core {
 
@@ -95,11 +104,23 @@ struct DiscoveryScenario {
   /// Object-side admission control, copied into every object's engine
   /// config. Off by default (bit-identical runs).
   AdmissionParams admission{};
+  /// Per-object replay-window bound (seen-R_S nonces, LRU-evicted),
+  /// copied into every object's engine config. The default matches the
+  /// engine's — far above one round's traffic, so runs are byte-identical
+  /// unless a long-horizon driver (the soak) tightens it to a bound its
+  /// round count can actually fill.
+  std::size_t replay_window = ObjectEngineConfig{}.replay_window;
   std::uint64_t seed = 1;
   std::uint64_t epoch = 1'000'000;  // wall-clock for cert validity
   bool pad_res2 = true;
   bool equalize_timing = true;
   bool seek_level3 = true;  // v2.0 subject intent
+
+  /// When non-empty, the run's final engine states are written here as a
+  /// sealed fleet bundle (persist/snapshot.hpp) after the report is
+  /// built. Pure output: the write touches no trace or metrics, so runs
+  /// stay byte-identical whether or not a path is set.
+  std::string snapshot_path;
 
   /// Observability sinks, both optional and non-owning. The tracer
   /// records the full event timeline (node metadata, tx/rx, per-message
@@ -208,5 +229,88 @@ struct DiscoveryReport {
 
 /// Run one full discovery (possibly multi-round) to completion.
 DiscoveryReport run_discovery(const DiscoveryScenario& scenario);
+
+/// A live discovery fleet: the simulator, radio, subject, object nodes,
+/// flooder, and chaos layer of one scenario, kept constructed across
+/// rounds. run_discovery is a thin wrapper (construct, run every planned
+/// round, finalize) — the testbed exists for drivers that need to reach
+/// between rounds: snapshot/restore an engine, re-arm a fault plan,
+/// sample state-table sizes, or run far more rounds than the scenario's
+/// group keys would plan.
+class DiscoveryTestbed {
+ public:
+  explicit DiscoveryTestbed(const DiscoveryScenario& scenario);
+  ~DiscoveryTestbed();
+  DiscoveryTestbed(DiscoveryTestbed&&) noexcept;
+  DiscoveryTestbed& operator=(DiscoveryTestbed&&) noexcept;
+  DiscoveryTestbed(const DiscoveryTestbed&) = delete;
+  DiscoveryTestbed& operator=(const DiscoveryTestbed&) = delete;
+
+  /// Rounds run_discovery would run: scenario.rounds clamped to the
+  /// subject's group-key count, at least 1.
+  [[nodiscard]] std::size_t planned_rounds() const;
+
+  /// Run one discovery round with the given group key (modulo the key
+  /// count) to completion or the round deadline.
+  void run_round(std::size_t group_idx);
+
+  /// Build the scenario report from everything run so far, copy counters
+  /// into the scenario's registry, and (if snapshot_path is set) write
+  /// the fleet bundle. Call at most once; the testbed is spent after.
+  DiscoveryReport finalize();
+
+  [[nodiscard]] double now() const;
+  [[nodiscard]] std::size_t object_count() const;
+
+  /// State-table sizes the soak harness watches for monotonic growth.
+  /// Metric cardinality counts distinct series names (local run registry
+  /// plus the scenario's, if any), not their values.
+  struct FleetGauges {
+    std::size_t object_sessions = 0;        // summed over the fleet
+    std::size_t object_cached_replies = 0;
+    std::size_t object_resume_entries = 0;
+    std::size_t object_replay_entries = 0;
+    std::size_t object_peer_buckets = 0;
+    std::size_t subject_sessions = 0;
+    std::size_t subject_resume_entries = 0;
+    std::size_t timeline_events = 0;  // report timeline (reset_window clears)
+    std::size_t sim_pending = 0;      // live simulator events/timers
+    std::size_t metrics_counters = 0;
+    std::size_t metrics_histograms = 0;
+    [[nodiscard]] std::size_t engine_state_total() const {
+      return object_sessions + object_cached_replies + object_resume_entries +
+             object_replay_entries + object_peer_buckets + subject_sessions +
+             subject_resume_entries;
+    }
+  };
+  [[nodiscard]] FleetGauges gauges() const;
+
+  /// Admission evictions observed so far (sum of the fleet's
+  /// object.admission.peer_evicted behaviour via engine stats).
+  [[nodiscard]] std::uint64_t fleet_evictions() const;
+
+  // --- persistence probes -------------------------------------------------
+  [[nodiscard]] Bytes snapshot_object(std::size_t index) const;
+  persist::RestoreError restore_object(std::size_t index, ByteSpan sealed);
+  [[nodiscard]] Bytes snapshot_subject() const;
+  persist::RestoreError restore_subject(ByteSpan sealed);
+  [[nodiscard]] Bytes object_state_digest(std::size_t index) const;
+  [[nodiscard]] Bytes subject_state_digest() const;
+  /// All engines as a named sealed bundle ("subject", "object:<id>").
+  [[nodiscard]] Bytes fleet_bundle() const;
+
+  // --- long-horizon controls ----------------------------------------------
+  /// Schedule another expanded plan, onsets relative to the current
+  /// virtual time (see ChaosScheduler::arm base_ms).
+  void rearm_faults(const fault::FaultPlan& plan);
+  /// Drop accumulated per-round report artifacts (the discovery
+  /// timeline) so a thousand-round soak does not read its own report
+  /// growth as a leak. Engine/network state is untouched.
+  void reset_window();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace argus::core

@@ -23,6 +23,12 @@
 #include "crypto/ecdh.hpp"
 #include "net/compute.hpp"
 #include "obs/metrics.hpp"
+#include "persist/snapshot.hpp"
+
+namespace argus {
+class ByteReader;
+class ByteWriter;
+}  // namespace argus
 
 namespace argus::core {
 
@@ -133,6 +139,26 @@ class ObjectEngine {
     return cfg_.creds;
   }
 
+  /// Sealed, checksummed snapshot of the full engine state: sessions,
+  /// reply/resumption caches, replay window, admission buckets,
+  /// revocation set, DRBG, clocks, and stats. The semi-static epoch key
+  /// itself is deliberately never serialized.
+  [[nodiscard]] Bytes snapshot() const;
+
+  /// Strict restore: blank-or-exact, never throws. The engine is first
+  /// reset to its post-construction state; only a fully validated
+  /// payload whose identity matches this engine's config is committed.
+  /// Any failure (truncation, corruption, wrong kind/version, identity
+  /// mismatch, unparseable state) returns the error with the engine left
+  /// blank. Security invariant: a successful restore rotates the
+  /// resumption epoch and drops every cached premaster, so a snapshot
+  /// can never revive stale resumption material after a reboot.
+  persist::RestoreError restore(ByteSpan sealed);
+
+  /// SHA-256 over the serialized state — cheap exact-equality probe for
+  /// round-trip and fuzz tests.
+  [[nodiscard]] Bytes state_digest() const;
+
   struct Stats {
     std::uint64_t que1_handled = 0;
     std::uint64_t que2_handled = 0;
@@ -150,6 +176,9 @@ class ObjectEngine {
     // Resumption-cache traffic (zero unless resumption is enabled).
     std::uint64_t resumption_hits = 0;
     std::uint64_t resumption_misses = 0;
+    // Premaster entries a restore() refused to revive (security
+    // invariant: cached premasters never survive a reboot).
+    std::uint64_t resumption_dropped = 0;
     // handle_batch: signatures settled by a batch equation vs re-checked
     // individually after a failed batch.
     std::uint64_t batch_verified_sigs = 0;
@@ -159,6 +188,14 @@ class ObjectEngine {
   [[nodiscard]] std::size_t open_sessions() const { return sessions_.size(); }
   [[nodiscard]] std::size_t cached_replies() const {
     return res2_cache_.size();
+  }
+  // State-table sizes the soak harness watches for monotonic growth.
+  [[nodiscard]] std::size_t resume_entries() const {
+    return resume_cache_.size();
+  }
+  [[nodiscard]] std::size_t replay_entries() const { return seen_rs_.size(); }
+  [[nodiscard]] std::size_t peer_bucket_count() const {
+    return peer_buckets_.size();
   }
 
  private:
@@ -235,6 +272,15 @@ class ObjectEngine {
   HandleResult fail(HandleStatus status);
   void note_eviction(std::uint64_t n = 1);
   void bound_state();
+
+  /// Serialize every persisted field (the snapshot payload).
+  void save_state(ByteWriter& w) const;
+  /// Parse a payload and commit it wholesale; throws (SerdeError or
+  /// std::invalid_argument) on any malformed field, in which case the
+  /// caller guarantees the engine was already blank.
+  void load_state(ByteReader& r);
+  /// Back to the post-construction state (fresh DRBG, empty tables).
+  void reset_to_blank();
 
   void charge(net::CryptoOp op) {
     const double ms = cfg_.compute.cost(op);

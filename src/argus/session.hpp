@@ -57,6 +57,13 @@ class Transcript {
     return copy.finish();
   }
 
+  /// Snapshot/restore of the running hash (persistence layer): an
+  /// imported transcript absorbs and digests exactly like the original.
+  [[nodiscard]] crypto::Sha256::State export_state() const {
+    return hash_.export_state();
+  }
+  void import_state(const crypto::Sha256::State& s) { hash_.import_state(s); }
+
  private:
   crypto::Sha256 hash_;
 };

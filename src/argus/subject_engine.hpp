@@ -18,6 +18,12 @@
 #include "crypto/ecdh.hpp"
 #include "net/compute.hpp"
 #include "obs/metrics.hpp"
+#include "persist/snapshot.hpp"
+
+namespace argus {
+class ByteReader;
+class ByteWriter;
+}  // namespace argus
 
 namespace argus::core {
 
@@ -75,6 +81,23 @@ class SubjectEngine {
 
   double take_consumed_ms();
 
+  /// Sealed, checksummed snapshot of the full engine state (sessions,
+  /// round nonce/wire, resumption cache, discoveries, DRBG, stats).
+  [[nodiscard]] Bytes snapshot() const;
+
+  /// Strict restore: blank-or-exact, never throws — see
+  /// ObjectEngine::restore for the contract. Security invariant: cached
+  /// premasters are never revived from a snapshot.
+  persist::RestoreError restore(ByteSpan sealed);
+
+  /// SHA-256 over the serialized state (round-trip/fuzz test probe).
+  [[nodiscard]] Bytes state_digest() const;
+
+  [[nodiscard]] std::size_t open_sessions() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t resume_entries() const {
+    return resume_cache_.size();
+  }
+
   struct Stats {
     std::uint64_t rounds = 0;
     std::uint64_t res1_l1 = 0;
@@ -86,6 +109,8 @@ class SubjectEngine {
     // Resumption-cache traffic (zero unless resumption is enabled).
     std::uint64_t resumption_hits = 0;
     std::uint64_t resumption_misses = 0;
+    // Premaster entries a restore() refused to revive.
+    std::uint64_t resumption_dropped = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -114,6 +139,12 @@ class SubjectEngine {
 
   /// Terminal non-reply: count is_reject statuses (stats + metrics).
   HandleResult fail(HandleStatus status);
+
+  /// Snapshot payload serializer / strict parser / blank reset — see
+  /// ObjectEngine for the contract (engine_persist.cpp).
+  void save_state(ByteWriter& w) const;
+  void load_state(ByteReader& r);
+  void reset_to_blank();
 
   void charge(net::CryptoOp op) {
     const double ms = cfg_.compute.cost(op);

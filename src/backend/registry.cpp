@@ -6,6 +6,7 @@ namespace argus::backend {
 
 Backend::Backend(crypto::Strength strength, std::uint64_t seed)
     : group_(crypto::group_for(strength)),
+      seed_(seed),
       rng_(crypto::make_rng(seed, "backend")) {
   admin_ = crypto::ec_generate(group_, rng_);
 }

@@ -16,6 +16,12 @@
 #include "backend/revocation.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/ecdh.hpp"
+#include "persist/snapshot.hpp"
+
+namespace argus {
+class ByteReader;
+class ByteWriter;
+}  // namespace argus
 
 namespace argus::backend {
 
@@ -150,6 +156,19 @@ class Backend {
   /// backend/revocation.hpp). Each call consumes one sequence number.
   SignedRevocation issue_revocation(const std::string& subject_id);
 
+  // --- persistence --------------------------------------------------------
+  /// Sealed, checksummed snapshot of the authority's full state: admin
+  /// keypair, clock/serial/group/revocation counters, subject/object/
+  /// group records, policies, and DRBG — enough that issuance after a
+  /// restore continues exactly where the snapshot left off.
+  [[nodiscard]] Bytes snapshot() const;
+  /// Strict restore: blank-or-exact, never throws — see
+  /// core::ObjectEngine::restore for the contract. Identity check:
+  /// strength and seed must match this instance's construction.
+  persist::RestoreError restore(ByteSpan sealed);
+  /// SHA-256 over the serialized state (round-trip/fuzz test probe).
+  [[nodiscard]] Bytes state_digest() const;
+
   // --- bookkeeping accessors ----------------------------------------------
   [[nodiscard]] std::size_t subject_count() const { return subjects_.size(); }
   [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
@@ -184,7 +203,14 @@ class Backend {
                         const AttributeMap& attrs,
                         std::vector<std::string> services);
 
+  /// Snapshot payload serializer / strict parser / blank reset
+  /// (registry_persist.cpp); same contract as the engines'.
+  void save_state(ByteWriter& w) const;
+  void load_state(ByteReader& r);
+  void reset_to_blank();
+
   const crypto::EcGroup& group_;
+  std::uint64_t seed_ = 0;
   crypto::HmacDrbg rng_;
   crypto::EcKeyPair admin_;
   std::uint64_t clock_ = 1'000'000;  // simulation epoch seconds

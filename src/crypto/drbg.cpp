@@ -37,6 +37,14 @@ Bytes HmacDrbg::generate(std::size_t n) {
 
 void HmacDrbg::reseed(ByteSpan entropy) { update(entropy); }
 
+void HmacDrbg::import_state(const State& s) {
+  if (s.k.size() != 32 || s.v.size() != 32) {
+    throw std::invalid_argument("HmacDrbg::import_state: bad state size");
+  }
+  k_ = s.k;
+  v_ = s.v;
+}
+
 std::uint64_t HmacDrbg::uniform(std::uint64_t bound) {
   if (bound == 0) return 0;
   // Rejection sampling over the smallest power-of-two envelope.

@@ -28,6 +28,17 @@ class HmacDrbg {
   /// Convenience: uniform integer in [0, bound) by rejection sampling.
   std::uint64_t uniform(std::uint64_t bound);
 
+  /// Snapshot/restore of the generator state (SP 800-90A working state
+  /// K, V). import_state resumes the byte stream exactly where
+  /// export_state left it; it throws std::invalid_argument unless both
+  /// halves are 32 bytes.
+  struct State {
+    Bytes k;
+    Bytes v;
+  };
+  [[nodiscard]] State export_state() const { return {k_, v_}; }
+  void import_state(const State& s);
+
  private:
   void update(ByteSpan data1, ByteSpan data2 = {});
 

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <stdexcept>
 
 namespace argus::crypto {
 
@@ -34,6 +35,25 @@ void Sha256::reset() {
   state_ = kInit;
   buf_len_ = 0;
   total_len_ = 0;
+}
+
+Sha256::State Sha256::export_state() const {
+  State s;
+  s.state = state_;
+  s.buf = buf_;
+  s.buf_len = buf_len_;
+  s.total_len = total_len_;
+  return s;
+}
+
+void Sha256::import_state(const State& s) {
+  if (s.buf_len >= kBlockSize || s.total_len % kBlockSize != s.buf_len) {
+    throw std::invalid_argument("Sha256::import_state: inconsistent state");
+  }
+  state_ = s.state;
+  buf_ = s.buf;
+  buf_len_ = static_cast<std::size_t>(s.buf_len);
+  total_len_ = s.total_len;
 }
 
 void Sha256::process_block(const std::uint8_t* block) {

@@ -28,6 +28,20 @@ class Sha256 {
 
   void reset();
 
+  /// Mid-stream state capture for snapshot/restore: everything update()
+  /// has folded in so far, including the partial block. import_state
+  /// continues hashing exactly where export_state left off.
+  struct State {
+    std::array<std::uint32_t, 8> state{};
+    std::array<std::uint8_t, kBlockSize> buf{};
+    std::uint64_t buf_len = 0;
+    std::uint64_t total_len = 0;
+  };
+  [[nodiscard]] State export_state() const;
+  /// Throws std::invalid_argument on an inconsistent state (buf_len
+  /// beyond a block, or total/buffer lengths that cannot coexist).
+  void import_state(const State& s);
+
   /// One-shot convenience.
   static Bytes hash(ByteSpan data);
 

@@ -8,20 +8,24 @@ namespace argus::fault {
 ChaosScheduler::ChaosScheduler(net::Simulator& sim, ChaosHooks hooks)
     : sim_(sim), hooks_(std::move(hooks)) {}
 
-void ChaosScheduler::arm(const FaultPlan& plan, std::size_t objects) {
+void ChaosScheduler::arm(const FaultPlan& plan, std::size_t objects,
+                         double base_ms) {
+  if (ever_.size() < objects) ever_.resize(objects, 0);
   std::vector<FaultEvent> expanded = expand_plan(plan, objects);
   for (const FaultEvent& ev : expanded) {
-    const double delay = std::max(0.0, ev.at_ms - sim_.now());
+    const double delay = std::max(0.0, base_ms + ev.at_ms - sim_.now());
     sim_.schedule_timer(delay, [this, ev] { fire(ev); });
-    events_.push_back(ev);
+    if (ev.object < ever_.size()) {
+      ever_[ev.object] |=
+          static_cast<std::uint8_t>(1u << static_cast<unsigned>(ev.kind));
+    }
   }
 }
 
 bool ChaosScheduler::ever(std::size_t object, FaultKind kind) const {
-  return std::any_of(events_.begin(), events_.end(),
-                     [&](const FaultEvent& ev) {
-                       return ev.object == object && ev.kind == kind;
-                     });
+  if (object >= ever_.size()) return false;
+  return (ever_[object] &
+          static_cast<std::uint8_t>(1u << static_cast<unsigned>(kind))) != 0;
 }
 
 void ChaosScheduler::fire(const FaultEvent& ev) {

@@ -38,8 +38,11 @@ class ChaosScheduler {
   /// transition. Crash events with duration_ms >= 0 also schedule the
   /// reboot; straggle events schedule their end-of-window. May be called
   /// at any virtual time; events whose at_ms already passed fire
-  /// immediately (delay clamps to 0).
-  void arm(const FaultPlan& plan, std::size_t objects);
+  /// immediately (delay clamps to 0). `base_ms` shifts every onset —
+  /// long-running drivers (the soak harness) re-arm fresh plans each
+  /// round with base_ms = now so onsets spread over the plan's horizon
+  /// instead of all clamping to the current instant.
+  void arm(const FaultPlan& plan, std::size_t objects, double base_ms = 0.0);
 
   struct Stats {
     std::uint64_t crashes = 0;
@@ -50,13 +53,10 @@ class ChaosScheduler {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
-  /// The concrete timeline armed so far (expanded, sorted).
-  [[nodiscard]] const std::vector<FaultEvent>& events() const {
-    return events_;
-  }
-
   /// Whether `object` was ever scheduled for a fault of `kind` — lets the
   /// driver classify outcomes (e.g. "this silent object was a zombie").
+  /// Tracked as one bitmask per object, so re-arming plans every round
+  /// (soak runs) costs O(objects) memory total, not O(events armed).
   [[nodiscard]] bool ever(std::size_t object, FaultKind kind) const;
 
  private:
@@ -64,7 +64,7 @@ class ChaosScheduler {
 
   net::Simulator& sim_;
   ChaosHooks hooks_;
-  std::vector<FaultEvent> events_;
+  std::vector<std::uint8_t> ever_;  // per-object FaultKind bitmask
   Stats stats_;
 };
 

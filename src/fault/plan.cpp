@@ -59,6 +59,16 @@ const char* byzantine_mode_name(ByzantineMode mode) {
   return "?";
 }
 
+const char* reboot_policy_name(RebootPolicy policy) {
+  switch (policy) {
+    case RebootPolicy::kBlank:
+      return "blank";
+    case RebootPolicy::kFromSnapshot:
+      return "from_snapshot";
+  }
+  return "?";
+}
+
 bool FaultPlan::armed() const {
   return !scripted.empty() || crash_rate > 0.0 || straggle_rate > 0.0 ||
          zombie_rate > 0.0 || byzantine_rate > 0.0;

@@ -36,6 +36,19 @@ enum class ByzantineMode : std::uint8_t {
 
 const char* byzantine_mode_name(ByzantineMode mode);
 
+/// What state a rebooted object comes back with (§ fault/chaos reboot
+/// hook). kBlank is the historical behaviour — the engine is rebuilt
+/// from its config with empty tables. kFromSnapshot restores the sealed
+/// snapshot the driver captured at crash time; if the snapshot is
+/// missing or fails its integrity/identity checks, the reboot falls
+/// back to blank (traced as persist.restore_failed, never a crash).
+enum class RebootPolicy : std::uint8_t {
+  kBlank = 0,
+  kFromSnapshot = 1,
+};
+
+const char* reboot_policy_name(RebootPolicy policy);
+
 /// One concrete fault transition, in virtual milliseconds.
 struct FaultEvent {
   std::size_t object = 0;  // scenario object index
@@ -65,6 +78,11 @@ struct FaultPlan {
   double straggle_ms = 1500.0;
   ByzantineMode byzantine_mode = ByzantineMode::kMixed;
   std::uint64_t seed = 1;
+
+  /// Reboot semantics for every crash in this plan (scripted or drawn).
+  /// Does not affect armed(): the policy only matters once a crash with
+  /// a reboot actually fires.
+  RebootPolicy reboot_policy = RebootPolicy::kBlank;
 
   /// True iff the plan can produce any fault at all. Unarmed plans are
   /// never expanded, so arming an empty plan is byte-identical to no plan.

@@ -1,0 +1,96 @@
+// Long-horizon soak harness: thousands of consecutive discovery rounds
+// through one live DiscoveryTestbed, with faults, loss, and a flooder
+// armed, interleaved with snapshot/restore cycles (including
+// deliberately corrupted snapshots that must land blank, never throw).
+//
+// The point is leak hunting: a protocol stack that survives one
+// 8-second round can still grow a session table, a premaster cache, a
+// metrics registry, or the process RSS monotonically across ten
+// thousand. run_soak samples every state gauge on a fixed cadence and
+// compares the maximum over the first half of the run against the
+// maximum over the second half — bounded state plateaus after warm-up,
+// so any second-half exceedance beyond a small slack is reported as a
+// violation. An empty violations list is the pass verdict the soak
+// smoke gate (bench_fig_soak --smoke, ctest label `soak`) asserts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "argus/discovery.hpp"
+#include "fault/plan.hpp"
+
+namespace argus::harness {
+
+struct SoakSpec {
+  std::size_t rounds = 1000;
+  std::size_t objects = 6;
+  int level = 2;            // object visibility level (1..3)
+  std::uint64_t seed = 17;
+  double drop_prob = 0.05;  // radio loss, every hop
+
+  /// Per-round fault churn: each round re-arms a fresh DRBG plan with
+  /// these rates (seeded seed+round), so crash/reboot cycles keep firing
+  /// for the whole soak instead of only inside the first horizon.
+  double crash_rate = 0.2;
+  double zombie_rate = 0.0;  // zombies never recover; keep 0 for long soaks
+  double reboot_after_ms = 200.0;
+  fault::RebootPolicy reboot_policy = fault::RebootPolicy::kFromSnapshot;
+
+  /// Flooding adversary, armed for the entire soak. kGarbageQue2 is the
+  /// cheap-reject payload — it exercises admission + reject paths every
+  /// round without paying signature-verification time the soak's round
+  /// count would multiply.
+  double flood_rate_per_s = 50.0;
+  core::FloodSpec::Kind flood_kind = core::FloodSpec::Kind::kGarbageQue2;
+
+  double round_deadline_ms = 3000.0;
+
+  /// Replay-window bound per object. The engine default (1024 nonces)
+  /// takes a thousand rounds to fill, so a shorter soak would read its
+  /// warm-up as monotonic growth; 16 plateaus within the first tenth of
+  /// even a smoke run while still far exceeding one round's traffic.
+  std::size_t replay_window = 16;
+
+  /// Snapshot/restore interleaving: every `snapshot_every` rounds one
+  /// engine (objects and the subject, round-robin) is snapshotted and
+  /// immediately restored in place; every `corrupt_every`-th such cycle
+  /// restores a deliberately corrupted copy instead, which must fail
+  /// closed (blank fallback) and never throw.
+  std::size_t snapshot_every = 5;
+  std::size_t corrupt_every = 3;
+
+  std::size_t sample_every = 10;  // gauge-sampling cadence, in rounds
+};
+
+struct SoakSample {
+  std::size_t round = 0;
+  core::DiscoveryTestbed::FleetGauges gauges;
+  std::size_t rss_kb = 0;  // process resident set (0 where unsupported)
+};
+
+struct SoakResult {
+  std::size_t rounds_run = 0;
+  std::uint64_t discoveries = 0;       // timeline events across all rounds
+  std::uint64_t snapshot_cycles = 0;   // clean snapshot->restore cycles
+  std::uint64_t restore_exact = 0;     // clean restores that returned kOk
+  std::uint64_t corrupt_cycles = 0;    // corrupted-restore cycles
+  std::uint64_t corrupt_fell_blank = 0;  // ...that failed closed, as required
+  std::uint64_t fault_crashes = 0;     // from the run registry
+  std::uint64_t fault_reboots = 0;
+  std::uint64_t persist_restores = 0;
+  std::uint64_t persist_restore_failed = 0;
+  std::vector<SoakSample> samples;
+  /// Human-readable bounded-growth violations; empty means the soak
+  /// passed every growth assertion.
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Run the soak. Deterministic given the spec (RSS excepted — it is
+/// sampled, not asserted exactly).
+SoakResult run_soak(const SoakSpec& spec);
+
+}  // namespace argus::harness

@@ -90,6 +90,10 @@ std::optional<GridSpec> parse_grid_spec(std::istream& is, std::string* error) {
       for (const double c : spec.byzantine) ok = ok && c >= 0.0 && c <= 1.0;
     } else if (key == "reboot") {
       ok = parse_one(value, spec.reboot_ms);
+    } else if (key == "snapshot") {
+      int v = 0;
+      ok = parse_one(value, v) && (v == 0 || v == 1);
+      spec.snapshot_reboot = v == 1;
     } else if (key == "flood") {
       ok = parse_list(value, spec.flood_rate);
       for (const double f : spec.flood_rate) ok = ok && f >= 0.0;

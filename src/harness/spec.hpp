@@ -12,8 +12,10 @@
 // Unset axes keep their GridSpec defaults. `rings = K` selects the
 // ring layout (object i at hop 1 + i/K) and replaces the `hops` axis.
 // Chaos axes: `crash`, `straggle`, `zombie`, `byzantine` (per-object
-// fault probabilities, 0..1) and the scalar `reboot` (crash reboot delay
-// in ms; negative = crashed nodes stay down).
+// fault probabilities, 0..1) and the scalars `reboot` (crash reboot
+// delay in ms; negative = crashed nodes stay down) and `snapshot`
+// (0/1; 1 reboots crashed objects from the snapshot captured at crash
+// time instead of blank — persist/snapshot.hpp).
 // Overload axes: `flood` (QUE1-storm rates in msgs/s; nonzero cells arm
 // the flooder plus object-side admission control) and `queue` (per-node
 // ingress-queue depths; nonzero cells bound the queue, drop-oldest).

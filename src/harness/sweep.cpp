@@ -61,6 +61,7 @@ std::vector<SweepPoint> expand(const GridSpec& spec) {
                         p.zombie = zombie;
                         p.byzantine = byzantine;
                         p.reboot_ms = spec.reboot_ms;
+                        p.snapshot_reboot = spec.snapshot_reboot;
                         p.flood_rate = flood_rate;
                         p.queue_depth = queue_depth;
                         grid.push_back(p);
@@ -96,6 +97,7 @@ std::string point_label(const SweepPoint& point) {
     if (point.reboot_ms >= 0) {
       out += " reboot=";
       put_double(out, point.reboot_ms);
+      if (point.snapshot_reboot) out += " snapshot";
     }
   }
   if (point.straggle > 0) {
@@ -165,6 +167,9 @@ core::DiscoveryScenario make_scenario(const SweepPoint& point) {
   sc.faults.zombie_rate = point.zombie;
   sc.faults.byzantine_rate = point.byzantine;
   sc.faults.reboot_after_ms = point.reboot_ms;
+  if (point.snapshot_reboot) {
+    sc.faults.reboot_policy = fault::RebootPolicy::kFromSnapshot;
+  }
   sc.faults.seed = point.seed;
   // Fault onsets land inside the discovery window (paper fleets finish in
   // ~150-600 virtual ms); the plan's 2000ms default would put most faults

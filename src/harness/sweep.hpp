@@ -46,6 +46,11 @@ struct SweepPoint {
   double zombie = 0.0;
   double byzantine = 0.0;
   double reboot_ms = -1.0;  // crash reboot delay; < 0 = stays down
+  /// Reboot policy: false = historical blank reboot (empty session
+  /// table), true = restore the snapshot captured at crash time
+  /// (fault/plan.hpp RebootPolicy::kFromSnapshot). Only matters once a
+  /// crash actually reboots, so fault-free cells stay byte-identical.
+  bool snapshot_reboot = false;
   /// Overload axes. flood_rate > 0 arms a QUE1-storm flooder at that many
   /// messages/s and enables object-side admission control; queue_depth > 0
   /// bounds every node's ingress queue (drop-oldest). Zero keeps the cell
@@ -71,6 +76,7 @@ struct GridSpec {
   std::vector<double> zombie{0.0};
   std::vector<double> byzantine{0.0};
   double reboot_ms = -1.0;  // scalar: applies to every crashed cell
+  bool snapshot_reboot = false;  // scalar: reboot-from-snapshot policy
   /// Overload axes; the {0} defaults expand to flood-free cells.
   std::vector<double> flood_rate{0.0};
   std::vector<std::size_t> queue_depth{0};

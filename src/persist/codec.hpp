@@ -1,0 +1,77 @@
+// Field codecs shared by the state snapshotters (engines, backend).
+//
+// Everything rides on common/serde.hpp conventions; doubles are
+// round-tripped bit-exactly through their IEEE-754 image so a restored
+// engine's clocks, token buckets, and TTL arithmetic continue on the
+// identical values. Readers are strict: malformed key material throws
+// (SerdeError or std::invalid_argument), which the engine restore paths
+// translate into a blank-state fallback.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "common/serde.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/ec.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace argus::persist {
+
+inline void put_f64(ByteWriter& w, double v) {
+  w.u64(std::bit_cast<std::uint64_t>(v));
+}
+
+inline double get_f64(ByteReader& r) { return std::bit_cast<double>(r.u64()); }
+
+inline void put_sha256(ByteWriter& w, const crypto::Sha256::State& s) {
+  for (const std::uint32_t word : s.state) w.u32(word);
+  w.raw(ByteSpan(s.buf.data(), s.buf.size()));
+  w.u64(s.buf_len);
+  w.u64(s.total_len);
+}
+
+inline crypto::Sha256::State get_sha256(ByteReader& r) {
+  crypto::Sha256::State s;
+  for (std::uint32_t& word : s.state) word = r.u32();
+  const Bytes buf = r.raw(s.buf.size());
+  std::copy(buf.begin(), buf.end(), s.buf.begin());
+  s.buf_len = r.u64();
+  s.total_len = r.u64();
+  return s;
+}
+
+inline void put_drbg(ByteWriter& w, const crypto::HmacDrbg& rng) {
+  const crypto::HmacDrbg::State s = rng.export_state();
+  w.bytes16(s.k);
+  w.bytes16(s.v);
+}
+
+inline void get_drbg(ByteReader& r, crypto::HmacDrbg& rng) {
+  crypto::HmacDrbg::State s;
+  s.k = r.bytes16();
+  s.v = r.bytes16();
+  rng.import_state(s);  // throws invalid_argument on bad sizes
+}
+
+inline void put_keypair(ByteWriter& w, const crypto::EcGroup& group,
+                        const crypto::EcKeyPair& kp) {
+  w.bytes16(kp.priv.to_bytes_be(group.params().field_bytes));
+  w.bytes16(group.encode_point(kp.pub));
+}
+
+inline crypto::EcKeyPair get_keypair(ByteReader& r,
+                                     const crypto::EcGroup& group) {
+  crypto::EcKeyPair kp;
+  kp.priv = crypto::UInt::from_bytes_be(r.bytes16());
+  const auto pub = group.decode_point(r.bytes16());
+  if (!pub) {
+    throw std::invalid_argument("persist: snapshot public key off-curve");
+  }
+  kp.pub = *pub;
+  return kp;
+}
+
+}  // namespace argus::persist

@@ -1,0 +1,151 @@
+// Reboot-from-snapshot regression: the RebootPolicy wiring in the
+// discovery driver. kBlank (the default) must be byte-identical to the
+// pre-persistence builds whether or not kFromSnapshot is merely
+// *selectable*; an armed kFromSnapshot plan must capture a snapshot at
+// crash time, restore it at reboot, and let the rebooted object finish
+// the round with the same discovery set an uninterrupted run produces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "argus/discovery.hpp"
+#include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
+
+namespace argus::core {
+namespace {
+
+harness::SweepPoint base_point() {
+  harness::SweepPoint p;
+  p.level = 2;
+  p.objects = 4;
+  p.seed = 17;
+  return p;
+}
+
+/// (object, variant) pairs — the discovery set, order-independent.
+std::set<std::pair<std::string, std::string>> discovery_set(
+    const DiscoveryReport& report) {
+  std::set<std::pair<std::string, std::string>> out;
+  for (const auto& svc : report.services) {
+    out.emplace(svc.object_id, svc.variant_tag);
+  }
+  return out;
+}
+
+std::string run_digest(const DiscoveryScenario& scenario) {
+  harness::RunSpec spec;
+  spec.label = "reboot-policy";
+  spec.scenarios.push_back(scenario);
+  const auto results = harness::SweepRunner({.threads = 1})
+                           .run(1, [&](std::size_t) { return spec; });
+  return results[0].digest;
+}
+
+TEST(RebootPolicy, FaultFreeRunsAreBitIdenticalAcrossPolicies) {
+  // With no fault armed, selecting kFromSnapshot must change nothing:
+  // the policy only matters once a crash actually fires, so trace,
+  // counters, and report stay byte-for-byte the golden bytes.
+  DiscoveryScenario blank = harness::make_scenario(base_point());
+  DiscoveryScenario snap = harness::make_scenario(base_point());
+  snap.faults.reboot_policy = fault::RebootPolicy::kFromSnapshot;
+  EXPECT_EQ(run_digest(blank), run_digest(snap));
+}
+
+TEST(RebootPolicy, ScriptedRebootResumesFromSnapshotAndRediscovers) {
+  // Uninterrupted baseline.
+  const DiscoveryReport clean =
+      run_discovery(harness::make_scenario(base_point()));
+  const auto want = discovery_set(clean);
+  ASSERT_FALSE(want.empty());
+
+  // Same fleet, but object 1 crashes mid-round and reboots 300 ms later
+  // — resuming from the snapshot captured at crash time.
+  DiscoveryScenario sc = harness::make_scenario(base_point());
+  obs::MetricsRegistry metrics;
+  sc.metrics = &metrics;
+  sc.faults.reboot_policy = fault::RebootPolicy::kFromSnapshot;
+  fault::FaultEvent ev;
+  ev.object = 1;
+  ev.kind = fault::FaultKind::kCrash;
+  ev.at_ms = 1;
+  ev.duration_ms = 300;
+  sc.faults.scripted.push_back(ev);
+
+  const DiscoveryReport report = run_discovery(sc);
+  EXPECT_EQ(discovery_set(report), want)
+      << "snapshot-rebooted fleet must converge on the uninterrupted "
+         "discovery set";
+
+  // The persistence hooks actually ran: one snapshot at crash, one
+  // successful restore at reboot, no fallback.
+  const auto& counters = metrics.counters();
+  const auto count = [&](const char* name) -> std::uint64_t {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+  };
+  EXPECT_EQ(count("persist.snapshot"), 1u);
+  EXPECT_EQ(count("persist.restore"), 1u);
+  EXPECT_EQ(count("persist.restore_failed"), 0u);
+  EXPECT_EQ(count("fault.crash"), 1u);
+  EXPECT_EQ(count("fault.reboot"), 1u);
+}
+
+TEST(RebootPolicy, BlankRebootStillTracedAsBlank) {
+  // The historical default: reboot with an empty session table, no
+  // persist.* counters at all.
+  DiscoveryScenario sc = harness::make_scenario(base_point());
+  obs::MetricsRegistry metrics;
+  sc.metrics = &metrics;
+  fault::FaultEvent ev;
+  ev.object = 1;
+  ev.kind = fault::FaultKind::kCrash;
+  ev.at_ms = 1;
+  ev.duration_ms = 300;
+  sc.faults.scripted.push_back(ev);
+
+  (void)run_discovery(sc);
+  const auto& counters = metrics.counters();
+  EXPECT_EQ(counters.find("persist.snapshot"), counters.end());
+  EXPECT_EQ(counters.find("persist.restore"), counters.end());
+  EXPECT_EQ(counters.find("fault.crash")->second.value(), 1u);
+}
+
+TEST(RebootPolicy, SnapshotPathWritesRestorableFleetBundle) {
+  // scenario.snapshot_path dumps the final engine states as a sealed
+  // fleet bundle; every section restores into a freshly-built testbed.
+  const std::string path =
+      ::testing::TempDir() + "reboot_fleet_bundle.snap";
+  DiscoveryScenario sc = harness::make_scenario(base_point());
+  sc.snapshot_path = path;
+  (void)run_discovery(sc);
+
+  const persist::ReadResult read = persist::read_snapshot_file(path);
+  ASSERT_TRUE(read);
+  const persist::BundleResult bundle = persist::open_bundle(read.data);
+  ASSERT_TRUE(bundle);
+  ASSERT_EQ(bundle.entries.size(), 5u);  // subject + 4 objects
+
+  DiscoveryScenario fresh = harness::make_scenario(base_point());
+  DiscoveryTestbed tb(fresh);
+  for (const auto& [name, blob] : bundle.entries) {
+    if (name == "subject") {
+      EXPECT_EQ(tb.restore_subject(blob), persist::RestoreError::kOk);
+    } else {
+      ASSERT_TRUE(name.starts_with("object:")) << name;
+      const std::size_t idx = static_cast<std::size_t>(
+          std::stoul(name.substr(std::string("object:obj-").size())));
+      EXPECT_EQ(tb.restore_object(idx, blob), persist::RestoreError::kOk)
+          << name;
+    }
+  }
+  // The restored fleet carries the run's protocol state forward.
+  EXPECT_GT(tb.gauges().engine_state_total(), 0u);
+}
+
+}  // namespace
+}  // namespace argus::core

@@ -18,9 +18,15 @@
 // --trace PREFIX, additionally retains each run's protocol trace and
 // writes it to PREFIX-<index>.jsonl for tools/traceview — the way to
 // inspect a chaos cell's fault timeline event by event.
+//
+// With --snapshot-dir DIR, every run additionally dumps its final fleet
+// state as a sealed snapshot bundle (persist/snapshot.hpp) to
+// DIR/run-<index>.snap — the per-cell artefact a reboot-from-snapshot
+// investigation restores from.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -34,7 +40,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--grid NAME | --spec FILE) [--threads N]"
-               " [--out PREFIX] [--trace PREFIX] [--quiet]\n"
+               " [--out PREFIX] [--trace PREFIX] [--snapshot-dir DIR]"
+               " [--quiet]\n"
                "       %s --list | --list-grids\n",
                argv0, argv0);
   return 2;
@@ -71,6 +78,7 @@ std::string grid_axes(const harness::GridSpec& s) {
     out += " crash=" + axis_values(s.crash);
     if (s.reboot_ms >= 0) {
       out += " reboot=" + std::to_string(static_cast<long>(s.reboot_ms));
+      if (s.snapshot_reboot) out += " snapshot";
     }
   }
   if (s.straggle.size() > 1 || s.straggle.front() != 0) {
@@ -98,6 +106,7 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::string out_prefix;
   std::string trace_prefix;
+  std::string snapshot_dir;
   std::size_t threads = 0;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
@@ -126,6 +135,8 @@ int main(int argc, char** argv) {
       out_prefix = argv[++i];
     } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
       trace_prefix = argv[++i];
+    } else if (std::strcmp(arg, "--snapshot-dir") == 0 && i + 1 < argc) {
+      snapshot_dir = argv[++i];
     } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
@@ -160,11 +171,33 @@ int main(int argc, char** argv) {
   }
 
   const auto grid = harness::expand(spec);
+  if (!snapshot_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(snapshot_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create snapshot dir '%s': %s\n",
+                   snapshot_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
   const harness::SweepRunner runner({.threads = threads,
                                      .keep_traces = !trace_prefix.empty(),
                                      .keep_metrics = !out_prefix.empty()});
   const auto t0 = std::chrono::steady_clock::now();
-  const auto results = runner.run(grid);
+  // Same factory as SweepRunner::run(grid), plus the per-run snapshot
+  // path when requested — labels contain spaces, so files key by grid
+  // index, which the printed table and .digests file share.
+  const auto results =
+      runner.run(grid.size(), [&grid, &snapshot_dir](std::size_t i) {
+        harness::RunSpec rspec;
+        rspec.label = harness::point_label(grid[i]);
+        rspec.scenarios.push_back(harness::make_scenario(grid[i]));
+        if (!snapshot_dir.empty()) {
+          rspec.scenarios.back().snapshot_path =
+              snapshot_dir + "/run-" + std::to_string(i) + ".snap";
+        }
+        return rspec;
+      });
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -213,6 +246,12 @@ int main(int argc, char** argv) {
   if (!trace_prefix.empty()) {
     std::printf("wrote %s-0.jsonl .. %s-%zu.jsonl (tools/traceview)\n",
                 trace_prefix.c_str(), trace_prefix.c_str(),
+                results.size() - 1);
+  }
+  if (!snapshot_dir.empty()) {
+    std::printf("wrote %s/run-0.snap .. %s/run-%zu.snap (sealed fleet "
+                "bundles)\n",
+                snapshot_dir.c_str(), snapshot_dir.c_str(),
                 results.size() - 1);
   }
   return 0;

@@ -3,10 +3,12 @@
 //   traceview [--audit] [--top N] [--chrome OUT.json] TRACE.jsonl
 //
 // Prints totals, a per-category event census, traffic by message type,
-// per-phase span timing, the chaos layer's fault timeline, rejection
-// census and overload census (bounded-queue sheds, admission sheds,
-// flood traffic — when the trace has any), and the indistinguishability
-// auditor's verdict.
+// per-phase span timing, the chaos layer's fault timeline, the
+// persistence timeline (persist.snapshot / persist.restore /
+// persist.restore_failed instants from reboot-from-snapshot runs),
+// rejection census and overload census (bounded-queue sheds, admission
+// sheds, flood traffic — when the trace has any), and the
+// indistinguishability auditor's verdict.
 // `--audit` makes a FAIL verdict the exit status (2), for CI gating;
 // `--top N` prints the N hottest spans ranked by *self* time (inclusive
 // minus nested children, per node — the wall-clock profiler's
@@ -51,6 +53,16 @@ struct FaultLine {
   std::uint64_t a = 0;  // straggle factor / ByzantineMode, per the name
 };
 
+/// One persistence-layer event (a `persist.*` instant): snapshot capture
+/// at crash, restore at reboot, or a failed restore with its error name.
+struct PersistLine {
+  double ts = 0;
+  std::uint32_t node = 0;
+  std::string name;
+  std::uint64_t a = 0;  // blob bytes (snapshot/restore) or RestoreError
+  std::string arg;      // restore_error_name for persist.restore_failed
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +103,7 @@ int main(int argc, char** argv) {
   std::map<std::string, std::uint64_t> by_cat;
   std::map<std::string, Acc> traffic;        // tx.* instants
   std::vector<FaultLine> faults;             // fault.* instants, in ts order
+  std::vector<PersistLine> persists;         // persist.* instants, ts order
   std::map<std::string, std::uint64_t> rejects;  // reject.* and drop.*
   // Overload census: bounded-queue sheds (drop.queue_*), admission sheds
   // (shed.*), and flood transmissions — kept apart from the rejection
@@ -116,6 +129,8 @@ int main(int argc, char** argv) {
       }
     } else if (ev.name.rfind("fault.", 0) == 0) {
       faults.push_back({ev.ts, ev.node, ev.name, ev.a});
+    } else if (ev.name.rfind("persist.", 0) == 0) {
+      persists.push_back({ev.ts, ev.node, ev.name, ev.a, ev.arg});
     } else if (ev.name.rfind("shed.", 0) == 0 ||
                ev.name.rfind("drop.queue", 0) == 0) {
       Acc& acc = overload[ev.name];
@@ -195,6 +210,25 @@ int main(int argc, char** argv) {
         std::printf(" mode=%s",
                     argus::fault::byzantine_mode_name(
                         static_cast<argus::fault::ByzantineMode>(f.a)));
+      }
+      std::printf("\n");
+    }
+  }
+  if (!persists.empty()) {
+    std::stable_sort(persists.begin(), persists.end(),
+                     [](const PersistLine& x, const PersistLine& y) {
+                       return x.ts < y.ts;
+                     });
+    std::printf("\n  persistence timeline (%zu snapshot/restore events)\n",
+                persists.size());
+    for (const auto& p : persists) {
+      std::printf("    %10.3f ms  node %-4u %-24s", p.ts, p.node,
+                  p.name.c_str());
+      if (p.name == "persist.restore_failed") {
+        std::printf(" err=%s -> blank reboot",
+                    p.arg.empty() ? "?" : p.arg.c_str());
+      } else {
+        std::printf(" %llu B", static_cast<unsigned long long>(p.a));
       }
       std::printf("\n");
     }
