@@ -107,6 +107,25 @@ EcPrecomp::EcPrecomp(const EcGroup& g, const EcPoint& p) : g_(&g), p_(p) {
   tab_ = normalize_batch(g, jac);
 }
 
+EcGroup::AffM EcPrecomp::entry_ct(std::size_t v) const {
+  // Branch-free select: sweep the whole table and OR in the matching
+  // entry under an all-ones/all-zeros mask. Every call touches the same
+  // 15 * sizeof(AffM) bytes in the same order regardless of v, so a
+  // cache-timing observer learns nothing about the window nibble.
+  AffM out{};
+  const std::uint64_t target = static_cast<std::uint64_t>(v - 1);
+  for (std::size_t e = 0; e < tab_.size(); ++e) {
+    const std::uint64_t diff = static_cast<std::uint64_t>(e) ^ target;
+    const std::uint64_t nonzero = (diff | (0 - diff)) >> 63;
+    const std::uint64_t mask = nonzero - 1;  // all-ones iff e == v-1
+    for (std::size_t i = 0; i < kMaxWords; ++i) {
+      out.x.w[i] |= tab_[e].x.w[i] & mask;
+      out.y.w[i] |= tab_[e].y.w[i] & mask;
+    }
+  }
+  return out;
+}
+
 Jac EcPrecomp::mul_jac(const UInt& kr) const {
   Jac acc = g_->jac_identity();
   if (kr.is_zero() || p_.infinity) return acc;
@@ -120,7 +139,14 @@ Jac EcPrecomp::mul_jac(const UInt& kr) const {
       acc = g_->jdbl(acc);
     }
     const std::size_t nib = scalar_nibble(kr, i, bits);
-    if (nib != 0) acc = g_->jadd_mixed(acc, tab_[nib - 1]);
+    // The nib != 0 skip stays (identical add/double sequence keeps the
+    // output bit-identical to the reference algorithm); only the table
+    // lookup itself is hardened — the secret-dependent *index* no longer
+    // selects which cache lines are touched.
+    if (nib != 0) {
+      const AffM e = entry_ct(nib);
+      acc = g_->jadd_mixed(acc, e);
+    }
   }
   return acc;
 }

@@ -79,6 +79,13 @@ class EcPrecomp {
   [[nodiscard]] const EcGroup::AffM& entry(std::size_t v) const {
     return tab_[v - 1];
   }
+  /// Constant-time variant of entry(): reads every table slot and keeps
+  /// `v`'s under a branch-free mask, so the memory access pattern is
+  /// independent of `v`. mul()/mul_jac() use this because their window
+  /// nibbles come from secret scalars (ECDH, signing nonces); the
+  /// verification paths (msm, shamir_verify_x) keep the direct lookup —
+  /// their scalars are public.
+  [[nodiscard]] EcGroup::AffM entry_ct(std::size_t v) const;
 
   /// k * P, bit-identical to g.scalar_mul(P, k).
   [[nodiscard]] EcPoint mul(const UInt& k) const;

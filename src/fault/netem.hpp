@@ -1,0 +1,113 @@
+// Socket-level network-emulation shim: seeded loss / duplication /
+// reordering for real datagram sockets.
+//
+// The simulator's RadioParams model impairments inside the virtual radio;
+// this shim applies the same kinds of damage at the datagram boundary so
+// the flood/loss/churn scenarios replay against the real transport
+// (transport/udp.hpp or transport/pipe.hpp). Decisions come from a seeded
+// HMAC-DRBG, so a pipe-hub test under the shim is byte-for-byte
+// reproducible. Header-only on purpose: transport depends on fault for
+// this shim, while fault's library links nothing from transport.
+//
+// Impairments act on the send side:
+//   * drop:    the datagram vanishes (send still "succeeds" — UDP);
+//   * dup:     the datagram is sent twice back-to-back;
+//   * reorder: the datagram is held and released after the next send
+//              (a swapped adjacent pair), or by flush().
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "crypto/drbg.hpp"
+#include "transport/datagram.hpp"
+
+namespace argus::fault {
+
+struct NetemParams {
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double reorder_prob = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class NetemSocket final : public transport::DatagramSocket {
+ public:
+  NetemSocket(transport::DatagramSocket& inner, const NetemParams& params)
+      : inner_(inner),
+        params_(params),
+        rng_(crypto::make_rng(params.seed, "netem")) {}
+
+  bool send_to(const transport::NetAddr& to, ByteSpan data) override {
+    if (chance(params_.drop_prob)) {
+      stats_.dropped++;
+      return true;
+    }
+    if (chance(params_.reorder_prob) && !held_) {
+      held_.emplace(to, Bytes(data.begin(), data.end()));
+      stats_.reordered++;
+      return true;
+    }
+    const bool ok = inner_.send_to(to, data);
+    if (chance(params_.dup_prob)) {
+      stats_.duplicated++;
+      inner_.send_to(to, data);
+    }
+    release_held();
+    stats_.forwarded++;
+    return ok;
+  }
+
+  bool recv_from(transport::NetAddr* from, Bytes* data) override {
+    return inner_.recv_from(from, data);
+  }
+
+  [[nodiscard]] transport::NetAddr local_addr() const override {
+    return inner_.local_addr();
+  }
+
+  /// Release a held (reordered) datagram, if any — call when a send
+  /// stream goes idle so the last packet is not stuck in the shim.
+  void flush() { release_held(); }
+
+  /// Re-arm impairments mid-run (e.g. drop_prob = 1.0 for a blackhole
+  /// phase in the keep-alive tests). The DRBG stream continues.
+  void set_params(const NetemParams& params) {
+    const std::uint64_t seed = params_.seed;
+    params_ = params;
+    params_.seed = seed;
+  }
+
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    constexpr std::uint64_t kScale = 1u << 30;
+    return rng_.uniform(kScale) <
+           static_cast<std::uint64_t>(p * static_cast<double>(kScale));
+  }
+
+  void release_held() {
+    if (!held_) return;
+    auto [to, data] = std::move(*held_);
+    held_.reset();
+    inner_.send_to(to, data);
+    stats_.forwarded++;
+  }
+
+  transport::DatagramSocket& inner_;
+  NetemParams params_;
+  crypto::HmacDrbg rng_;
+  std::optional<std::pair<transport::NetAddr, Bytes>> held_;
+  Stats stats_;
+};
+
+}  // namespace argus::fault

@@ -1,0 +1,32 @@
+#include "transport/datagram.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace argus::transport {
+
+std::string NetAddr::str() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u", (ip >> 24) & 0xFF,
+                (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF, port);
+  return buf;
+}
+
+bool parse_addr(const std::string& text, NetAddr* out) {
+  unsigned a = 0, b = 0, c = 0, d = 0, port = 0;
+  char trailing = 0;
+  const int n = std::sscanf(text.c_str(), "%u.%u.%u.%u:%u%c", &a, &b, &c, &d,
+                            &port, &trailing);
+  if (n != 5 || a > 255 || b > 255 || c > 255 || d > 255 || port > 65535) {
+    return false;
+  }
+  if (out != nullptr) {
+    out->ip = (a << 24) | (b << 16) | (c << 8) | d;
+    out->port = static_cast<std::uint16_t>(port);
+  }
+  return true;
+}
+
+NetAddr loopback(std::uint16_t port) { return NetAddr{0x7F000001, port}; }
+
+}  // namespace argus::transport

@@ -1,0 +1,70 @@
+// Minimal datagram-socket interface the reliable layer runs over.
+//
+// Two implementations ship: udp.hpp (POSIX non-blocking UDP, loopback
+// production face) and pipe.hpp (an in-memory hub for deterministic
+// single-threaded tests). fault/netem.hpp wraps any of them with seeded
+// loss/dup/reorder so the chaos scenarios replay against real sockets.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace argus::transport {
+
+/// IPv4 endpoint address. Packs into a u64 so the engines' `peer`
+/// argument (per-peer admission buckets, session attribution) can carry a
+/// real network identity on the daemon path.
+struct NetAddr {
+  std::uint32_t ip = 0;  // host byte order
+  std::uint16_t port = 0;
+
+  auto operator<=>(const NetAddr&) const = default;
+
+  [[nodiscard]] std::uint64_t pack() const {
+    return (static_cast<std::uint64_t>(ip) << 16) | port;
+  }
+  static NetAddr unpack(std::uint64_t v) {
+    return NetAddr{static_cast<std::uint32_t>(v >> 16),
+                   static_cast<std::uint16_t>(v & 0xFFFF)};
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+/// Parse "a.b.c.d:port"; returns false on malformed input.
+bool parse_addr(const std::string& text, NetAddr* out);
+
+/// 127.0.0.1 with the given port.
+NetAddr loopback(std::uint16_t port);
+
+class DatagramSocket {
+ public:
+  virtual ~DatagramSocket() = default;
+
+  /// Best-effort unreliable send; false only on local failure (bad fd,
+  /// oversized datagram) — a dropped-in-flight packet still returns true,
+  /// exactly like UDP.
+  virtual bool send_to(const NetAddr& to, ByteSpan data) = 0;
+
+  /// Non-blocking receive; false when nothing is pending.
+  virtual bool recv_from(NetAddr* from, Bytes* data) = 0;
+
+  /// The local address peers reach this socket at (resolves port 0 binds
+  /// to the kernel-assigned ephemeral port).
+  [[nodiscard]] virtual NetAddr local_addr() const = 0;
+};
+
+/// Monotonic wall clock in fractional milliseconds — the `now_ms` the
+/// daemon/CLI drivers feed the reliable layer. Tests feed a hand-stepped
+/// counter instead; the layer itself never reads a clock.
+inline double steady_now_ms() {
+  using namespace std::chrono;
+  return duration<double, std::milli>(
+             steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace argus::transport
